@@ -1,0 +1,226 @@
+// Benchmarks that regenerate the paper's evaluation (§7): one benchmark
+// per figure and table. Each reports the figure's headline quantities as
+// custom benchmark metrics, so `go test -bench=. -benchmem` prints the
+// reproduction alongside runtime cost. The underlying experiments are
+// deterministic; results are cached across b.N iterations so Go's
+// benchmark calibration does not re-run multi-minute simulations.
+package emucheck
+
+import (
+	"sync"
+	"testing"
+
+	"emucheck/internal/evalrun"
+	"emucheck/internal/sim"
+)
+
+// Reduced-size workloads keep the full bench suite in CI territory while
+// preserving every claim under test; benchrunner runs paper-scale.
+const benchSeed = 1
+
+var (
+	fig4Once sync.Once
+	fig4Res  *evalrun.Fig4Result
+	fig5Once sync.Once
+	fig5Res  *evalrun.Fig5Result
+	fig6Once sync.Once
+	fig6Res  *evalrun.Fig6Result
+	fig7Once sync.Once
+	fig7Res  *evalrun.Fig7Result
+	fig8Once sync.Once
+	fig8Res  *evalrun.Fig8Result
+	fig9Once sync.Once
+	fig9Res  *evalrun.Fig9Result
+	swapOnce sync.Once
+	swapRes  *evalrun.SwapTableResult
+	fbOnce   sync.Once
+	fbRes    *evalrun.FreeBlockResult
+	syncOnce sync.Once
+	syncRes  *evalrun.SyncResult
+	domOnce  sync.Once
+	domRes   *evalrun.Dom0JobsResult
+)
+
+// BenchmarkFig4SleepLoop regenerates Figure 4: the usleep(10 ms) loop
+// under 5 s-periodic transparent checkpoints.
+func BenchmarkFig4SleepLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig4Once.Do(func() { fig4Res = evalrun.Fig4(benchSeed, 3000) })
+	}
+	b.ReportMetric(fig4Res.MeanMs, "ms/iter")
+	b.ReportMetric(fig4Res.FracWithin*100, "%within28us")
+	b.ReportMetric(fig4Res.CkptMaxErr.Micros(), "us-worst-ckpt-err")
+	if fig4Res.CkptMaxErr > 150*sim.Microsecond {
+		b.Fatalf("transparency broken: worst error %v", fig4Res.CkptMaxErr)
+	}
+}
+
+// BenchmarkFig5CPULoop regenerates Figure 5: the 236.6 ms CPU job under
+// periodic checkpoints, bounded by residual dom0 interference.
+func BenchmarkFig5CPULoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig5Once.Do(func() { fig5Res = evalrun.Fig5(benchSeed, 300) })
+	}
+	b.ReportMetric(fig5Res.MeanMs, "ms/iter")
+	b.ReportMetric(fig5Res.MaxOverMs, "ms-worst-over")
+	if fig5Res.MaxOverMs > 27 {
+		b.Fatalf("interference above the paper's 27 ms bound: %.1f ms", fig5Res.MaxOverMs)
+	}
+}
+
+// BenchmarkFig6Iperf regenerates Figure 6: a 1 Gbps iperf stream across
+// four checkpoints — no retransmissions, gaps bounded by clock sync.
+func BenchmarkFig6Iperf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig6Once.Do(func() { fig6Res = evalrun.Fig6(benchSeed) })
+	}
+	b.ReportMetric(fig6Res.MeanMBps, "MB/s")
+	b.ReportMetric(fig6Res.MedianGapUs, "us-interpkt")
+	if len(fig6Res.CkptGapsUs) > 0 {
+		b.ReportMetric(fig6Res.CkptGapsUs[0], "us-first-ckpt-gap")
+	}
+	if fig6Res.Retransmits != 0 || fig6Res.Timeouts != 0 || fig6Res.DupData != 0 {
+		b.Fatalf("checkpoint perturbed TCP: rtx=%d to=%d dup=%d",
+			fig6Res.Retransmits, fig6Res.Timeouts, fig6Res.DupData)
+	}
+}
+
+// BenchmarkFig7BitTorrent regenerates Figure 7: the 4-node swarm with a
+// 100 s checkpoint storm; the throughput center line must not move.
+func BenchmarkFig7BitTorrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig7Once.Do(func() { fig7Res = evalrun.Fig7(benchSeed, 512) })
+	}
+	b.ReportMetric(fig7Res.CenterBefore, "MB/s-before")
+	b.ReportMetric(fig7Res.CenterDuring, "MB/s-during")
+	b.ReportMetric(fig7Res.CenterAfter, "MB/s-after")
+	lo, hi := fig7Res.CenterBefore*0.85, fig7Res.CenterBefore*1.15
+	if fig7Res.CenterDuring < lo || fig7Res.CenterDuring > hi {
+		b.Fatalf("center line moved: %.2f -> %.2f MB/s", fig7Res.CenterBefore, fig7Res.CenterDuring)
+	}
+}
+
+// BenchmarkFig8Bonnie regenerates Figure 8: Bonnie++ over Base,
+// Branch-Orig and Branch storage.
+func BenchmarkFig8Bonnie(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig8Once.Do(func() { fig8Res = evalrun.Fig8(benchSeed, 256) })
+	}
+	b.ReportMetric(fig8Res.FreshWriteOverheadPct, "%fresh-overhead")
+	b.ReportMetric(fig8Res.AgedWriteOverheadPct, "%aged-overhead")
+	b.ReportMetric(fig8Res.OrigWriteSlowdownPct, "%orig-slowdown")
+	if fig8Res.OrigWriteSlowdownPct < 50 {
+		b.Fatalf("read-before-write penalty missing: %.0f%%", fig8Res.OrigWriteSlowdownPct)
+	}
+}
+
+// BenchmarkFig9Background regenerates Figure 9: background transfer
+// interference on a disk-bound workload.
+func BenchmarkFig9Background(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig9Once.Do(func() { fig9Res = evalrun.Fig9(benchSeed, 512) })
+	}
+	b.ReportMetric(fig9Res.EagerOverheadPct, "%eager-exec-overhead")
+	b.ReportMetric(fig9Res.LazyOverheadPct, "%lazy-exec-overhead")
+	b.ReportMetric(fig9Res.LazyThroughputDropPct, "%lazy-tput-drop")
+	if fig9Res.LazyOverheadPct < fig9Res.EagerOverheadPct {
+		b.Fatal("lazy copy-in should cost more than eager pre-copy")
+	}
+}
+
+// BenchmarkSwapCycles regenerates the §7.2 swap table: four consecutive
+// stateful swap cycles, lazy vs eager, plus the disk-loaded slowdown.
+func BenchmarkSwapCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		swapOnce.Do(func() { swapRes = evalrun.SwapTable(benchSeed) })
+	}
+	last := swapRes.Rows[len(swapRes.Rows)-1]
+	b.ReportMetric(last.SwapOut.Seconds(), "s-swapout-c4")
+	b.ReportMetric(last.SwapInLazy.Seconds(), "s-swapin-lazy-c4")
+	b.ReportMetric(last.SwapInEager.Seconds(), "s-swapin-eager-c4")
+	b.ReportMetric(swapRes.DiskLoadedOutPct, "%busy-slowdown")
+	if last.SwapInEager < 2*last.SwapInLazy {
+		b.Fatalf("lazy optimization ineffective by cycle 4: eager %.0fs vs lazy %.0fs",
+			last.SwapInEager.Seconds(), last.SwapInLazy.Seconds())
+	}
+}
+
+// BenchmarkFreeBlockElimination regenerates the §5.1 make/make-clean
+// delta-shrink experiment (490 MB -> 36 MB in the paper).
+func BenchmarkFreeBlockElimination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fbOnce.Do(func() { fbRes = evalrun.FreeBlockTable(benchSeed) })
+	}
+	b.ReportMetric(float64(fbRes.RawMB), "MB-raw-delta")
+	b.ReportMetric(float64(fbRes.LiveMB), "MB-live-delta")
+	if fbRes.LiveMB*4 > fbRes.RawMB {
+		b.Fatalf("elimination weak: %d MB -> %d MB", fbRes.RawMB, fbRes.LiveMB)
+	}
+}
+
+// BenchmarkSyncSkew regenerates the §4.3 synchronization comparison.
+func BenchmarkSyncSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		syncOnce.Do(func() { syncRes = evalrun.SyncTable(benchSeed) })
+	}
+	b.ReportMetric(syncRes.ScheduledSkew.Micros(), "us-scheduled-skew")
+	b.ReportMetric(syncRes.EventSkew.Micros(), "us-event-skew")
+	if syncRes.EventSkew <= syncRes.ScheduledSkew {
+		b.Fatal("scheduled checkpoints should beat event-driven ones")
+	}
+}
+
+// BenchmarkDom0Jobs regenerates the §7.1 dom0-interference calibration.
+func BenchmarkDom0Jobs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		domOnce.Do(func() { domRes = evalrun.Dom0Jobs(benchSeed) })
+	}
+	b.ReportMetric(domRes.ExtraMs["ls /"], "ms-ls")
+	b.ReportMetric(domRes.ExtraMs["sum vmlinux"], "ms-sum")
+	b.ReportMetric(domRes.ExtraMs["xm list"], "ms-xmlist")
+}
+
+var (
+	ablOnce sync.Once
+	ablRes  *evalrun.AblationResult
+)
+
+// BenchmarkAblationDelayNodeCapture compares checkpointing with and
+// without the §4.4 delay-node capture: without it, the bandwidth-delay
+// product of the link lands in endpoint replay logs instead of the
+// network core.
+func BenchmarkAblationDelayNodeCapture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ablOnce.Do(func() { ablRes = evalrun.AblationDelayNode(benchSeed) })
+	}
+	b.ReportMetric(float64(ablRes.CapturedInCore), "pkts-in-core")
+	b.ReportMetric(float64(ablRes.EndpointLogWith), "pkts-endpoint-with")
+	b.ReportMetric(float64(ablRes.EndpointLogWithout), "pkts-endpoint-without")
+	if ablRes.EndpointLogWithout <= ablRes.EndpointLogWith {
+		b.Fatal("ablation shows no effect: delay-node capture not doing its job")
+	}
+}
+
+// BenchmarkCheckpointLatency measures the raw cost of one incremental
+// distributed checkpoint on an idle 2-node experiment — an ablation for
+// the downtime the firewall conceals.
+func BenchmarkCheckpointLatency(b *testing.B) {
+	s := NewSession(Scenario{Spec: demoSpecForBench()}, benchSeed)
+	s.RunFor(sim.Second)
+	if _, err := s.Checkpoint(); err != nil { // absorb the full save
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var worst sim.Time
+	for i := 0; i < b.N; i++ {
+		s.RunFor(sim.Second)
+		res, err := s.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := res.MaxDowntime(); d > worst {
+			worst = d
+		}
+	}
+	b.ReportMetric(worst.Millis(), "ms-worst-downtime")
+}

@@ -1,0 +1,78 @@
+// Command benchrunner regenerates the figures and tables of the paper's
+// evaluation (§7) and prints paper-vs-measured rows.
+//
+// Usage:
+//
+//	benchrunner -all
+//	benchrunner -fig 6
+//	benchrunner -table swap
+//	benchrunner -fig 4 -seed 7 -quick
+//
+// Each experiment is deterministic for a given seed; -quick shrinks the
+// workloads (fewer iterations, smaller files) for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emucheck/internal/evalrun"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "figure number to regenerate (4-9)")
+		table = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation")
+		all   = flag.Bool("all", false, "regenerate everything")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		quick = flag.Bool("quick", false, "reduced workload sizes")
+	)
+	flag.Parse()
+
+	iters4, iters5 := 6000, 600
+	fileMB7 := int64(3 << 10) // the paper's 3 GB torrent
+	fileMB8 := int64(512)
+	copyMB9 := int64(512)
+	if *quick {
+		iters4, iters5 = 1500, 150
+		fileMB7 = 512
+		fileMB8 = 256
+		copyMB9 = 256
+	}
+
+	ran := false
+	run := func(n int, f func()) {
+		if *all || *fig == n {
+			ran = true
+			fmt.Printf("== Figure %d ==\n", n)
+			f()
+			fmt.Println()
+		}
+	}
+	runT := func(name, title string, f func()) {
+		if *all || *table == name {
+			ran = true
+			fmt.Printf("== %s ==\n", title)
+			f()
+			fmt.Println()
+		}
+	}
+
+	run(4, func() { fmt.Print(evalrun.Fig4(*seed, iters4).Render()) })
+	run(5, func() { fmt.Print(evalrun.Fig5(*seed, iters5).Render()) })
+	run(6, func() { fmt.Print(evalrun.Fig6(*seed).Render()) })
+	run(7, func() { fmt.Print(evalrun.Fig7(*seed, fileMB7).Render()) })
+	run(8, func() { fmt.Print(evalrun.Fig8(*seed, fileMB8).Render()) })
+	run(9, func() { fmt.Print(evalrun.Fig9(*seed, copyMB9).Render()) })
+	runT("swap", "Stateful swapping (§7.2)", func() { fmt.Print(evalrun.SwapTable(*seed).Render()) })
+	runT("freeblock", "Free-block elimination (§5.1)", func() { fmt.Print(evalrun.FreeBlockTable(*seed).Render()) })
+	runT("sync", "Checkpoint synchronization (§4.3)", func() { fmt.Print(evalrun.SyncTable(*seed).Render()) })
+	runT("dom0", "Dom0 interference (§7.1)", func() { fmt.Print(evalrun.Dom0Jobs(*seed).Render()) })
+	runT("ablation", "Ablation: delay-node capture (§4.4)", func() { fmt.Print(evalrun.AblationDelayNode(*seed).Render()) })
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

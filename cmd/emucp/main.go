@@ -1,0 +1,139 @@
+// Command emucp drives the simulated testbed interactively from the
+// command line: it swaps in a demo experiment, runs workloads, takes
+// transparent checkpoints, performs stateful swap cycles, and walks the
+// time-travel tree, narrating what the experiment observed.
+//
+// Usage:
+//
+//	emucp checkpoint   # run + 3 transparent distributed checkpoints
+//	emucp swap         # stateful swap-out / swap-in cycle
+//	emucp timetravel   # rollback and branch a run
+//	emucp demo         # all of the above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emucheck"
+	"emucheck/internal/apps"
+	"emucheck/internal/emulab"
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+func scenario() emucheck.Scenario {
+	return emucheck.Scenario{
+		Spec: emulab.Spec{
+			Name: "emucp-demo",
+			Nodes: []emulab.NodeSpec{
+				{Name: "client", Swappable: true},
+				{Name: "server", Swappable: true},
+			},
+			Links: []emulab.LinkSpec{{
+				A: "client", B: "server",
+				Bandwidth: 100 * simnet.Mbps,
+				Delay:     10 * sim.Millisecond,
+			}},
+		},
+	}
+}
+
+func checkpointDemo(seed int64) {
+	sc := scenario()
+	var loop *apps.SleepLoop
+	sc.Setup = func(s *emucheck.Session) {
+		loop = apps.NewSleepLoop(s.Kernel("client"), 1200)
+		loop.Run(nil)
+	}
+	s := emucheck.NewSession(sc, seed)
+	fmt.Println("running a 10 ms sleep loop; checkpointing every 5 s ...")
+	s.PeriodicCheckpoints(5*sim.Second, 3)
+	s.RunFor(30 * sim.Second)
+	fmt.Printf("iterations: %d  mean: %.3f ms  worst: %.3f ms\n",
+		loop.Times.Len(),
+		loop.Times.Mean()/float64(sim.Millisecond),
+		loop.Times.Max()/float64(sim.Millisecond))
+	for i, r := range s.Exp.Coord.History {
+		fmt.Printf("checkpoint %d: downtime %v concealed; suspend skew %v; %d bytes\n",
+			i+1, r.MaxDowntime(), r.SuspendSkew, r.TotalBytes)
+	}
+}
+
+func swapDemo(seed int64) {
+	s := emucheck.NewSession(scenario(), seed)
+	s.RunFor(2 * sim.Second)
+	v0 := s.VirtualNow("client")
+	fmt.Printf("virtual time before swap-out: %v\n", v0)
+	out, err := s.SwapOut()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("swapped out in %v (pre-copied %d MB, memory %d MB)\n",
+		out[0].Duration(), out[0].PreCopyBytes>>20, out[0].MemoryBytes>>20)
+	s.RunFor(sim.Hour) // parked: the hardware serves someone else
+	in, err := s.SwapIn(true)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("swapped in (lazy) in %v\n", in[0].Duration())
+	s.RunFor(sim.Second)
+	fmt.Printf("virtual time after 1 s of post-swap running: %v\n", s.VirtualNow("client"))
+	fmt.Println("the hour away never happened, as far as the experiment knows")
+}
+
+func timetravelDemo(seed int64) {
+	s := emucheck.NewSession(scenario(), seed)
+	s.RunFor(2 * sim.Second)
+	r1, err := s.Checkpoint()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("checkpoint 1 at virtual %v (%d bytes)\n", s.VirtualNow("client"), r1.TotalBytes)
+	s.RunFor(3 * sim.Second)
+	if _, err := s.Checkpoint(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("checkpoint 2 at virtual %v; tree has %d nodes\n", s.VirtualNow("client"), s.Tree.Len())
+
+	replay, err := s.Rollback(1, emucheck.Perturbation{Kind: emucheck.SeedChange, Seed: seed + 1})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rolled back to node 1; replaying with a perturbed seed ...\n")
+	replay.RunFor(3 * sim.Second)
+	if _, err := replay.Checkpoint(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("branch recorded; tree now has %d nodes, %d leaves\n",
+		replay.Tree.Len(), len(replay.Tree.Leaves()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emucp:", err)
+	os.Exit(1)
+}
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	switch cmd {
+	case "checkpoint":
+		checkpointDemo(*seed)
+	case "swap":
+		swapDemo(*seed)
+	case "timetravel":
+		timetravelDemo(*seed)
+	case "demo", "":
+		checkpointDemo(*seed)
+		fmt.Println()
+		swapDemo(*seed)
+		fmt.Println()
+		timetravelDemo(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "emucp: unknown command %q (want checkpoint|swap|timetravel|demo)\n", cmd)
+		os.Exit(2)
+	}
+}

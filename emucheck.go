@@ -1,0 +1,285 @@
+// Package emucheck is a library reproduction of "Transparent Checkpoints
+// of Closed Distributed Systems in Emulab" (Burtsev et al., EuroSys
+// 2009): a simulated Emulab testbed with transparent distributed
+// checkpointing, stateful swapping, and time travel.
+//
+// The public API is organized around Sessions. A Scenario describes an
+// experiment (its network spec and a workload-installing setup
+// function); a Session instantiates it on a deterministic simulated
+// testbed. Sessions can run, checkpoint transparently, swap out and
+// back in statefully, and time-travel: because the substrate is
+// bit-deterministic and checkpoints are transparent (virtual time hides
+// them), rolling back to a recorded checkpoint is realized by
+// re-executing a fresh session to the checkpoint's virtual time —
+// optionally perturbed, which is the paper's non-deterministic replay
+// "knob" (§6).
+//
+// A minimal use:
+//
+//	sc := emucheck.Scenario{
+//	    Spec: emulab.Spec{
+//	        Name:  "demo",
+//	        Nodes: []emulab.NodeSpec{{Name: "a", Swappable: true}, {Name: "b", Swappable: true}},
+//	        Links: []emulab.LinkSpec{{A: "a", B: "b", Bandwidth: 100 * simnet.Mbps, Delay: 5 * sim.Millisecond}},
+//	    },
+//	    Setup: func(e *emucheck.Session) { /* install workloads */ },
+//	}
+//	s := emucheck.NewSession(sc, 42)
+//	s.RunFor(5 * sim.Second)
+//	res, _ := s.Checkpoint()
+//	fmt.Println(res.SuspendSkew)
+package emucheck
+
+import (
+	"fmt"
+
+	"emucheck/internal/core"
+	"emucheck/internal/emulab"
+	"emucheck/internal/guest"
+	"emucheck/internal/sim"
+	"emucheck/internal/swap"
+	"emucheck/internal/timetravel"
+)
+
+// Re-exported aliases so callers need only the public surface for the
+// common cases. Sub-package types (emulab.Spec, core.Options, ...) are
+// used directly where richer control is wanted.
+type (
+	// CheckpointResult is a completed distributed checkpoint.
+	CheckpointResult = core.Result
+	// CheckpointOptions tunes a checkpoint.
+	CheckpointOptions = core.Options
+	// Perturbation is the replay-divergence knob.
+	Perturbation = timetravel.Perturbation
+	// TreeNodeID names a node in the time-travel tree.
+	TreeNodeID = timetravel.NodeID
+)
+
+// Perturbation kinds, re-exported.
+const (
+	Deterministic = timetravel.Deterministic
+	SeedChange    = timetravel.SeedChange
+	TimeDilation  = timetravel.TimeDilation
+	PacketReorder = timetravel.PacketReorder
+)
+
+// Scenario is a replayable experiment description: everything needed to
+// reconstruct the run from scratch, which is what makes time travel by
+// re-execution possible.
+type Scenario struct {
+	Spec emulab.Spec
+	// Pool is the testbed hardware pool size (default: nodes + links).
+	Pool int
+	// Setup installs workloads on the freshly swapped-in experiment.
+	Setup func(s *Session)
+}
+
+// Session is one live execution of a scenario.
+type Session struct {
+	Scenario Scenario
+	Seed     int64
+
+	S   *sim.Simulator
+	TB  *emulab.Testbed
+	Exp *emulab.Experiment
+
+	// Tree records checkpoints for time travel.
+	Tree *timetravel.Tree
+
+	perturb Perturbation
+	branch  TreeNodeID
+}
+
+// NewSession instantiates the scenario on a fresh deterministic testbed.
+func NewSession(sc Scenario, seed int64) *Session {
+	return newSession(sc, seed, Perturbation{}, timetravel.Root)
+}
+
+func newSession(sc Scenario, seed int64, p Perturbation, branch TreeNodeID) *Session {
+	if p.Kind == SeedChange && p.Seed != 0 {
+		seed = p.Seed
+	}
+	s := sim.New(seed)
+	pool := sc.Pool
+	if pool <= 0 {
+		pool = len(sc.Spec.Nodes) + len(sc.Spec.Links) + 2
+	}
+	tb := emulab.NewTestbed(s, pool)
+	sess := &Session{
+		Scenario: sc, Seed: seed, S: s, TB: tb,
+		Tree:    timetravel.NewTree(146 << 30),
+		perturb: p, branch: branch,
+	}
+	sess.applyPerturbation()
+	exp, err := tb.SwapIn(sc.Spec)
+	if err != nil {
+		panic("emucheck: " + err.Error())
+	}
+	sess.Exp = exp
+	sess.applyDilation()
+	if sc.Setup != nil {
+		sc.Setup(sess)
+	}
+	return sess
+}
+
+// applyPerturbation adjusts environment knobs before construction.
+func (s *Session) applyPerturbation() {
+	switch s.perturb.Kind {
+	case PacketReorder:
+		// Wider notification jitter perturbs cross-node event ordering.
+		s.TB.Bus.JitterMax *= 4
+	}
+}
+
+// applyDilation turns the §6 time-dilation knob on every guest clock
+// after construction: with factor f, guests perceive machines and
+// networks f-times faster (Gupta 2006). Timers inside the temporal
+// firewall honor the dilated rate.
+func (s *Session) applyDilation() {
+	if s.perturb.Kind != TimeDilation {
+		return
+	}
+	f := s.perturb.Magnitude
+	if f <= 0 {
+		f = 2
+	}
+	for _, n := range s.Exp.Nodes {
+		n.K.Clock.SetDilation(f)
+	}
+}
+
+// Kernel returns a node's guest kernel for workload installation.
+func (s *Session) Kernel(node string) *guest.Kernel {
+	n := s.Exp.Node(node)
+	if n == nil {
+		panic(fmt.Sprintf("emucheck: no node %q", node))
+	}
+	return n.K
+}
+
+// RunFor advances the session by d of simulated real time.
+func (s *Session) RunFor(d sim.Time) { s.S.RunFor(d) }
+
+// RunUntilIdle drains every pending event.
+func (s *Session) RunUntilIdle() { s.S.Run() }
+
+// Now reports simulated real time.
+func (s *Session) Now() sim.Time { return s.S.Now() }
+
+// VirtualNow reports the named node's guest virtual time.
+func (s *Session) VirtualNow(node string) sim.Time { return s.Kernel(node).Monotonic() }
+
+// Checkpoint performs one transparent distributed checkpoint
+// synchronously (the simulation advances until it completes) and
+// records it in the time-travel tree.
+func (s *Session) Checkpoint() (*CheckpointResult, error) {
+	return s.CheckpointOpts(CheckpointOptions{Incremental: s.Tree.Len() > 1})
+}
+
+// CheckpointOpts is Checkpoint with explicit options.
+func (s *Session) CheckpointOpts(o CheckpointOptions) (*CheckpointResult, error) {
+	var res *CheckpointResult
+	if err := s.Exp.Coord.Checkpoint(o, func(r *CheckpointResult) { res = r }); err != nil {
+		return nil, err
+	}
+	deadline := s.S.Now() + 10*sim.Minute
+	for res == nil && s.S.Now() < deadline {
+		if !s.S.Step() {
+			s.S.RunFor(sim.Millisecond)
+		}
+	}
+	if res == nil {
+		return nil, fmt.Errorf("emucheck: checkpoint did not complete")
+	}
+	first := s.Exp.Spec.Nodes[0].Name
+	if _, err := s.Tree.Record(res, s.VirtualNow(first)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// PeriodicCheckpoints checkpoints every interval until limit
+// checkpoints complete (limit 0 = until StopCheckpoints); results are
+// recorded in the tree as the run proceeds.
+func (s *Session) PeriodicCheckpoints(interval sim.Time, limit int) *core.PeriodicCheckpointer {
+	first := s.Exp.Spec.Nodes[0].Name
+	pc := &core.PeriodicCheckpointer{
+		C:        s.Exp.Coord,
+		Interval: interval,
+		Opts:     CheckpointOptions{Incremental: true},
+		OnResult: func(r *CheckpointResult) {
+			s.Tree.Record(r, s.VirtualNow(first))
+		},
+	}
+	pc.Start(limit)
+	return pc
+}
+
+// SwapOut statefully swaps the experiment out (synchronously).
+func (s *Session) SwapOut() ([]*swap.OutReport, error) {
+	if s.Exp.Swap == nil {
+		return nil, fmt.Errorf("emucheck: no swappable nodes in %q", s.Scenario.Spec.Name)
+	}
+	var reps []*swap.OutReport
+	if err := s.Exp.Swap.SwapOut(swap.DefaultOptions(), func(r []*swap.OutReport) { reps = r }); err != nil {
+		return nil, err
+	}
+	deadline := s.S.Now() + 2*sim.Hour
+	for reps == nil && s.S.Now() < deadline {
+		if !s.S.Step() {
+			s.S.RunFor(sim.Second)
+		}
+	}
+	if reps == nil {
+		return nil, fmt.Errorf("emucheck: swap-out did not complete")
+	}
+	return reps, nil
+}
+
+// SwapIn statefully swaps the experiment back in (synchronously).
+func (s *Session) SwapIn(lazy bool) ([]*swap.InReport, error) {
+	if s.Exp.Swap == nil {
+		return nil, fmt.Errorf("emucheck: no swappable nodes")
+	}
+	o := swap.DefaultOptions()
+	o.Lazy = lazy
+	var reps []*swap.InReport
+	if err := s.Exp.Swap.SwapIn(o, func(r []*swap.InReport) { reps = r }); err != nil {
+		return nil, err
+	}
+	deadline := s.S.Now() + 2*sim.Hour
+	for reps == nil && s.S.Now() < deadline {
+		if !s.S.Step() {
+			s.S.RunFor(sim.Second)
+		}
+	}
+	if reps == nil {
+		return nil, fmt.Errorf("emucheck: swap-in did not complete")
+	}
+	return reps, nil
+}
+
+// Rollback time-travels: it returns a *new* Session re-executed from
+// scratch to the chosen checkpoint's virtual time, continuing under the
+// given perturbation. With Deterministic the replay reproduces the
+// original run exactly (same seed, same event stream); other kinds
+// diverge — each rollback grows a new branch in the execution tree.
+//
+// Transparency is what makes this addressable by virtual time: because
+// checkpoints never perturbed the original run, re-executing without
+// them reaches the same state at the same virtual time.
+func (s *Session) Rollback(id TreeNodeID, p Perturbation) (*Session, error) {
+	plan, err := s.Tree.Rollback(id, p)
+	if err != nil {
+		return nil, err
+	}
+	replay := newSession(s.Scenario, s.Seed, plan.Perturb, id)
+	// Re-execute to the checkpoint's virtual time. Virtual time equals
+	// real time in a checkpoint-free replay (modulo the µs leak of the
+	// original, which transparency bounds).
+	replay.RunFor(plan.Target)
+	replay.Tree = s.Tree
+	replay.Tree.SetBranchPerturbation(p)
+	return replay, nil
+}

@@ -1,0 +1,247 @@
+package emucheck
+
+import (
+	"testing"
+
+	"emucheck/internal/apps"
+	"emucheck/internal/emulab"
+	"emucheck/internal/guest"
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+func demoScenario() Scenario {
+	return Scenario{
+		Spec: emulab.Spec{
+			Name: "demo",
+			Nodes: []emulab.NodeSpec{
+				{Name: "a", Swappable: true},
+				{Name: "b", Swappable: true},
+			},
+			Links: []emulab.LinkSpec{{
+				A: "a", B: "b",
+				Bandwidth: 100 * simnet.Mbps,
+				Delay:     5 * sim.Millisecond,
+			}},
+		},
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := NewSession(demoScenario(), 42)
+	s.RunFor(sim.Second)
+	if s.Now() != sim.Second {
+		t.Fatalf("now = %v", s.Now())
+	}
+	if v := s.VirtualNow("a"); v != sim.Second {
+		t.Fatalf("virtual = %v", v)
+	}
+	res, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Images) != 2 {
+		t.Fatalf("images = %d", len(res.Images))
+	}
+	if s.Tree.Len() != 2 {
+		t.Fatalf("tree len = %d", s.Tree.Len())
+	}
+}
+
+func TestCheckpointTransparencyEndToEnd(t *testing.T) {
+	var loop *apps.SleepLoop
+	sc := demoScenario()
+	sc.Setup = func(s *Session) {
+		loop = apps.NewSleepLoop(s.Kernel("a"), 400)
+		loop.Run(nil)
+	}
+	s := NewSession(sc, 7)
+	s.PeriodicCheckpoints(2*sim.Second, 3)
+	s.RunFor(40 * sim.Second)
+	if loop.Times.Len() != 400 {
+		t.Fatalf("iterations = %d", loop.Times.Len())
+	}
+	// Worst observed iteration across 3 checkpoints stays within the
+	// paper's transparency bound (~80 µs over the nominal 20 ms, plus
+	// distributed skew headroom).
+	worst := loop.Times.Max()
+	if worst > 21*float64(sim.Millisecond) {
+		t.Fatalf("worst iteration %.3f ms: checkpoint leaked", worst/float64(sim.Millisecond))
+	}
+}
+
+func TestSwapCycleThroughPublicAPI(t *testing.T) {
+	s := NewSession(demoScenario(), 9)
+	s.RunFor(2 * sim.Second)
+	v0 := s.VirtualNow("a")
+	out, err := s.SwapOut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Duration() <= 0 {
+		t.Fatalf("out reports: %+v", out)
+	}
+	s.RunFor(30 * sim.Minute) // parked
+	in, err := s.SwapIn(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 2 {
+		t.Fatal("in reports")
+	}
+	s.RunFor(sim.Second)
+	elapsed := s.VirtualNow("a") - v0
+	if elapsed > 5*sim.Second {
+		t.Fatalf("swap interval leaked into virtual time: %v", elapsed)
+	}
+}
+
+func TestRollbackDeterministicReplay(t *testing.T) {
+	// A workload whose observable history we can compare: ping-pong
+	// counter sampled at checkpoints.
+	type probe struct{ count int }
+	mk := func(p *probe) Scenario {
+		sc := demoScenario()
+		sc.Setup = func(s *Session) {
+			ka, kb := s.Kernel("a"), s.Kernel("b")
+			kb.Handle("ping", func(from simnet.Addr, m *guest.Message) {
+				kb.Send("a", 200, &guest.Message{Port: "pong"})
+			})
+			var send func()
+			ka.Handle("pong", func(simnet.Addr, *guest.Message) { p.count++; send() })
+			send = func() { ka.Send("b", 200, &guest.Message{Port: "ping"}) }
+			send()
+		}
+		return sc
+	}
+	var p1 probe
+	s1 := NewSession(mk(&p1), 11)
+	s1.RunFor(3 * sim.Second)
+	res, err := s1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	countAtCkpt := p1.count
+	s1.RunFor(2 * sim.Second)
+
+	// Deterministic rollback to the checkpoint reproduces the count.
+	var p2 probe
+	s2 := NewSession(mk(&p2), 11) // fresh probe bound via scenario
+	_ = s2
+	// Use the tree-driven API: rollback from s1 re-executes the same
+	// scenario; rebind the probe through a fresh scenario instance.
+	s1.Scenario = mk(&p2)
+	replay, err := s1.Rollback(s1.Tree.Head(), Perturbation{Kind: Deterministic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := p2.count - countAtCkpt
+	if diff < -2 || diff > 2 {
+		t.Fatalf("replay diverged: %d vs %d at checkpoint", p2.count, countAtCkpt)
+	}
+	// Continuing the replay grows the same branch deterministically.
+	replay.RunFor(2 * sim.Second)
+	if p2.count <= countAtCkpt {
+		t.Fatal("replay did not continue")
+	}
+}
+
+func TestRollbackBranchingTree(t *testing.T) {
+	s := NewSession(demoScenario(), 13)
+	s.RunFor(sim.Second)
+	n1, err := s.Checkpoint()
+	if err != nil || n1 == nil {
+		t.Fatal(err)
+	}
+	s.RunFor(sim.Second)
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	head := s.Tree.Head()
+	first := head - 1
+	replay, err := s.Rollback(first, Perturbation{Kind: SeedChange, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Seed != 999 {
+		t.Fatalf("seed = %d", replay.Seed)
+	}
+	replay.RunFor(sim.Second)
+	if _, err := replay.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The first checkpoint now has two children: the original chain and
+	// the new branch.
+	node, _ := s.Tree.Get(first)
+	if len(node.Children) != 2 {
+		t.Fatalf("children = %d (no branch)", len(node.Children))
+	}
+}
+
+func TestRollbackUnknownNode(t *testing.T) {
+	s := NewSession(demoScenario(), 1)
+	if _, err := s.Rollback(77, Perturbation{}); err == nil {
+		t.Fatal("ghost rollback succeeded")
+	}
+}
+
+func TestKernelPanicsOnGhostNode(t *testing.T) {
+	s := NewSession(demoScenario(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Kernel("ghost")
+}
+
+// demoSpecForBench is shared by bench_test.go.
+func demoSpecForBench() emulab.Spec { return demoScenario().Spec }
+
+func TestPublicEventDrivenCheckpoint(t *testing.T) {
+	s := NewSession(demoScenario(), 17)
+	s.RunFor(60 * sim.Second) // NTP converged
+	res, err := s.CheckpointOpts(CheckpointOptions{Mode: 1 /* EventDriven */, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode.String() != "event-driven" {
+		t.Fatalf("mode = %v", res.Mode)
+	}
+	// Event-driven skew is jitter-bound: visible but bounded.
+	if res.SuspendSkew > 3*sim.Millisecond {
+		t.Fatalf("skew %v", res.SuspendSkew)
+	}
+}
+
+func TestRunUntilIdleDrains(t *testing.T) {
+	s := NewSession(demoScenario(), 18)
+	fired := false
+	s.Kernel("a").Usleep(50*sim.Millisecond, func() { fired = true })
+	s.RunUntilIdle()
+	if !fired {
+		t.Fatal("pending work not drained")
+	}
+}
+
+func TestPeriodicCheckpointsRecordTree(t *testing.T) {
+	s := NewSession(demoScenario(), 19)
+	s.PeriodicCheckpoints(sim.Second, 3)
+	s.RunFor(30 * sim.Second)
+	if s.Tree.Len() != 4 { // root + 3
+		t.Fatalf("tree len = %d", s.Tree.Len())
+	}
+	// The recorded virtual times are strictly increasing.
+	var prev sim.Time = -1
+	for id := TreeNodeID(1); id <= 3; id++ {
+		n, ok := s.Tree.Get(id)
+		if !ok {
+			t.Fatalf("missing node %d", id)
+		}
+		if n.VirtualTime <= prev {
+			t.Fatalf("non-increasing capture times")
+		}
+		prev = n.VirtualTime
+	}
+}

@@ -1,0 +1,235 @@
+package emucheck
+
+import (
+	"testing"
+
+	"emucheck/internal/emulab"
+	"emucheck/internal/guest"
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+// bigScenario is a five-node experiment with mixed topology: a shaped
+// WAN link, a fast LAN, and a plain fabric link — plus workloads on
+// every segment.
+func bigScenario(state *bigState) Scenario {
+	return Scenario{
+		Spec: emulab.Spec{
+			Name: "integration",
+			Nodes: []emulab.NodeSpec{
+				{Name: "web", Swappable: true},
+				{Name: "db", Swappable: true},
+				{Name: "cache", Swappable: true},
+				{Name: "client", Swappable: true},
+				{Name: "monitor"},
+			},
+			Links: []emulab.LinkSpec{
+				// Client reaches the web server over a shaped WAN path.
+				{A: "client", B: "web", Bandwidth: 10 * simnet.Mbps, Delay: 25 * sim.Millisecond},
+				// Monitor hangs off the web server on raw fabric.
+				{A: "web", B: "monitor"},
+			},
+			LANs: []emulab.LANSpec{
+				{Name: "backend", Members: []string{"web", "db", "cache"}},
+			},
+		},
+		Setup: func(s *Session) { state.install(s) },
+	}
+}
+
+type bigState struct {
+	served   int
+	dbOps    int
+	rtts     []sim.Time
+	monitors int
+}
+
+// install wires a small multi-tier application: the client issues
+// requests over the WAN; the web server consults the cache, falls
+// through to the db (disk I/O), replies, and notifies the monitor.
+func (st *bigState) install(s *Session) {
+	client, web := s.Kernel("client"), s.Kernel("web")
+	db, cache, mon := s.Kernel("db"), s.Kernel("cache"), s.Kernel("monitor")
+
+	cache.Handle("get", func(from simnet.Addr, m *guest.Message) {
+		key := m.Data.(int)
+		if key%3 == 0 { // cache hit
+			cache.Send("web", 600, &guest.Message{Port: "cache-hit", Data: key})
+			return
+		}
+		cache.Send("web", 80, &guest.Message{Port: "cache-miss", Data: key})
+	})
+	db.Handle("query", func(from simnet.Addr, m *guest.Message) {
+		key := m.Data.(int)
+		db.ReadDisk(int64(key)*4096, 64<<10, func() {
+			st.dbOps++
+			db.Send("web", 600, &guest.Message{Port: "db-reply", Data: key})
+		})
+	})
+	reply := func(key int) {
+		st.served++
+		web.Send("client", 900, &guest.Message{Port: "resp", Data: key})
+		web.Send("monitor", 100, &guest.Message{Port: "served", Data: key})
+	}
+	web.Handle("req", func(from simnet.Addr, m *guest.Message) {
+		web.Send("cache", 80, &guest.Message{Port: "get", Data: m.Data})
+	})
+	web.Handle("cache-hit", func(from simnet.Addr, m *guest.Message) { reply(m.Data.(int)) })
+	web.Handle("cache-miss", func(from simnet.Addr, m *guest.Message) {
+		web.Send("db", 80, &guest.Message{Port: "query", Data: m.Data})
+	})
+	web.Handle("db-reply", func(from simnet.Addr, m *guest.Message) { reply(m.Data.(int)) })
+	mon.Handle("served", func(simnet.Addr, *guest.Message) { st.monitors++ })
+
+	n := 0
+	var sent sim.Time
+	var issue func()
+	client.Handle("resp", func(simnet.Addr, *guest.Message) {
+		st.rtts = append(st.rtts, client.Monotonic()-sent)
+		client.Usleep(30*sim.Millisecond, issue)
+	})
+	issue = func() {
+		n++
+		sent = client.Monotonic()
+		client.Send("web", 200, &guest.Message{Port: "req", Data: n})
+	}
+	issue()
+}
+
+// TestIntegrationFullLifecycle drives the multi-tier app through
+// checkpoints, a stateful swap cycle, and continued execution, checking
+// the experiment-visible invariants at each stage.
+func TestIntegrationFullLifecycle(t *testing.T) {
+	st := &bigState{}
+	s := NewSession(bigScenario(st), 20260612)
+
+	// Phase 1: plain run.
+	s.RunFor(10 * sim.Second)
+	if st.served < 50 {
+		t.Fatalf("app barely running: served %d", st.served)
+	}
+	if st.monitors != st.served {
+		t.Fatalf("monitor lost events: %d vs %d", st.monitors, st.served)
+	}
+
+	// Phase 2: checkpoint storm.
+	pc := s.PeriodicCheckpoints(2*sim.Second, 4)
+	s.RunFor(40 * sim.Second)
+	if pc.Count() != 4 {
+		t.Fatalf("checkpoints = %d", pc.Count())
+	}
+	for _, res := range s.Exp.Coord.History {
+		if len(res.Images) != 5 || len(res.DelayStates) != 1 {
+			t.Fatalf("epoch %d incomplete: %d images, %d delay states",
+				res.Epoch, len(res.Images), len(res.DelayStates))
+		}
+	}
+
+	// Phase 3: stateful swap cycle with a long park. The application
+	// keeps running during the eager pre-copy (that is the point of
+	// pre-copy); it must be fully stopped once swap-out completes.
+	vBefore := s.VirtualNow("client")
+	if _, err := s.SwapOut(); err != nil {
+		t.Fatal(err)
+	}
+	servedBefore := st.served
+	s.RunFor(2 * sim.Hour)
+	if st.served != servedBefore {
+		t.Fatal("application ran while swapped out")
+	}
+	if _, err := s.SwapIn(true); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * sim.Second)
+	if st.served <= servedBefore {
+		t.Fatal("application did not resume after swap-in")
+	}
+	vAfter := s.VirtualNow("client")
+	if gap := vAfter - vBefore; gap > 5*sim.Minute {
+		t.Fatalf("swap interval leaked into virtual time: %v", gap)
+	}
+
+	// Invariants over the whole run: every RTT respects the emulated
+	// 50 ms WAN floor (minus the bounded sync-skew distortion), and no
+	// inside activity ever ran during a checkpoint.
+	floor := 50 * sim.Millisecond
+	for i, rtt := range st.rtts {
+		if rtt < floor-10*sim.Millisecond {
+			t.Fatalf("rtt %d = %v beat the WAN link", i, rtt)
+		}
+	}
+	for _, n := range s.Exp.Nodes {
+		if n.K.FW.InsideFired != 0 {
+			t.Fatalf("node %s: inside activity during checkpoint", n.K.Name)
+		}
+	}
+	if st.dbOps == 0 {
+		t.Fatal("cache-miss path never exercised")
+	}
+}
+
+// TestIntegrationDeterminism verifies the entire stack is bit-stable:
+// two sessions with the same seed produce identical observable
+// histories even through checkpoints.
+func TestIntegrationDeterminism(t *testing.T) {
+	run := func() (int, []sim.Time) {
+		st := &bigState{}
+		s := NewSession(bigScenario(st), 777)
+		s.PeriodicCheckpoints(3*sim.Second, 2)
+		s.RunFor(20 * sim.Second)
+		return st.served, st.rtts
+	}
+	served1, rtts1 := run()
+	served2, rtts2 := run()
+	if served1 != served2 || len(rtts1) != len(rtts2) {
+		t.Fatalf("nondeterministic: %d/%d served, %d/%d rtts", served1, served2, len(rtts1), len(rtts2))
+	}
+	for i := range rtts1 {
+		if rtts1[i] != rtts2[i] {
+			t.Fatalf("rtt %d differs: %v vs %v", i, rtts1[i], rtts2[i])
+		}
+	}
+}
+
+// TestIntegrationDilatedReplay exercises the §6 time-dilation knob: a
+// replay under 2x dilation sees the same virtual-time behaviour while
+// real time runs twice as slow.
+func TestIntegrationDilatedReplay(t *testing.T) {
+	st := &bigState{}
+	s := NewSession(bigScenario(st), 31)
+	s.RunFor(5 * sim.Second)
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := &bigState{}
+	s.Scenario = bigScenario(st2)
+	replay, err := s.Rollback(1, Perturbation{Kind: TimeDilation, Magnitude: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under 2x dilation, reaching the checkpoint's virtual time takes
+	// twice the real time; Rollback runs for the virtual target in real
+	// units, so it lands near half the virtual progress.
+	vNow := replay.VirtualNow("client")
+	if vNow > 4*sim.Second {
+		t.Fatalf("dilation not applied: virtual %v after rollback window", vNow)
+	}
+	replay.RunFor(10 * sim.Second)
+	if replay.VirtualNow("client") > 8*sim.Second {
+		t.Fatal("virtual time running too fast under 2x dilation")
+	}
+	if st2.served == 0 {
+		t.Fatal("dilated replay did not run the app")
+	}
+	// DieCast semantics: the physical network is NOT dilated, so the
+	// 2x-dilated guest perceives it as twice as fast — virtual RTTs sit
+	// near half the 50 ms real floor. That perception shift is exactly
+	// what the knob is for (subjecting systems to "network speeds much
+	// higher than what is physically possible", §8).
+	for i, rtt := range st2.rtts {
+		if rtt < 20*sim.Millisecond || rtt > 45*sim.Millisecond {
+			t.Fatalf("dilated rtt %d = %v, want ~25-35ms (half the real floor)", i, rtt)
+		}
+	}
+}

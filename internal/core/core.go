@@ -1,0 +1,435 @@
+// Package core implements the paper's primary contribution: a
+// transparent, coordinated checkpoint of an entire closed distributed
+// system (§4).
+//
+// A Coordinator drives checkpoint epochs over the publish–subscribe
+// notification bus on the control network. Two trigger modes are
+// supported, as in §4.3:
+//
+//   - Scheduled ("checkpoint at time t"): the coordinator picks a global
+//     time far enough ahead for notification propagation; every node
+//     arms a local timer on its NTP-disciplined clock. The residual
+//     suspend skew across nodes is bounded by clock-sync error (~200 µs
+//     steady state), not by notification jitter.
+//   - Event-driven ("checkpoint now"): nodes suspend on notification
+//     arrival; skew is the control network's delivery jitter — an order
+//     of magnitude worse, which is why the paper schedules.
+//
+// Each node's local save is Xen's live checkpoint behind the temporal
+// firewall; delay nodes freeze and serialize their Dummynet state,
+// capturing the bandwidth–delay product of every shaped link (§4.4).
+// A barrier collects completions, then a scheduled "resume at R" brings
+// the whole experiment back near-simultaneously so that resume skew is
+// also sync-bounded (§3.2's observation that restart skew matters too).
+package core
+
+import (
+	"fmt"
+
+	"emucheck/internal/dummynet"
+	"emucheck/internal/notify"
+	"emucheck/internal/ntpsim"
+	"emucheck/internal/sim"
+	"emucheck/internal/xen"
+)
+
+// Mode selects how a checkpoint is triggered.
+type Mode int
+
+// Trigger modes.
+const (
+	Scheduled Mode = iota
+	EventDriven
+)
+
+func (m Mode) String() string {
+	if m == Scheduled {
+		return "scheduled"
+	}
+	return "event-driven"
+}
+
+// Options tunes one distributed checkpoint.
+type Options struct {
+	Mode Mode
+	// Lead is how far ahead a scheduled checkpoint is placed; it must
+	// exceed worst-case notification delivery. Default 50 ms.
+	Lead sim.Time
+	// ResumeLead is the scheduling margin for the coordinated resume.
+	ResumeLead sim.Time
+	// Incremental saves only pages dirtied since the last checkpoint.
+	Incremental bool
+	// Target selects the image destination (scratch disk by default).
+	Target xen.SaveTarget
+	// HoldResume leaves the experiment frozen after the barrier: the
+	// done callback fires with all nodes saved and suspended, and the
+	// caller must later call ResumeHeld. Stateful swap-out uses this —
+	// the "resume" happens at the next swap-in, possibly much later.
+	HoldResume bool
+	// SkipDelayNodes disables the §4.4 network-core capture, leaving
+	// delay nodes running while endpoints freeze. The bandwidth–delay
+	// product then drains into endpoint replay logs and re-emerges as a
+	// burst at resume — the anomaly the paper's design avoids. Exists
+	// for the ablation benchmark; never enable it in real use.
+	SkipDelayNodes bool
+}
+
+func (o *Options) defaults() {
+	if o.Lead <= 0 {
+		o.Lead = 50 * sim.Millisecond
+	}
+	if o.ResumeLead <= 0 {
+		// Must exceed worst-case clock error early in NTP convergence so
+		// no node's local trigger lands in the past.
+		o.ResumeLead = 50 * sim.Millisecond
+	}
+}
+
+// Result describes one completed distributed checkpoint.
+type Result struct {
+	Epoch       int
+	Mode        Mode
+	ScheduledAt sim.Time // global target time (0 for event-driven)
+	Images      []*xen.Image
+	DelayStates []*dummynet.State
+
+	// SuspendSkew is the spread of firewall-engage instants across
+	// nodes — the transparency bound for the network (§3.2).
+	SuspendSkew sim.Time
+	// ResumeSkew is the spread of resume instants.
+	ResumeSkew  sim.Time
+	CompletedAt sim.Time
+	// TotalBytes is the full image footprint of the epoch.
+	TotalBytes int64
+}
+
+// MaxDowntime reports the longest per-node real downtime.
+func (r *Result) MaxDowntime() sim.Time {
+	var m sim.Time
+	for _, img := range r.Images {
+		if img.Downtime > m {
+			m = img.Downtime
+		}
+	}
+	return m
+}
+
+// Member is one checkpointed endpoint (an experiment node).
+type Member struct {
+	Name string
+	HV   *xen.Hypervisor
+}
+
+// Coordinator orchestrates distributed checkpoints of a fixed set of
+// members and delay nodes.
+type Coordinator struct {
+	s     *sim.Simulator
+	bus   *notify.Bus
+	ntp   *ntpsim.Sync
+	nodes []*Member
+	dns   []*dummynet.DelayNode
+
+	epoch   int
+	current *run
+
+	// History holds every completed checkpoint, newest last — the
+	// linear spine that time travel branches from.
+	History []*Result
+}
+
+type run struct {
+	opts    Options
+	result  *Result
+	barrier *notify.Barrier
+	resumed *notify.Barrier
+	done    func(*Result)
+
+	suspendTimes []sim.Time
+	resumeTimes  []sim.Time
+}
+
+// NewCoordinator wires a coordinator to its members. Every member's
+// clock must already be NTP-disciplined via y.Start.
+func NewCoordinator(s *sim.Simulator, bus *notify.Bus, y *ntpsim.Sync, members []*Member, delayNodes []*dummynet.DelayNode) *Coordinator {
+	c := &Coordinator{s: s, bus: bus, ntp: y, nodes: members, dns: delayNodes}
+	for _, m := range members {
+		m := m
+		bus.Subscribe(notify.TopicCheckpoint, func(msg *notify.Msg) { c.onCheckpoint(m, msg) })
+		bus.Subscribe(notify.TopicResume, func(msg *notify.Msg) { c.onResume(m, msg) })
+	}
+	for _, d := range delayNodes {
+		d := d
+		bus.Subscribe(notify.TopicCheckpoint, func(msg *notify.Msg) { c.onCheckpointDelay(d, msg) })
+		bus.Subscribe(notify.TopicResume, func(msg *notify.Msg) { c.onResumeDelay(d, msg) })
+	}
+	return c
+}
+
+// Epoch reports the number of checkpoints initiated.
+func (c *Coordinator) Epoch() int { return c.epoch }
+
+// TriggerFromNode initiates an event-driven checkpoint *from a member
+// node* — the §4.3 use case where a break- or watch-point inside the
+// experiment fires ("the checkpoint system should be able to trigger a
+// checkpoint immediately in response to any system event"). The node's
+// dom0 daemon publishes "checkpoint now" on the bus; the notification
+// reaches the coordinator and every peer with control-network latency,
+// so the resulting skew is jitter-bound, as the paper cautions.
+func (c *Coordinator) TriggerFromNode(nodeName string, done func(*Result)) error {
+	found := false
+	for _, m := range c.nodes {
+		if m.Name == nodeName {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: no member %q", nodeName)
+	}
+	if c.current != nil {
+		return fmt.Errorf("core: checkpoint %d still in flight", c.epoch)
+	}
+	// One bus hop from the triggering node to the coordinator daemon,
+	// then the normal event-driven fan-out.
+	hop := c.s.Jitter(sim.Millisecond) + 200*sim.Microsecond
+	c.s.After(hop, "core.node-trigger", func() {
+		if c.current != nil {
+			return // someone else got there first; their epoch covers us
+		}
+		if err := c.Checkpoint(Options{Mode: EventDriven, Incremental: true}, done); err != nil {
+			panic("core: " + err.Error())
+		}
+	})
+	return nil
+}
+
+// Checkpoint initiates one distributed checkpoint. done receives the
+// result after every member has resumed. Only one checkpoint may be in
+// flight at a time.
+func (c *Coordinator) Checkpoint(opts Options, done func(*Result)) error {
+	if c.current != nil {
+		return fmt.Errorf("core: checkpoint %d still in flight", c.epoch)
+	}
+	opts.defaults()
+	c.epoch++
+	parties := len(c.nodes) + len(c.dns)
+	r := &Result{Epoch: c.epoch, Mode: opts.Mode}
+	cr := &run{opts: opts, result: r, done: done}
+	cr.barrier = notify.NewBarrier(parties, func() { c.allSaved(cr) })
+	cr.resumed = notify.NewBarrier(len(c.nodes), func() { c.allResumed(cr) })
+	c.current = cr
+
+	var at sim.Time
+	if opts.Mode == Scheduled {
+		at = c.s.Now() + opts.Lead
+		r.ScheduledAt = at
+	}
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicCheckpoint, From: "coordinator", At: at, Epoch: c.epoch})
+	return nil
+}
+
+// onCheckpoint runs on a member's dom0 daemon when the notification
+// arrives. It starts the live save with the proper suspend deadline.
+func (c *Coordinator) onCheckpoint(m *Member, msg *notify.Msg) {
+	cr := c.current
+	if cr == nil || msg.Epoch != c.epoch {
+		return
+	}
+	var suspendAt sim.Time
+	if msg.At > 0 {
+		suspendAt = c.ntp.LocalTrigger(m.Name, msg.At)
+	} else {
+		suspendAt = c.s.Now() + sim.Microsecond // "checkpoint now"
+	}
+	err := m.HV.Save(xen.SaveOptions{
+		Target:      cr.opts.Target,
+		SuspendAt:   suspendAt,
+		Incremental: cr.opts.Incremental,
+	}, func(img *xen.Image) {
+		cr.result.Images = append(cr.result.Images, img)
+		cr.suspendTimes = append(cr.suspendTimes, img.SuspendedAt)
+		cr.result.TotalBytes += img.MemoryBytes + img.DeviceBytes
+		// Report completion on the bus (daemon -> coordinator).
+		cr.barrier.Arrive(m.Name)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: save on %s: %v", m.Name, err))
+	}
+}
+
+// onCheckpointDelay freezes and serializes a delay node at its local
+// trigger time.
+func (c *Coordinator) onCheckpointDelay(d *dummynet.DelayNode, msg *notify.Msg) {
+	cr := c.current
+	if cr == nil || msg.Epoch != c.epoch {
+		return
+	}
+	if cr.opts.SkipDelayNodes {
+		// Ablation mode: the network core keeps running; its in-flight
+		// packets drain into frozen endpoints' replay logs.
+		cr.barrier.Arrive(d.Name)
+		return
+	}
+	var at sim.Time
+	if msg.At > 0 {
+		at = c.ntp.LocalTrigger(d.Name, msg.At)
+	} else {
+		at = c.s.Now() + sim.Microsecond
+	}
+	delay := at - c.s.Now()
+	c.s.After(delay, "core.freeze-delaynode", func() {
+		d.Freeze()
+		st, err := d.Serialize()
+		if err != nil {
+			panic("core: " + err.Error())
+		}
+		cr.result.DelayStates = append(cr.result.DelayStates, st)
+		cr.result.TotalBytes += int64(st.Bytes())
+		cr.barrier.Arrive(d.Name)
+	})
+}
+
+// allSaved fires when the barrier completes: publish the scheduled
+// resume, or park the frozen experiment if the caller asked to hold.
+func (c *Coordinator) allSaved(cr *run) {
+	if cr.opts.HoldResume {
+		cr.result.SuspendSkew = spread(cr.suspendTimes)
+		cr.result.CompletedAt = c.s.Now()
+		c.History = append(c.History, cr.result)
+		if cr.done != nil {
+			cr.done(cr.result)
+		}
+		return
+	}
+	at := c.s.Now() + cr.opts.ResumeLead
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", At: at, Epoch: cr.result.Epoch})
+}
+
+// Held reports whether a checkpoint is parked awaiting ResumeHeld.
+func (c *Coordinator) Held() bool {
+	return c.current != nil && c.current.opts.HoldResume && c.current.barrier.Done()
+}
+
+// ResumeHeld resumes an experiment parked by a HoldResume checkpoint.
+// after fires once every node is live again.
+func (c *Coordinator) ResumeHeld(after func(*Result)) error {
+	cr := c.current
+	if cr == nil || !cr.opts.HoldResume || !cr.barrier.Done() {
+		return fmt.Errorf("core: nothing held")
+	}
+	cr.done = after
+	at := c.s.Now() + cr.opts.ResumeLead
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", At: at, Epoch: cr.result.Epoch})
+	return nil
+}
+
+func (c *Coordinator) onResume(m *Member, msg *notify.Msg) {
+	cr := c.current
+	if cr == nil || msg.Epoch != c.epoch {
+		return
+	}
+	at := c.ntp.LocalTrigger(m.Name, msg.At)
+	c.s.After(at-c.s.Now(), "core.resume", func() {
+		err := m.HV.Resume(func() {
+			cr.resumeTimes = append(cr.resumeTimes, c.s.Now())
+			cr.resumed.Arrive(m.Name)
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: resume on %s: %v", m.Name, err))
+		}
+	})
+}
+
+func (c *Coordinator) onResumeDelay(d *dummynet.DelayNode, msg *notify.Msg) {
+	if c.current == nil || msg.Epoch != c.epoch {
+		return
+	}
+	if c.current.opts.SkipDelayNodes {
+		return // never frozen
+	}
+	at := c.ntp.LocalTrigger(d.Name, msg.At)
+	c.s.After(at-c.s.Now(), "core.thaw-delaynode", func() { d.Thaw() })
+}
+
+func (c *Coordinator) allResumed(cr *run) {
+	cr.result.ResumeSkew = spread(cr.resumeTimes)
+	cr.result.CompletedAt = c.s.Now()
+	if !cr.opts.HoldResume {
+		// Held runs were finalized and recorded at the barrier.
+		cr.result.SuspendSkew = spread(cr.suspendTimes)
+		c.History = append(c.History, cr.result)
+	}
+	c.current = nil
+	if cr.done != nil {
+		cr.done(cr.result)
+	}
+}
+
+func spread(ts []sim.Time) sim.Time {
+	if len(ts) == 0 {
+		return 0
+	}
+	lo, hi := ts[0], ts[0]
+	for _, t := range ts[1:] {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	return hi - lo
+}
+
+// PeriodicCheckpointer repeatedly checkpoints an experiment at a fixed
+// interval — the capture loop of the time-travel system (§6) and the
+// driver for the paper's transparency experiments, which checkpoint
+// every 5 seconds.
+type PeriodicCheckpointer struct {
+	C        *Coordinator
+	Interval sim.Time
+	Opts     Options
+	OnResult func(*Result)
+
+	stopped bool
+	count   int
+	limit   int
+}
+
+// Start begins checkpointing every interval until Stop (or until limit
+// checkpoints if limit > 0). The first checkpoint fires one interval
+// from now.
+func (p *PeriodicCheckpointer) Start(limit int) {
+	p.limit = limit
+	p.stopped = false
+	p.schedule()
+}
+
+func (p *PeriodicCheckpointer) schedule() {
+	p.C.s.After(p.Interval, "periodic.ckpt", func() {
+		if p.stopped {
+			return
+		}
+		err := p.C.Checkpoint(p.Opts, func(r *Result) {
+			p.count++
+			if p.OnResult != nil {
+				p.OnResult(r)
+			}
+			if p.limit > 0 && p.count >= p.limit {
+				p.stopped = true
+				return
+			}
+			p.schedule()
+		})
+		if err != nil {
+			// Previous epoch still draining; retry next interval.
+			p.schedule()
+		}
+	})
+}
+
+// Stop halts the loop after the in-flight checkpoint, if any.
+func (p *PeriodicCheckpointer) Stop() { p.stopped = true }
+
+// Count reports completed checkpoints.
+func (p *PeriodicCheckpointer) Count() int { return p.count }

@@ -1,0 +1,152 @@
+package dummynet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+func TestFreezeEmptyPipe(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "p", 100*simnet.Mbps, sim.Millisecond, nil)
+	p.Freeze()
+	st, err := p.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Queue) != 0 || len(st.DelayLine) != 0 {
+		t.Fatal("phantom state in empty pipe")
+	}
+	if st.HeadTxLeft != -1 {
+		t.Fatalf("head tx left = %v for idle pipe", st.HeadTxLeft)
+	}
+	p.Thaw()
+	if p.Frozen() {
+		t.Fatal("thaw failed")
+	}
+}
+
+func TestRestoredStatsIncludeDrops(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "p", 1*simnet.Mbps, 0, nil)
+	p.Slots = 1
+	p.PLR = 0
+	for i := 0; i < 5; i++ {
+		p.Accept(&simnet.Packet{Size: 1500})
+	}
+	p.Freeze()
+	st, _ := p.Serialize()
+	p2 := NewPipe(s, "p", 1*simnet.Mbps, 0, nil)
+	p2.Restore(st)
+	if p2.Dropped != 4 {
+		t.Fatalf("restored drops = %d", p2.Dropped)
+	}
+	if p2.Slots != 1 {
+		t.Fatal("config not restored")
+	}
+}
+
+func TestPartialLossRate(t *testing.T) {
+	s := sim.New(42)
+	k := &sink{s: s}
+	p := NewPipe(s, "p", 0, 0, k)
+	p.PLR = 0.3
+	const n = 5000
+	p.Slots = n // deep queue: only PLR may drop
+	for i := 0; i < n; i++ {
+		p.Accept(&simnet.Packet{Size: 100})
+	}
+	s.Run()
+	frac := float64(p.PLRDrops) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("drop fraction %.3f, want ~0.3", frac)
+	}
+	if len(k.pkts)+int(p.PLRDrops) != n {
+		t.Fatal("conservation")
+	}
+}
+
+func TestDelayNodeLossSymmetric(t *testing.T) {
+	s := sim.New(1)
+	d := NewDelayNode(s, "d", 100*simnet.Mbps, 0)
+	d.SetLoss(1)
+	if d.Forward.PLR != 1 || d.Reverse.PLR != 1 {
+		t.Fatal("loss not symmetric")
+	}
+}
+
+func TestStateByteEstimates(t *testing.T) {
+	s := sim.New(1)
+	d := NewDelayNode(s, "d", 0, 50*sim.Millisecond)
+	k := &sink{s: s}
+	d.AttachForward(k)
+	for i := 0; i < 10; i++ {
+		d.Forward.Accept(&simnet.Packet{Size: 1500})
+	}
+	d.Freeze()
+	st, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes() < 10*1500 {
+		t.Fatalf("state bytes %d below payload", st.Bytes())
+	}
+	if st.Name != "d" {
+		t.Fatal("name lost")
+	}
+}
+
+func TestThawedPipeAcceptsNewTraffic(t *testing.T) {
+	s := sim.New(1)
+	k := &sink{s: s}
+	p := NewPipe(s, "p", 100*simnet.Mbps, sim.Millisecond, k)
+	p.Freeze()
+	s.RunFor(10 * sim.Millisecond)
+	p.Thaw()
+	p.Accept(&simnet.Packet{Size: 1250})
+	s.Run()
+	if len(k.pkts) != 1 {
+		t.Fatal("post-thaw traffic lost")
+	}
+}
+
+// Property: serialize -> restore -> serialize produces an identical
+// state image, for any traffic pattern and freeze point.
+func TestPropertySerializeRoundTripStable(t *testing.T) {
+	f := func(sizes []uint16, freezeUs uint16) bool {
+		s := sim.New(21)
+		p := NewPipe(s, "p", 50*simnet.Mbps, 4*sim.Millisecond, nil)
+		for _, raw := range sizes {
+			p.Accept(&simnet.Packet{Size: int(raw%1400) + 64})
+		}
+		s.RunFor(sim.Time(freezeUs) * sim.Microsecond)
+		p.Freeze()
+		st1, err := p.Serialize()
+		if err != nil {
+			return false
+		}
+		p2 := NewPipe(s, "p", 50*simnet.Mbps, 4*sim.Millisecond, nil)
+		p2.Restore(st1)
+		st2, err := p2.Serialize()
+		if err != nil {
+			return false
+		}
+		if len(st1.Queue) != len(st2.Queue) || len(st1.DelayLine) != len(st2.DelayLine) {
+			return false
+		}
+		for i := range st1.DelayLine {
+			if st1.DelayLine[i].RemainingDelay != st2.DelayLine[i].RemainingDelay {
+				return false
+			}
+			if st1.DelayLine[i].Packet.Size != st2.DelayLine[i].Packet.Size {
+				return false
+			}
+		}
+		return st1.HeadTxLeft == st2.HeadTxLeft && st1.Bytes() == st2.Bytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

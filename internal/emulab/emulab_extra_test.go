@@ -1,0 +1,147 @@
+package emulab
+
+import (
+	"testing"
+
+	"emucheck/internal/guest"
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+// chainSpec is a three-node chain: a -[shaped]- b -[plain]- c. Node b
+// sits on two links, exercising the per-node egress router.
+func chainSpec() Spec {
+	return Spec{
+		Name:  "chain",
+		Nodes: []NodeSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+		Links: []LinkSpec{
+			{A: "a", B: "b", Bandwidth: 100 * simnet.Mbps, Delay: 5 * sim.Millisecond},
+			{A: "b", B: "c"},
+		},
+	}
+}
+
+func TestMultiLinkNodeRoutesBothWays(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, err := tb.SwapIn(chainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromA, fromC sim.Time
+	e.Node("b").K.Handle("m", func(from simnet.Addr, m *guest.Message) {
+		switch from {
+		case "a":
+			fromA = s.Now()
+			e.Node("b").K.Send("c", 200, &guest.Message{Port: "m"})
+		}
+	})
+	e.Node("c").K.Handle("m", func(simnet.Addr, *guest.Message) { fromC = s.Now() })
+	e.Node("a").K.Send("b", 200, &guest.Message{Port: "m"})
+	s.RunFor(sim.Second)
+	if fromA < 5*sim.Millisecond {
+		t.Fatalf("a->b arrived at %v, beat the 5ms link", fromA)
+	}
+	if fromC <= fromA {
+		t.Fatal("b->c relay failed: the multi-link router dropped it")
+	}
+	if fromC-fromA > sim.Millisecond {
+		t.Fatalf("b->c took %v on a plain fabric link", fromC-fromA)
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, _ := tb.SwapIn(chainSpec())
+	// a has no route to c (single L2 hop only): the packet vanishes at
+	// the router, like a frame to an unknown MAC.
+	got := false
+	e.Node("c").K.Handle("m", func(simnet.Addr, *guest.Message) { got = true })
+	e.Node("a").K.Send("c", 200, &guest.Message{Port: "m"})
+	s.RunFor(sim.Second)
+	if got {
+		t.Fatal("packet crossed two L2 hops without forwarding")
+	}
+}
+
+func TestTwoExperimentsCoexist(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 20)
+	e1, err := tb.SwapIn(Spec{Name: "x1", Nodes: []NodeSpec{{Name: "x1a"}, {Name: "x1b"}},
+		Links: []LinkSpec{{A: "x1a", B: "x1b"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := tb.SwapIn(Spec{Name: "x2", Nodes: []NodeSpec{{Name: "x2a"}, {Name: "x2b"}},
+		Links: []LinkSpec{{A: "x2a", B: "x2b", Bandwidth: 10 * simnet.Mbps, Delay: sim.Millisecond}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.FreeNodes != 20-2-3 {
+		t.Fatalf("free = %d", tb.FreeNodes)
+	}
+	ok1, ok2 := false, false
+	e1.Node("x1b").K.Handle("m", func(simnet.Addr, *guest.Message) { ok1 = true })
+	e2.Node("x2b").K.Handle("m", func(simnet.Addr, *guest.Message) { ok2 = true })
+	e1.Node("x1a").K.Send("x1b", 100, &guest.Message{Port: "m"})
+	e2.Node("x2a").K.Send("x2b", 100, &guest.Message{Port: "m"})
+	s.RunFor(sim.Second)
+	if !ok1 || !ok2 {
+		t.Fatalf("cross-experiment interference: %v %v", ok1, ok2)
+	}
+}
+
+func TestEventScheduleUnknownNode(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, _ := tb.SwapIn(chainSpec())
+	if err := e.Events.Schedule("ghost", sim.Second, func() {}); err == nil {
+		t.Fatal("scheduled on a ghost node")
+	}
+}
+
+func TestEventDispatchCountsAndOrder(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, _ := tb.SwapIn(chainSpec())
+	var order []int
+	e.Events.Schedule("a", 2*sim.Second, func() { order = append(order, 2) })
+	e.Events.Schedule("a", 1*sim.Second, func() { order = append(order, 1) })
+	e.Events.Schedule("b", 3*sim.Second, func() { order = append(order, 3) })
+	s.RunFor(5 * sim.Second)
+	if e.Events.Dispatched != 3 {
+		t.Fatalf("dispatched = %d", e.Events.Dispatched)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order: %v", order)
+	}
+	if e.Events.Mistimed != 0 {
+		t.Fatalf("mistimed = %d without any checkpoint", e.Events.Mistimed)
+	}
+}
+
+func TestLinkLossConfigured(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, err := tb.SwapIn(Spec{
+		Name:  "lossy",
+		Nodes: []NodeSpec{{Name: "a"}, {Name: "b"}},
+		Links: []LinkSpec{{A: "a", B: "b", Bandwidth: 100 * simnet.Mbps, Loss: 1.0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	e.Node("b").K.Handle("m", func(simnet.Addr, *guest.Message) { got++ })
+	for i := 0; i < 10; i++ {
+		e.Node("a").K.Send("b", 100, &guest.Message{Port: "m"})
+	}
+	s.RunFor(sim.Second)
+	if got != 0 {
+		t.Fatalf("loss=1.0 delivered %d packets", got)
+	}
+	if e.DelayNodes[0].Forward.PLRDrops != 10 {
+		t.Fatalf("PLR drops = %d", e.DelayNodes[0].Forward.PLRDrops)
+	}
+}

@@ -1,0 +1,223 @@
+package emulab
+
+import (
+	"testing"
+
+	"emucheck/internal/core"
+	"emucheck/internal/guest"
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+func twoNodeSpec(shaped bool) Spec {
+	l := LinkSpec{A: "a", B: "b"}
+	if shaped {
+		l.Bandwidth = 100 * simnet.Mbps
+		l.Delay = 5 * sim.Millisecond
+	}
+	return Spec{
+		Name:  "exp1",
+		Nodes: []NodeSpec{{Name: "a", Swappable: true}, {Name: "b", Swappable: true}},
+		Links: []LinkSpec{l},
+	}
+}
+
+func TestSwapInAllocatesAndWires(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, err := tb.SwapIn(twoNodeSpec(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 nodes + 1 delay node.
+	if tb.FreeNodes != 7 {
+		t.Fatalf("free = %d", tb.FreeNodes)
+	}
+	if len(e.DelayNodes) != 1 {
+		t.Fatal("no delay node interposed")
+	}
+	// Traffic crosses the shaped link with the configured delay.
+	var got sim.Time
+	e.Node("b").K.Handle("x", func(simnet.Addr, *guest.Message) { got = s.Now() })
+	e.Node("a").K.Send("b", 1500, &guest.Message{Port: "x"})
+	s.RunFor(sim.Second)
+	if got < 5*sim.Millisecond {
+		t.Fatalf("delivery at %v beat the 5ms link", got)
+	}
+}
+
+func TestUnshapedLinkHasNoDelayNode(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, err := tb.SwapIn(twoNodeSpec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.DelayNodes) != 0 {
+		t.Fatal("delay node on unshaped link")
+	}
+	if tb.FreeNodes != 8 {
+		t.Fatalf("free = %d", tb.FreeNodes)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 2)
+	if _, err := tb.SwapIn(twoNodeSpec(true)); err == nil {
+		t.Fatal("overallocation succeeded")
+	}
+}
+
+func TestDuplicateExperiment(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	tb.SwapIn(twoNodeSpec(false))
+	if _, err := tb.SwapIn(twoNodeSpec(false)); err == nil {
+		t.Fatal("duplicate swap-in succeeded")
+	}
+}
+
+func TestStatelessSwapOutReleases(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, _ := tb.SwapIn(twoNodeSpec(true))
+	tb.SwapOutStateless(e)
+	if tb.FreeNodes != 10 {
+		t.Fatalf("free = %d", tb.FreeNodes)
+	}
+	if _, err := tb.SwapIn(twoNodeSpec(true)); err != nil {
+		t.Fatalf("re-swap-in failed: %v", err)
+	}
+}
+
+func TestLANConnectivity(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, err := tb.SwapIn(Spec{
+		Name:  "lan",
+		Nodes: []NodeSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+		LANs:  []LANSpec{{Name: "lan0", Members: []string{"a", "b", "c"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, n := range []string{"b", "c"} {
+		n := n
+		e.Node(n).K.Handle("m", func(simnet.Addr, *guest.Message) { got[n]++ })
+	}
+	e.Node("a").K.Send("b", 500, &guest.Message{Port: "m"})
+	e.Node("a").K.Send("c", 500, &guest.Message{Port: "m"})
+	s.RunFor(sim.Second)
+	if got["b"] != 1 || got["c"] != 1 {
+		t.Fatalf("LAN delivery: %v", got)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	if _, err := tb.SwapIn(Spec{Name: "x", Nodes: []NodeSpec{{Name: "a"}},
+		Links: []LinkSpec{{A: "a", B: "ghost"}}}); err == nil {
+		t.Fatal("ghost link accepted")
+	}
+	if _, err := tb.SwapIn(Spec{Name: "y", Nodes: []NodeSpec{{Name: "a"}},
+		LANs: []LANSpec{{Name: "l", Members: []string{"ghost"}}}}); err == nil {
+		t.Fatal("ghost LAN member accepted")
+	}
+}
+
+func TestNFSTimestampTransduction(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, _ := tb.SwapIn(twoNodeSpec(false))
+	k := e.Node("a").K
+	s.RunFor(10 * sim.Second)
+	// A checkpoint freezes the guest for 30 s of real time.
+	k.Suspend(func() {})
+	s.RunFor(30 * sim.Second)
+	k.Resume(nil)
+	s.RunFor(sim.Second)
+	// The server writes a file "now" (real time ~41 s); the guest's
+	// clock reads ~11 s. Without transduction the file appears 30 s in
+	// the guest's future.
+	mtimeReal := s.Now()
+	seen := e.Services.NFSGetAttr(k, mtimeReal)
+	if seen > k.Monotonic()+sim.Second {
+		t.Fatalf("transduced mtime %v in the guest future (guest now %v)", seen, k.Monotonic())
+	}
+	e.Services.NFSTransduceOff = true
+	raw := e.Services.NFSGetAttr(k, mtimeReal)
+	if raw <= k.Monotonic() {
+		t.Fatal("expected the anomaly without transduction")
+	}
+}
+
+func TestEventSystemInExperimentSurvivesCheckpoints(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, _ := tb.SwapIn(twoNodeSpec(false))
+	fired := 0
+	e.Events.Schedule("a", 5*sim.Second, func() { fired++ })
+	// Freeze from 2 s to 32 s of real time.
+	s.RunFor(2 * sim.Second)
+	e.Node("a").K.Suspend(func() {})
+	s.RunFor(30 * sim.Second)
+	e.Node("a").K.Resume(nil)
+	s.RunFor(10 * sim.Second)
+	if fired != 1 {
+		t.Fatal("event lost")
+	}
+	if e.Events.Mistimed != 0 {
+		t.Fatalf("in-experiment event mistimed %d", e.Events.Mistimed)
+	}
+}
+
+func TestEventSystemServerSideMistimesAcrossCheckpoint(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, _ := tb.SwapIn(twoNodeSpec(false))
+	e.Events = NewEventSystem(e, ServerSide)
+	fired := 0
+	e.Events.Schedule("a", 5*sim.Second, func() { fired++ })
+	s.RunFor(2 * sim.Second)
+	e.Node("a").K.Suspend(func() {})
+	s.RunFor(30 * sim.Second)
+	e.Node("a").K.Resume(nil)
+	s.RunFor(10 * sim.Second)
+	if fired != 1 {
+		t.Fatal("event lost entirely")
+	}
+	if e.Events.Mistimed != 1 {
+		t.Fatalf("server-side scheduler should mistime across checkpoints (got %d)", e.Events.Mistimed)
+	}
+}
+
+func TestDistributedCheckpointViaExperiment(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, _ := tb.SwapIn(twoNodeSpec(true))
+	s.RunFor(sim.Second)
+	var res *core.Result
+	if err := e.Coord.Checkpoint(core.Options{}, func(r *core.Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(sim.Minute)
+	if res == nil {
+		t.Fatal("no checkpoint through the experiment facade")
+	}
+	if len(res.Images) != 2 || len(res.DelayStates) != 1 {
+		t.Fatalf("images=%d delays=%d", len(res.Images), len(res.DelayStates))
+	}
+}
+
+func TestDNSStateless(t *testing.T) {
+	s := sim.New(1)
+	tb := NewTestbed(s, 10)
+	e, _ := tb.SwapIn(twoNodeSpec(false))
+	addr, err := e.Services.DNSLookup("b")
+	if err != nil || addr != "b" {
+		t.Fatalf("lookup: %v %v", addr, err)
+	}
+}

@@ -1,0 +1,97 @@
+package evalrun
+
+import (
+	"fmt"
+
+	"emucheck/internal/apps"
+	"emucheck/internal/core"
+	"emucheck/internal/metrics"
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+// AblationResult compares checkpointing with and without the §4.4
+// delay-node capture on a high bandwidth–delay-product link.
+type AblationResult struct {
+	// CapturedInCore is the in-flight state held by the delay node at
+	// the checkpoint (with capture enabled).
+	CapturedInCore int
+	// EndpointLogWith/Without are the worst endpoint replay-log sizes
+	// observed across the checkpoint in each mode.
+	EndpointLogWith    int
+	EndpointLogWithout int
+	// RetransmitsWith/Without count TCP retransmissions in each mode.
+	RetransmitsWith    int
+	RetransmitsWithout int
+	// BurstWith/Without are the largest 1 ms receive bursts (bytes)
+	// right after resume — replay-at-endpoint shows up as a burst.
+	BurstWith    float64
+	BurstWithout float64
+}
+
+func ablationRun(seed int64, skip bool) (endpointLog, inCore, rtx int, burst float64) {
+	s, _, e := twoNode(seed, simnet.Gbps, 20*sim.Millisecond) // BDP = 2.5 MB
+	snd, rcv := e.Node("n0").K, e.Node("n1").K
+	ip := apps.NewIperf(snd, rcv)
+	ip.Start(-1)
+	s.RunFor(60 * sim.Second) // converge NTP + fill the pipe
+
+	// Sample the endpoint replay log while the checkpoint is in flight.
+	worstLog := 0
+	stop := false
+	var sample func()
+	sample = func() {
+		if stop {
+			return
+		}
+		if n := rcv.M.ExpNIC.ReplayLogLen(); n > worstLog {
+			worstLog = n
+		}
+		if n := snd.M.ExpNIC.ReplayLogLen(); n > worstLog {
+			worstLog = n
+		}
+		s.After(200*sim.Microsecond, "ablation.sample", sample)
+	}
+	sample()
+
+	var res *core.Result
+	err := e.Coord.Checkpoint(core.Options{Incremental: true, SkipDelayNodes: skip}, func(r *core.Result) { res = r })
+	if err != nil {
+		panic(err)
+	}
+	s.RunFor(5 * sim.Second)
+	stop = true
+	ip.Stop()
+	s.RunFor(sim.Second)
+	if res == nil {
+		panic("ablation: checkpoint incomplete")
+	}
+	for _, st := range res.DelayStates {
+		inCore += len(st.Forward.DelayLine) + len(st.Forward.Queue) +
+			len(st.Reverse.DelayLine) + len(st.Reverse.Queue)
+	}
+	// Largest 1 ms receive burst after the checkpoint.
+	th := metrics.Throughput(ip.Trace.Between(60*sim.Second, 70*sim.Second), sim.Millisecond)
+	return worstLog, inCore, ip.Sender.Retransmits, th.Max()
+}
+
+// AblationDelayNode runs the comparison.
+func AblationDelayNode(seed int64) *AblationResult {
+	r := &AblationResult{}
+	r.EndpointLogWith, r.CapturedInCore, r.RetransmitsWith, r.BurstWith = ablationRun(seed, false)
+	r.EndpointLogWithout, _, r.RetransmitsWithout, r.BurstWithout = ablationRun(seed, true)
+	return r
+}
+
+// Render prints the comparison.
+func (r *AblationResult) Render() string {
+	t := &metrics.Table{Header: []string{"metric", "with delay-node capture", "without (ablated)"}}
+	t.AddRow("in-flight pkts captured in core", r.CapturedInCore, "-")
+	t.AddRow("worst endpoint replay log (pkts)", r.EndpointLogWith, r.EndpointLogWithout)
+	t.AddRow("TCP retransmissions", r.RetransmitsWith, r.RetransmitsWithout)
+	s := t.String()
+	s += fmt.Sprintf("\nthe paper's design keeps endpoint logs bounded by the sync-skew window\n" +
+		"(§4.4); ablating the delay-node capture pushes the whole bandwidth-delay\n" +
+		"product into endpoint replay logs, replayed as an artificial burst (§3.2).\n")
+	return s
+}

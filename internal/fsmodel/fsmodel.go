@@ -1,0 +1,231 @@
+// Package fsmodel is a block-bitmap filesystem model standing in for the
+// guest's ext3 (paper §5.1). Its purpose is the free-block elimination
+// experiment: Xen virtualizes disks at the block level, so the swapping
+// system cannot see which blocks the guest filesystem has freed; the
+// paper closes this semantic gap with an ext3-aware plugin that snoops
+// writes below the guest and maintains a free-block map consistent with
+// the on-disk data. Deltas are then saved without blocks the filesystem
+// freed — shrinking a kernel-build delta from 490 MB to 36 MB.
+//
+// The model allocates files first-fit within block groups, journals
+// metadata, and feeds every bitmap mutation to the snooping plugin the
+// way the real plugin would reconstruct it from the write stream.
+package fsmodel
+
+import (
+	"fmt"
+
+	"emucheck/internal/storage"
+)
+
+// FSBlockSize is the filesystem block size (ext3 default 4 KiB).
+const FSBlockSize = 4096
+
+// BlocksPerGroup mirrors ext3's block groups; allocation prefers
+// filling a group before moving on, giving files locality.
+const BlocksPerGroup = 8192
+
+// Backend is the byte-addressed device the filesystem writes through
+// (a storage.Volume in the swapping configuration).
+type Backend interface {
+	Read(off, n int64, done func())
+	Write(off, n int64, done func())
+}
+
+// Plugin is the write-snooping free-block tracker. It lives *below* the
+// guest (in the swapping system) and learns the bitmap state from the
+// writes it observes.
+type Plugin struct {
+	fsBlocks int64
+	free     []bool
+	// Observed counts snooped bitmap mutations.
+	Observed uint64
+}
+
+// NewPlugin tracks a filesystem of the given size; everything starts
+// free.
+func NewPlugin(fsBlocks int64) *Plugin {
+	free := make([]bool, fsBlocks)
+	for i := range free {
+		free[i] = true
+	}
+	return &Plugin{fsBlocks: fsBlocks, free: free}
+}
+
+// ObserveBitmapWrite is called for every bitmap mutation the plugin
+// snoops from the write stream.
+func (p *Plugin) ObserveBitmapWrite(fsBlock int64, nowFree bool) {
+	if fsBlock < 0 || fsBlock >= p.fsBlocks {
+		return
+	}
+	p.Observed++
+	p.free[fsBlock] = nowFree
+}
+
+// FreeFSBlock reports whether an FS block is free.
+func (p *Plugin) FreeFSBlock(b int64) bool {
+	return b >= 0 && b < p.fsBlocks && p.free[b]
+}
+
+// IsCOWBlockFree reports whether an entire COW block (storage.BlockSize)
+// consists of free FS blocks — only then may the delta drop it.
+func (p *Plugin) IsCOWBlockFree(vba int64) bool {
+	per := int64(storage.BlockSize / FSBlockSize)
+	start := vba * per
+	if start >= p.fsBlocks {
+		return true
+	}
+	end := start + per
+	if end > p.fsBlocks {
+		end = p.fsBlocks
+	}
+	for b := start; b < end; b++ {
+		if !p.free[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// FS is the in-guest filesystem the workloads drive.
+type FS struct {
+	dev      Backend
+	plugin   *Plugin
+	fsBlocks int64
+	bitmap   []bool // used marks
+	files    map[string][]int64
+	jCursor  int64
+
+	// Statistics.
+	Allocated int64
+	Freed     int64
+}
+
+// SystemBlocks is the permanently allocated metadata region: journal,
+// superblocks, group descriptors, inode tables. Updates to it churn
+// during any build, and because it is never freed it forms the residual
+// delta that survives free-block elimination (the paper's 36 MB).
+const SystemBlocks = 9216 // 36 MB at 4 KiB
+
+// New creates a filesystem of sizeBytes over dev, reporting frees to the
+// plugin (which may be nil for a plain FS).
+func New(dev Backend, sizeBytes int64, plugin *Plugin) *FS {
+	n := sizeBytes / FSBlockSize
+	f := &FS{
+		dev: dev, plugin: plugin, fsBlocks: n,
+		bitmap: make([]bool, n),
+		files:  make(map[string][]int64),
+	}
+	sys := int64(SystemBlocks)
+	if sys > n {
+		sys = n
+	}
+	for b := int64(0); b < sys; b++ {
+		f.bitmap[b] = true
+		if plugin != nil {
+			plugin.ObserveBitmapWrite(b, false)
+		}
+	}
+	f.Allocated += sys
+	return f
+}
+
+// Blocks reports the filesystem size in FS blocks.
+func (f *FS) Blocks() int64 { return f.fsBlocks }
+
+// UsedBlocks reports allocated FS blocks.
+func (f *FS) UsedBlocks() int64 { return f.Allocated - f.Freed }
+
+// allocate finds n free blocks first-fit by group.
+func (f *FS) allocate(n int64) ([]int64, error) {
+	out := make([]int64, 0, n)
+	for b := int64(0); b < f.fsBlocks && int64(len(out)) < n; b++ {
+		if !f.bitmap[b] {
+			out = append(out, b)
+		}
+	}
+	if int64(len(out)) < n {
+		return nil, fmt.Errorf("fsmodel: no space for %d blocks", n)
+	}
+	for _, b := range out {
+		f.bitmap[b] = true
+		if f.plugin != nil {
+			f.plugin.ObserveBitmapWrite(b, false)
+		}
+	}
+	f.Allocated += n
+	return out, nil
+}
+
+// journal writes a metadata record; the cursor wanders over the whole
+// system region (journal plus the per-group metadata an operation
+// touches), dirtying COW blocks that can never be eliminated.
+func (f *FS) journal(done func()) {
+	stride := int64(17) // visit groups in a scattered pattern
+	off := (f.jCursor * stride % SystemBlocks) * FSBlockSize
+	f.jCursor++
+	f.dev.Write(off, FSBlockSize, done)
+}
+
+// Create writes a file of the given size; done fires when data and
+// metadata are on the device.
+func (f *FS) Create(name string, size int64, done func()) error {
+	if _, ok := f.files[name]; ok {
+		return fmt.Errorf("fsmodel: %q exists", name)
+	}
+	n := (size + FSBlockSize - 1) / FSBlockSize
+	blocks, err := f.allocate(n)
+	if err != nil {
+		return err
+	}
+	f.files[name] = blocks
+	// Write data as extents of contiguous blocks.
+	var spans [][2]int64 // off, len
+	for i := 0; i < len(blocks); {
+		j := i + 1
+		for j < len(blocks) && blocks[j] == blocks[j-1]+1 {
+			j++
+		}
+		spans = append(spans, [2]int64{blocks[i] * FSBlockSize, int64(j-i) * FSBlockSize})
+		i = j
+	}
+	remaining := len(spans)
+	for _, sp := range spans {
+		f.dev.Write(sp[0], sp[1], func() {
+			remaining--
+			if remaining == 0 {
+				f.journal(done)
+			}
+		})
+	}
+	return nil
+}
+
+// Delete frees a file's blocks. The bitmap mutations are what the
+// snooping plugin sees; the data blocks themselves are NOT rewritten —
+// exactly why block-level COW cannot shrink without the plugin.
+func (f *FS) Delete(name string, done func()) error {
+	blocks, ok := f.files[name]
+	if !ok {
+		return fmt.Errorf("fsmodel: %q missing", name)
+	}
+	delete(f.files, name)
+	for _, b := range blocks {
+		f.bitmap[b] = false
+		if f.plugin != nil {
+			f.plugin.ObserveBitmapWrite(b, true)
+		}
+	}
+	f.Freed += int64(len(blocks))
+	f.journal(done)
+	return nil
+}
+
+// Exists reports whether a file exists.
+func (f *FS) Exists(name string) bool {
+	_, ok := f.files[name]
+	return ok
+}
+
+// FileBlocks reports a file's block list (for tests).
+func (f *FS) FileBlocks(name string) []int64 { return f.files[name] }

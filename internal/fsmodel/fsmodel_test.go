@@ -1,0 +1,130 @@
+package fsmodel
+
+import (
+	"testing"
+
+	"emucheck/internal/node"
+	"emucheck/internal/sim"
+	"emucheck/internal/storage"
+)
+
+func newFS(seed int64) (*sim.Simulator, *FS, *Plugin, *storage.Volume) {
+	s := sim.New(seed)
+	d := node.NewDisk(s, node.DefaultParams())
+	v := storage.NewVolume(d, 6<<30, storage.Optimized)
+	v.Age()
+	size := int64(2 << 30)
+	p := NewPlugin(size / FSBlockSize)
+	return s, New(v, size, p), p, v
+}
+
+func TestCreateAllocatesAndWrites(t *testing.T) {
+	s, fs, p, v := newFS(1)
+	done := false
+	if err := fs.Create("a", 1<<20, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !done {
+		t.Fatal("create never completed")
+	}
+	if fs.UsedBlocks() != SystemBlocks+256 {
+		t.Fatalf("used = %d", fs.UsedBlocks())
+	}
+	if v.Cur.Slots() == 0 {
+		t.Fatal("no COW blocks written")
+	}
+	if p.IsCOWBlockFree(fs.FileBlocks("a")[0] * FSBlockSize / storage.BlockSize) {
+		t.Fatal("plugin thinks allocated block is free")
+	}
+}
+
+func TestDuplicateCreateFails(t *testing.T) {
+	_, fs, _, _ := newFS(1)
+	if err := fs.Create("a", 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("a", 4096, nil); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+}
+
+func TestDeleteFreesForPlugin(t *testing.T) {
+	s, fs, p, _ := newFS(1)
+	fs.Create("a", 1<<20, nil)
+	s.Run()
+	blk := fs.FileBlocks("a")[0]
+	if p.FreeFSBlock(blk) {
+		t.Fatal("block free while allocated")
+	}
+	if err := fs.Delete("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !p.FreeFSBlock(blk) {
+		t.Fatal("plugin missed the free")
+	}
+	if fs.Exists("a") {
+		t.Fatal("file still exists")
+	}
+	if err := fs.Delete("a", nil); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	_, fs, _, _ := newFS(1)
+	if err := fs.Create("big", 3<<30, nil); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+}
+
+func TestCOWBlockFreeNeedsWholeBlockFree(t *testing.T) {
+	p := NewPlugin(32)
+	// COW block 0 covers FS blocks 0..15 (64K/4K).
+	p.ObserveBitmapWrite(3, false)
+	if p.IsCOWBlockFree(0) {
+		t.Fatal("partially used COW block reported free")
+	}
+	p.ObserveBitmapWrite(3, true)
+	if !p.IsCOWBlockFree(0) {
+		t.Fatal("fully freed COW block reported used")
+	}
+	// Out-of-range COW blocks count as free.
+	if !p.IsCOWBlockFree(1000) {
+		t.Fatal("out-of-range")
+	}
+	p.ObserveBitmapWrite(-1, false) // ignored
+	p.ObserveBitmapWrite(1<<40, false)
+}
+
+func TestMakeMakeCleanShrinksDelta(t *testing.T) {
+	// The paper's §5.1 experiment: a kernel build writes ~490 MB of
+	// object files; make clean deletes them. Without free-block
+	// elimination the delta stays ~490 MB; with it, only journal and
+	// bitmap residue survives (36 MB in the paper).
+	s, fs, p, v := newFS(2)
+	const files = 490
+	for i := 0; i < files; i++ {
+		name := "obj" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+		if err := fs.Create(name, 1<<20, nil); err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+	}
+	for i := 0; i < files; i++ {
+		name := "obj" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+		if err := fs.Delete(name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	raw := v.CurrentDeltaBytes(nil)
+	live := v.CurrentDeltaBytes(p.IsCOWBlockFree)
+	if raw < 480<<20 {
+		t.Fatalf("raw delta only %d MB", raw>>20)
+	}
+	if live >= raw/8 {
+		t.Fatalf("free-block elimination weak: %d MB -> %d MB", raw>>20, live>>20)
+	}
+}

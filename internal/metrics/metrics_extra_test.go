@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+func TestThroughputRebasesAtFirstSample(t *testing.T) {
+	// Traces that start late (e.g. a phase extracted with Between) must
+	// not be diluted by empty leading windows.
+	ev := NewSeries("late")
+	ev.Add(100*sim.Second, 1<<20)
+	ev.Add(100*sim.Second+500*sim.Millisecond, 1<<20)
+	th := Throughput(ev, sim.Second)
+	if th.Len() != 1 {
+		t.Fatalf("windows = %d", th.Len())
+	}
+	if th.Samples[0].V != 2 {
+		t.Fatalf("throughput = %v MB/s", th.Samples[0].V)
+	}
+	if th.Samples[0].T != 100*sim.Second {
+		t.Fatalf("window anchored at %v", th.Samples[0].T)
+	}
+}
+
+func TestThroughputWindowAlignment(t *testing.T) {
+	// The first window is floored to a window multiple, so bucket
+	// boundaries are stable regardless of the first packet's phase.
+	ev := NewSeries("x")
+	ev.Add(1500*sim.Millisecond, 1<<20)
+	ev.Add(2500*sim.Millisecond, 1<<20)
+	th := Throughput(ev, sim.Second)
+	if th.Samples[0].T != sim.Second {
+		t.Fatalf("first window at %v", th.Samples[0].T)
+	}
+	if th.Len() != 2 {
+		t.Fatalf("windows = %d", th.Len())
+	}
+}
+
+func TestSeriesBetweenHalfOpen(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(10, 1)
+	s.Add(20, 2)
+	sub := s.Between(10, 20)
+	if sub.Len() != 1 || sub.Samples[0].V != 1 {
+		t.Fatalf("between: %+v", sub.Samples)
+	}
+}
+
+func TestTableEmptyRows(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	if out := tb.String(); out == "" {
+		t.Fatal("empty table renders nothing")
+	}
+}

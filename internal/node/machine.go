@@ -1,0 +1,34 @@
+package node
+
+import (
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+// Machine is one physical testbed node: CPU, two local disks (pc3000
+// nodes have two 146 GB spindles; the second one stores time-travel
+// snapshots, §6), an experiment-network NIC and a control-network NIC.
+type Machine struct {
+	Name    string
+	Sim     *sim.Simulator
+	P       Params
+	CPU     *CPU
+	Disk    *Disk // system/guest-image disk
+	Scratch *Disk // second local disk (snapshot store)
+	ExpNIC  *simnet.NIC
+	CtlNIC  *simnet.NIC
+}
+
+// NewMachine assembles a pc3000-class machine named name.
+func NewMachine(s *sim.Simulator, name string, p Params) *Machine {
+	return &Machine{
+		Name:    name,
+		Sim:     s,
+		P:       p,
+		CPU:     NewCPU(s),
+		Disk:    NewDisk(s, p),
+		Scratch: NewDisk(s, p),
+		ExpNIC:  simnet.NewNIC(s, simnet.Addr(name), p.ExperimentLink),
+		CtlNIC:  simnet.NewNIC(s, simnet.Addr(name+".ctl"), p.ControlLink),
+	}
+}

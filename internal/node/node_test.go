@@ -1,0 +1,246 @@
+package node
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emucheck/internal/sim"
+)
+
+func TestCPUNoContention(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s)
+	if got := c.FinishTime(0, 100*sim.Millisecond); got != 100*sim.Millisecond {
+		t.Fatalf("finish = %v", got)
+	}
+}
+
+func TestCPUFullSteal(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s)
+	// dom0 owns the CPU for [10ms, 20ms): 30ms of work started at 0
+	// finishes at 40ms.
+	c.Steal(10*sim.Millisecond, 10*sim.Millisecond, 1.0)
+	got := c.FinishTime(0, 30*sim.Millisecond)
+	if got != 40*sim.Millisecond {
+		t.Fatalf("finish = %v, want 40ms", got)
+	}
+}
+
+func TestCPUPartialSteal(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s)
+	// Half the CPU stolen for the whole window: 10ms of work takes 20ms.
+	c.Steal(0, sim.Second, 0.5)
+	got := c.FinishTime(0, 10*sim.Millisecond)
+	if got != 20*sim.Millisecond {
+		t.Fatalf("finish = %v, want 20ms", got)
+	}
+}
+
+func TestCPUOverlappingStealsCap(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s)
+	c.Steal(0, 10*sim.Millisecond, 0.7)
+	c.Steal(0, 10*sim.Millisecond, 0.7) // caps at 1.0 -> full stall
+	got := c.FinishTime(0, 5*sim.Millisecond)
+	if got != 15*sim.Millisecond {
+		t.Fatalf("finish = %v, want 15ms", got)
+	}
+}
+
+func TestCPUStallForeverIsNever(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s)
+	c.Steal(0, sim.Hour, 1.0)
+	// Work cannot finish before the reservation expires; with the huge
+	// boundary it resolves after the hour.
+	got := c.FinishTime(0, sim.Millisecond)
+	if got != sim.Hour+sim.Millisecond {
+		t.Fatalf("finish = %v", got)
+	}
+}
+
+func TestCPUProgress(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s)
+	c.Steal(10*sim.Millisecond, 10*sim.Millisecond, 1.0)
+	if got := c.Progress(0, 20*sim.Millisecond); got != 10*sim.Millisecond {
+		t.Fatalf("progress = %v, want 10ms", got)
+	}
+	if got := c.Progress(0, 0); got != 0 {
+		t.Fatalf("empty progress = %v", got)
+	}
+}
+
+func TestCPUStealIgnoresBadArgs(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s)
+	c.Steal(0, 0, 0.5)
+	c.Steal(0, 10, 0)
+	c.Steal(0, 10, -1)
+	if len(c.steals) != 0 {
+		t.Fatal("bad steals recorded")
+	}
+}
+
+// Property: FinishTime is consistent with Progress — the work completed
+// by the finish instant equals the requested work (within rounding).
+func TestPropertyCPUConsistency(t *testing.T) {
+	f := func(workMs, stealStartMs, stealDurMs uint8, shareQ uint8) bool {
+		s := sim.New(3)
+		c := NewCPU(s)
+		share := float64(shareQ%90+5) / 100
+		work := sim.Time(workMs%50+1) * sim.Millisecond
+		c.Steal(sim.Time(stealStartMs)*sim.Millisecond, sim.Time(stealDurMs)*sim.Millisecond, share)
+		end := c.FinishTime(0, work)
+		if end == sim.Never {
+			return true
+		}
+		got := c.Progress(0, end)
+		diff := got - work
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // ns rounding
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskSequentialThroughput(t *testing.T) {
+	s := sim.New(1)
+	p := DefaultParams()
+	d := NewDisk(s, p)
+	const chunk = 1 << 20
+	const n = 64
+	done := 0
+	var lba int64
+	for i := 0; i < n; i++ {
+		d.Submit(&DiskRequest{Op: Write, LBA: lba, Bytes: chunk, Done: func() { done++ }})
+		lba += chunk
+	}
+	s.Run()
+	if done != n {
+		t.Fatalf("completed %d", done)
+	}
+	elapsed := s.Now().Seconds()
+	mbps := float64(n*chunk) / (1 << 20) / elapsed
+	// One initial seek then sequential: should be near media rate.
+	if mbps < 55 || mbps > 75 {
+		t.Fatalf("sequential write throughput %.1f MB/s, want ~72", mbps)
+	}
+}
+
+func TestDiskRandomSlowerThanSequential(t *testing.T) {
+	s := sim.New(1)
+	p := DefaultParams()
+	seq := NewDisk(s, p)
+	rnd := NewDisk(s, p)
+	const chunk = 4096
+	const n = 100
+	var lba int64
+	for i := 0; i < n; i++ {
+		seq.Submit(&DiskRequest{Op: Read, LBA: lba, Bytes: chunk})
+		lba += chunk
+	}
+	for i := 0; i < n; i++ {
+		rnd.Submit(&DiskRequest{Op: Read, LBA: int64(i) * (1 << 30), Bytes: chunk})
+	}
+	s.Run()
+	if rnd.BusyTime <= seq.BusyTime*2 {
+		t.Fatalf("random (%v) not much slower than sequential (%v)", rnd.BusyTime, seq.BusyTime)
+	}
+	if rnd.SeekOps < n-1 { // the first request may start at the head position
+		t.Fatalf("seeks = %d", rnd.SeekOps)
+	}
+}
+
+func TestDiskThrottleSlowsTransfers(t *testing.T) {
+	s := sim.New(1)
+	p := DefaultParams()
+	d := NewDisk(s, p)
+	base := d.ServiceTime(0, 1<<20)
+	d.SetThrottle(0.5)
+	slowed := d.ServiceTime(d.headPos, 1<<20)
+	if slowed <= base {
+		t.Fatalf("throttle had no effect: %v vs %v", slowed, base)
+	}
+	d.SetThrottle(5)
+	if d.throttle != 0.9 {
+		t.Fatal("throttle not clamped high")
+	}
+	d.SetThrottle(-1)
+	if d.throttle != 0 {
+		t.Fatal("throttle not clamped low")
+	}
+}
+
+func TestDiskDrain(t *testing.T) {
+	s := sim.New(1)
+	d := NewDisk(s, DefaultParams())
+	drained := sim.Time(-1)
+	var lastDone sim.Time
+	for i := 0; i < 5; i++ {
+		d.Submit(&DiskRequest{Op: Write, LBA: int64(i) << 30, Bytes: 4096, Done: func() { lastDone = s.Now() }})
+	}
+	d.Drain(func() { drained = s.Now() })
+	s.Run()
+	if drained < 0 {
+		t.Fatal("drain never fired")
+	}
+	if drained < lastDone {
+		t.Fatalf("drain at %v before last completion %v", drained, lastDone)
+	}
+}
+
+func TestDiskDrainIdleFiresImmediately(t *testing.T) {
+	s := sim.New(1)
+	d := NewDisk(s, DefaultParams())
+	fired := false
+	d.Drain(func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("idle drain did not fire")
+	}
+}
+
+func TestDiskEmptyRequestPanics(t *testing.T) {
+	s := sim.New(1)
+	d := NewDisk(s, DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.Submit(&DiskRequest{Op: Read, Bytes: 0})
+}
+
+func TestDiskStatsAccounting(t *testing.T) {
+	s := sim.New(1)
+	d := NewDisk(s, DefaultParams())
+	d.Submit(&DiskRequest{Op: Read, LBA: 0, Bytes: 1000})
+	d.Submit(&DiskRequest{Op: Write, LBA: 1000, Bytes: 2000})
+	s.Run()
+	if d.ReadBytes != 1000 || d.WriteBytes != 2000 || d.ReadOps != 1 || d.WriteOps != 1 {
+		t.Fatalf("stats: %+v", d)
+	}
+	if d.TotalLatency <= 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestMachineAssembly(t *testing.T) {
+	s := sim.New(1)
+	m := NewMachine(s, "pc1", DefaultParams())
+	if m.ExpNIC.Addr() != "pc1" || m.CtlNIC.Addr() != "pc1.ctl" {
+		t.Fatalf("NIC addrs: %s %s", m.ExpNIC.Addr(), m.CtlNIC.Addr())
+	}
+	if m.Disk == m.Scratch {
+		t.Fatal("disks aliased")
+	}
+	if m.P.GuestMemBytes != 256<<20 {
+		t.Fatal("default guest memory")
+	}
+}

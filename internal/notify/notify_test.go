@@ -1,0 +1,106 @@
+package notify
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+func TestPublishDeliversToAllSubscribers(t *testing.T) {
+	s := sim.New(1)
+	b := NewBus(s)
+	got := 0
+	for i := 0; i < 5; i++ {
+		b.Subscribe(TopicCheckpoint, func(m *Msg) { got++ })
+	}
+	b.Publish(&Msg{Topic: TopicCheckpoint, From: "boss", Epoch: 1})
+	s.Run()
+	if got != 5 {
+		t.Fatalf("delivered %d", got)
+	}
+	if b.Published != 1 || b.Delivered != 5 {
+		t.Fatal("counters")
+	}
+}
+
+func TestTopicsAreIsolated(t *testing.T) {
+	s := sim.New(1)
+	b := NewBus(s)
+	ck, rs := 0, 0
+	b.Subscribe(TopicCheckpoint, func(*Msg) { ck++ })
+	b.Subscribe(TopicResume, func(*Msg) { rs++ })
+	b.Publish(&Msg{Topic: TopicResume})
+	s.Run()
+	if ck != 0 || rs != 1 {
+		t.Fatalf("ck=%d rs=%d", ck, rs)
+	}
+}
+
+func TestDeliveryLatencyVariability(t *testing.T) {
+	s := sim.New(1)
+	b := NewBus(s)
+	var times []sim.Time
+	for i := 0; i < 50; i++ {
+		b.Subscribe(TopicCheckpoint, func(*Msg) { times = append(times, s.Now()) })
+	}
+	b.Publish(&Msg{Topic: TopicCheckpoint})
+	s.Run()
+	min, max := sim.Never, sim.Time(0)
+	for _, ti := range times {
+		if ti < min {
+			min = ti
+		}
+		if ti > max {
+			max = ti
+		}
+	}
+	if min < b.BaseLatency {
+		t.Fatalf("delivery before base latency: %v", min)
+	}
+	if max-min < 100*sim.Microsecond {
+		t.Fatalf("no jitter spread: %v..%v", min, max)
+	}
+	if max > b.BaseLatency+b.JitterMax {
+		t.Fatalf("delivery too late: %v", max)
+	}
+}
+
+func TestMessageFieldsPreserved(t *testing.T) {
+	s := sim.New(1)
+	b := NewBus(s)
+	var got *Msg
+	b.Subscribe(TopicCheckpoint, func(m *Msg) { got = m })
+	b.Publish(&Msg{Topic: TopicCheckpoint, From: "n3", At: 5 * sim.Second, Epoch: 7, Data: "x"})
+	s.Run()
+	if got.From != "n3" || got.At != 5*sim.Second || got.Epoch != 7 || got.Data != "x" {
+		t.Fatalf("msg mangled: %+v", got)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	fired := false
+	b := NewBarrier(3, func() { fired = true })
+	b.Arrive("a")
+	b.Arrive("a") // duplicate
+	b.Arrive("b")
+	if fired || b.Done() {
+		t.Fatal("premature fire")
+	}
+	if b.Arrived() != 2 {
+		t.Fatalf("arrived = %d", b.Arrived())
+	}
+	b.Arrive("c")
+	if !fired || !b.Done() {
+		t.Fatal("barrier did not fire")
+	}
+	b.Arrive("d") // after done: no double-fire, no panic
+}
+
+func TestBarrierOfOne(t *testing.T) {
+	fired := false
+	b := NewBarrier(1, func() { fired = true })
+	b.Arrive("solo")
+	if !fired {
+		t.Fatal("no fire")
+	}
+}

@@ -1,0 +1,143 @@
+package ntpsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emucheck/internal/sim"
+)
+
+func TestUndisciplinedClockIsBad(t *testing.T) {
+	s := sim.New(1)
+	y := New(s, DefaultModel(), 1)
+	if got := y.Error("ghost"); got != 500*sim.Millisecond {
+		t.Fatalf("error = %v", got)
+	}
+	if y.Started("ghost") {
+		t.Fatal("ghost started")
+	}
+}
+
+func TestErrorConverges(t *testing.T) {
+	s := sim.New(1)
+	y := New(s, DefaultModel(), 1)
+	y.Start("a")
+	abs := func(x sim.Time) sim.Time {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	early := abs(y.ErrorAt("a", 1*sim.Second))
+	late := abs(y.ErrorAt("a", 30*sim.Second))
+	if early < 2*sim.Millisecond {
+		t.Fatalf("early error %v too small", early)
+	}
+	if late > 400*sim.Microsecond {
+		t.Fatalf("late error %v did not converge", late)
+	}
+	if late >= early {
+		t.Fatal("no convergence")
+	}
+}
+
+func TestSteadyStateNearPaperFigure(t *testing.T) {
+	s := sim.New(1)
+	y := New(s, DefaultModel(), 2)
+	y.Start("a")
+	y.Start("b")
+	// After a minute, pairwise skew should be in the ~200 µs LAN regime.
+	var worst sim.Time
+	for ti := 60 * sim.Second; ti < 120*sim.Second; ti += 5 * sim.Second {
+		if sk := y.Skew(ti, "a", "b"); sk > worst {
+			worst = sk
+		}
+	}
+	if worst > 500*sim.Microsecond {
+		t.Fatalf("steady-state skew %v, want <= ~2x200us", worst)
+	}
+	if worst <= 0 {
+		t.Fatal("skew should not be identically zero")
+	}
+}
+
+func TestErrorIsDeterministicAndOrderIndependent(t *testing.T) {
+	build := func() *Sync {
+		s := sim.New(1)
+		y := New(s, DefaultModel(), 3)
+		y.Start("a")
+		y.Start("b")
+		return y
+	}
+	y1 := build()
+	y2 := build()
+	// Query y1 in one order, y2 in another.
+	a1 := y1.ErrorAt("a", 10*sim.Second)
+	b1 := y1.ErrorAt("b", 20*sim.Second)
+	b2 := y2.ErrorAt("b", 20*sim.Second)
+	a2 := y2.ErrorAt("a", 10*sim.Second)
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("order-dependent errors: %v/%v vs %v/%v", a1, b1, a2, b2)
+	}
+}
+
+func TestLocalTrigger(t *testing.T) {
+	s := sim.New(1)
+	y := New(s, DefaultModel(), 4)
+	y.Start("a")
+	T := 10 * sim.Second
+	tr := y.LocalTrigger("a", T)
+	if got := tr + y.ErrorAt("a", T); got != T {
+		t.Fatalf("trigger inconsistent: %v", got)
+	}
+}
+
+func TestSkewEmpty(t *testing.T) {
+	s := sim.New(1)
+	y := New(s, DefaultModel(), 5)
+	if y.Skew(sim.Second) != 0 {
+		t.Fatal("empty skew")
+	}
+}
+
+func TestConvergenceShapeMatchesFig6(t *testing.T) {
+	// The paper's four checkpoint gaps at 5 s intervals decrease:
+	// 5801, 816, 399, 330 µs. Check the model's skew decreases in the
+	// same pattern: first gap milliseconds, later gaps sub-millisecond.
+	s := sim.New(1)
+	y := New(s, DefaultModel(), 6)
+	y.Start("sender")
+	y.Start("receiver")
+	g1 := y.Skew(5*sim.Second, "sender", "receiver")
+	g2 := y.Skew(10*sim.Second, "sender", "receiver")
+	g4 := y.Skew(20*sim.Second, "sender", "receiver")
+	if g1 < sim.Millisecond || g1 > 12*sim.Millisecond {
+		t.Fatalf("first gap %v outside paper band", g1)
+	}
+	if g2 >= g1 {
+		t.Fatalf("gap did not shrink: %v -> %v", g1, g2)
+	}
+	if g4 > 800*sim.Microsecond {
+		t.Fatalf("fourth gap %v too large", g4)
+	}
+}
+
+// Property: error magnitude is non-increasing in time between epochs of
+// the floor process (sampled coarsely), and never exceeds the initial
+// amplitude plus floor.
+func TestPropertyBounded(t *testing.T) {
+	f := func(tSec uint8) bool {
+		s := sim.New(7)
+		m := DefaultModel()
+		y := New(s, m, 8)
+		y.Start("n")
+		e := y.ErrorAt("n", sim.Time(tSec)*sim.Second)
+		if e < 0 {
+			e = -e
+		}
+		return e <= m.InitialErrHi+m.FloorHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

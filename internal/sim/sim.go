@@ -1,0 +1,249 @@
+// Package sim implements the deterministic discrete-event simulation
+// kernel that underlies the whole testbed model.
+//
+// Everything in this repository — nodes, guest kernels, networks, disks,
+// the checkpoint machinery — advances by scheduling events on a single
+// Simulator. Time is virtual, measured in integer nanoseconds, and the
+// event order is fully deterministic: ties on the timestamp are broken by
+// insertion sequence, and all randomness flows from one seeded source.
+// Running the same experiment twice therefore yields bit-identical
+// results, which is what makes the paper's transparency claims testable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of
+// the simulation. It is the "real" (physical-testbed) time domain; guest
+// virtual time is layered on top by package vclock.
+type Time int64
+
+// Common durations, mirroring time.Duration semantics but kept as plain
+// Time values so arithmetic needs no conversions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// Never is a sentinel timestamp later than any reachable simulation time.
+const Never Time = 1<<63 - 1
+
+// Duration converts t to a time.Duration for formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t in floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t in floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t in floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are single-shot; rescheduling
+// creates a new Event. A cancelled event never fires.
+type Event struct {
+	when      Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+	name      string
+}
+
+// When reports the time the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Name reports the debug label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is the event loop. It is not safe for concurrent use; all
+// model code runs on the simulator's single logical thread, which is
+// faithful to the synchronous nature of the systems being modelled.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// fired counts delivered events, for diagnostics and test assertions.
+	fired uint64
+}
+
+// New creates a Simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand exposes the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Fired reports the number of events delivered so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports the number of events currently queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: the models must never violate causality.
+func (s *Simulator) At(t Time, name string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, s.now))
+	}
+	s.seq++
+	e := &Event{when: t, seq: s.seq, fn: fn, name: name}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d is clamped
+// to zero so jittered delays can never go backwards.
+func (s *Simulator) After(d Time, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, name, fn)
+}
+
+// Cancel removes the event from the queue if it has not fired.
+// It is safe to cancel an already-fired or already-cancelled event.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.cancelled || e.index < 0 {
+		if e != nil {
+			e.cancelled = true
+		}
+		return
+	}
+	e.cancelled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving its
+// callback. If the event already fired or was cancelled it panics, since
+// callers must only reschedule live events.
+func (s *Simulator) Reschedule(e *Event, t Time) {
+	if e.cancelled || e.index < 0 {
+		panic("sim: reschedule of dead event " + e.name)
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: reschedule of %q to %v before now %v", e.name, t, s.now))
+	}
+	e.when = t
+	s.seq++
+	e.seq = s.seq
+	heap.Fix(&s.queue, e.index)
+}
+
+// Stop makes Run return after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step delivers the single next event, if any, and reports whether one
+// was delivered.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.when
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run delivers events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil delivers events with timestamps <= t, then sets the clock to t.
+// Events scheduled exactly at t are delivered.
+func (s *Simulator) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].when <= t {
+		if !s.Step() {
+			break
+		}
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Simulator) RunFor(d Time) { s.RunUntil(s.now + d) }
+
+// Jitter returns a uniformly distributed duration in [0, max).
+func (s *Simulator) Jitter(max Time) Time {
+	if max <= 0 {
+		return 0
+	}
+	return Time(s.rng.Int63n(int64(max)))
+}
+
+// Normal returns a normally distributed duration with the given mean and
+// standard deviation, truncated at zero.
+func (s *Simulator) Normal(mean, stddev Time) Time {
+	v := float64(mean) + s.rng.NormFloat64()*float64(stddev)
+	if v < 0 {
+		return 0
+	}
+	return Time(v)
+}
+
+// Uniform returns a uniformly distributed duration in [lo, hi).
+func (s *Simulator) Uniform(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(s.rng.Int63n(int64(hi-lo)))
+}

@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emucheck/internal/node"
+	"emucheck/internal/sim"
+)
+
+func newVol(seed int64, mode Mode) (*sim.Simulator, *Volume) {
+	s := sim.New(seed)
+	d := node.NewDisk(s, node.DefaultParams())
+	return s, NewVolume(d, 6<<30, mode)
+}
+
+func TestWriteGoesToCurrentDelta(t *testing.T) {
+	s, v := newVol(1, Optimized)
+	done := false
+	v.Write(0, BlockSize, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("write never completed")
+	}
+	if v.Cur.Slots() != 1 {
+		t.Fatalf("cur slots = %d", v.Cur.Slots())
+	}
+	if v.Agg.Slots() != 0 {
+		t.Fatal("agg polluted")
+	}
+}
+
+func TestReadFallThrough(t *testing.T) {
+	s, v := newVol(1, Optimized)
+	// Unwritten block: falls through to golden.
+	v.Read(10*BlockSize, BlockSize, nil)
+	s.Run()
+	if v.ReadsGolden != 1 {
+		t.Fatalf("golden reads = %d", v.ReadsGolden)
+	}
+	// Write then read: served from current delta.
+	v.Write(10*BlockSize, BlockSize, nil)
+	v.Read(10*BlockSize, BlockSize, nil)
+	s.Run()
+	if v.ReadsCur != 1 {
+		t.Fatalf("cur reads = %d", v.ReadsCur)
+	}
+	// After a merge, served from the aggregated delta.
+	v.Merge(true, nil)
+	v.Read(10*BlockSize, BlockSize, nil)
+	s.Run()
+	if v.ReadsAgg != 1 {
+		t.Fatalf("agg reads = %d", v.ReadsAgg)
+	}
+}
+
+func TestRedoLogNeverReadsBeforeWrite(t *testing.T) {
+	s, v := newVol(1, Optimized)
+	for i := int64(0); i < 64; i++ {
+		v.Write(i*BlockSize, BlockSize, nil)
+	}
+	s.Run()
+	if v.Disk.ReadOps != 0 {
+		t.Fatalf("optimized COW performed %d reads", v.Disk.ReadOps)
+	}
+	if v.CowCopies != 0 {
+		t.Fatal("optimized COW copied blocks")
+	}
+}
+
+func TestOriginalLVMReadsBeforeWrite(t *testing.T) {
+	s, v := newVol(1, OriginalLVM)
+	// 16 blocks of 64 KiB span two 512 KiB LVM chunks.
+	for i := int64(0); i < 16; i++ {
+		v.Write(i*BlockSize, BlockSize, nil)
+	}
+	s.Run()
+	if v.Disk.ReadOps != 2 {
+		t.Fatalf("read-before-write ops = %d, want 2 (one per LVM chunk)", v.Disk.ReadOps)
+	}
+	// Second write to the same chunk: no more copies.
+	v.Write(0, BlockSize, nil)
+	s.Run()
+	if v.CowCopies != 2 {
+		t.Fatalf("cow copies = %d", v.CowCopies)
+	}
+}
+
+func TestOriginalLVMSlowerThanOptimized(t *testing.T) {
+	elapsed := func(mode Mode) sim.Time {
+		s, v := newVol(1, mode)
+		var end sim.Time
+		const n = 256
+		left := n
+		for i := int64(0); i < n; i++ {
+			v.Write(i*BlockSize, BlockSize, func() {
+				left--
+				if left == 0 {
+					end = s.Now()
+				}
+			})
+		}
+		s.Run()
+		return end
+	}
+	opt := elapsed(Optimized)
+	orig := elapsed(OriginalLVM)
+	if orig < opt*2 {
+		t.Fatalf("original LVM (%v) not much slower than redo log (%v)", orig, opt)
+	}
+}
+
+func TestFreshVsAgedMetadataOverhead(t *testing.T) {
+	run := func(aged bool) sim.Time {
+		s, v := newVol(1, Optimized)
+		if aged {
+			v.Age()
+		}
+		var end sim.Time
+		const n = 512
+		left := n
+		for i := int64(0); i < n; i++ {
+			v.Write(i*BlockSize, BlockSize, func() {
+				left--
+				if left == 0 {
+					end = s.Now()
+				}
+			})
+		}
+		s.Run()
+		return end
+	}
+	fresh := run(false)
+	aged := run(true)
+	if fresh <= aged {
+		t.Fatalf("fresh (%v) not slower than aged (%v)", fresh, aged)
+	}
+	overhead := float64(fresh-aged) / float64(aged)
+	if overhead < 0.05 || overhead > 0.6 {
+		t.Fatalf("metadata overhead %.0f%% outside plausible band", overhead*100)
+	}
+}
+
+func TestRawBypassesCOW(t *testing.T) {
+	s, v := newVol(1, Raw)
+	v.Write(0, 4*BlockSize, nil)
+	v.Read(0, 4*BlockSize, nil)
+	s.Run()
+	if v.Cur.Slots() != 0 {
+		t.Fatal("raw mode touched the delta")
+	}
+}
+
+func TestMergeReorderRestoresLocality(t *testing.T) {
+	// Write blocks in reverse order, merge with reorder, and verify a
+	// sequential read is mostly seek-free versus an unordered merge.
+	seeks := func(reorder bool) int64 {
+		s, v := newVol(1, Optimized)
+		v.Age()
+		for i := int64(63); i >= 0; i-- {
+			v.Write(i*BlockSize, BlockSize, nil)
+		}
+		s.Run()
+		v.Merge(reorder, nil)
+		pre := v.Disk.SeekOps
+		v.Read(0, 64*BlockSize, nil)
+		s.Run()
+		return v.Disk.SeekOps - pre
+	}
+	ordered := seeks(true)
+	unordered := seeks(false)
+	if ordered >= unordered {
+		t.Fatalf("reorder did not reduce seeks: %d vs %d", ordered, unordered)
+	}
+	if ordered > 2 {
+		t.Fatalf("sequential read after reorder still seeks %d times", ordered)
+	}
+}
+
+func TestMergeSupersedesAndClears(t *testing.T) {
+	s, v := newVol(1, Optimized)
+	v.Write(0, BlockSize, nil)
+	v.Merge(true, nil)
+	v.Write(0, BlockSize, nil) // overwrite in a new swap cycle
+	v.Write(BlockSize, BlockSize, nil)
+	s.Run()
+	got := v.Merge(true, nil)
+	if got != 2*BlockSize {
+		t.Fatalf("merged bytes = %d, want 2 blocks", got)
+	}
+	if v.Cur.Slots() != 0 {
+		t.Fatal("current delta not cleared")
+	}
+}
+
+func TestFreeBlockEliminationInMergeAndSize(t *testing.T) {
+	s, v := newVol(1, Optimized)
+	for i := int64(0); i < 10; i++ {
+		v.Write(i*BlockSize, BlockSize, nil)
+	}
+	s.Run()
+	free := func(vba int64) bool { return vba >= 5 } // half the blocks freed
+	if got := v.CurrentDeltaBytes(free); got != 5*BlockSize {
+		t.Fatalf("live bytes = %d", got)
+	}
+	if got := v.CurrentDeltaBytes(nil); got != 10*BlockSize {
+		t.Fatalf("raw bytes = %d", got)
+	}
+	if got := v.Merge(true, free); got != 5*BlockSize {
+		t.Fatalf("merged = %d", got)
+	}
+}
+
+func TestEmptyIORejected(t *testing.T) {
+	_, v := newVol(1, Optimized)
+	for _, fn := range []func(){
+		func() { v.Read(0, 0, nil) },
+		func() { v.Write(0, -1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	got := coalesce([]span{{0, 10}, {10, 10}, {30, 5}, {35, 5}})
+	if len(got) != 2 || got[0].n != 20 || got[1].n != 10 {
+		t.Fatalf("coalesced: %+v", got)
+	}
+	if coalesce(nil) != nil {
+		t.Fatal("nil coalesce")
+	}
+}
+
+// Property: after any write pattern, every written block resolves to the
+// current delta, and reads never consult the disk below block
+// granularity; merge preserves exactly the distinct live block set.
+func TestPropertyCOWConsistency(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		s, v := newVol(5, Optimized)
+		distinct := make(map[int64]bool)
+		for _, b := range blocks {
+			vba := int64(b % 64)
+			distinct[vba] = true
+			v.Write(vba*BlockSize, BlockSize, nil)
+		}
+		s.Run()
+		for vba := range distinct {
+			if v.Cur.lookup(vba) < 0 {
+				return false
+			}
+		}
+		merged := v.Merge(true, nil)
+		return merged == int64(len(distinct))*BlockSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

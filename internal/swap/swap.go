@@ -1,0 +1,316 @@
+// Package swap implements stateful swapping (paper §5, §7.2): swapping
+// an experiment out of the testbed without losing its run-time state,
+// and swapping it back in with the entire period of inactivity concealed
+// from the experiment.
+//
+// Swap-out pipeline (per node, overlapped with execution):
+//  1. Eager pre-copy: the current disk delta (after free-block
+//     elimination) streams to the file server under the rate limiter
+//     while the guest keeps running.
+//  2. A coordinated transparent checkpoint freezes the experiment and
+//     streams memory images over the control network (HoldResume).
+//  3. Blocks re-dirtied during pre-copy are flushed.
+//  4. Offline, the server merges the current delta into the aggregated
+//     delta, reordering to restore locality (§5.3).
+//
+// Swap-in pipeline:
+//  1. Fetch the golden image unless cached (Frisbee-style, ~60 s flat).
+//  2. Download memory images; node setup/boot plumbing is a constant.
+//  3. Disk state arrives either eagerly (full aggregated delta before
+//     resume — swap-in time grows with accumulated history) or lazily
+//     (demand-paged plus rate-limited background fill — constant
+//     swap-in time); this is §7.2's 150 s-vs-35 s comparison.
+package swap
+
+import (
+	"fmt"
+
+	"emucheck/internal/core"
+	"emucheck/internal/node"
+	"emucheck/internal/sim"
+	"emucheck/internal/storage"
+	"emucheck/internal/xen"
+	"emucheck/internal/xfer"
+)
+
+// rawRegion is a byte-addressed window onto a disk region, used to land
+// delta-image bytes in the COW log area without re-entering the COW
+// translation layer.
+type rawRegion struct {
+	d    *node.Disk
+	base int64
+}
+
+func (r rawRegion) Read(off, n int64, done func()) {
+	r.d.Submit(&node.DiskRequest{Op: node.Read, LBA: r.base + off, Bytes: n, Done: done})
+}
+
+func (r rawRegion) Write(off, n int64, done func()) {
+	r.d.Submit(&node.DiskRequest{Op: node.Write, LBA: r.base + off, Bytes: n, Done: done})
+}
+
+// GoldenFetchTime models Frisbee multicast disk imaging of the base
+// image onto a node (§7.2: "an additional 60 seconds to download it").
+const GoldenFetchTime = 60 * sim.Second
+
+// NodeSetupTime is the fixed swap-in plumbing: allocation, VLANs, VM
+// creation (§7.2: the initial swap-in took eight seconds).
+const NodeSetupTime = 8 * sim.Second
+
+// Node is one swappable experiment node.
+type Node struct {
+	Name string
+	HV   *xen.Hypervisor
+	Vol  *storage.Volume
+	// IsFree is the free-block plugin hook (nil disables elimination).
+	IsFree func(vba int64) bool
+
+	// Server-side state accumulated across swap cycles.
+	AggBytesOnServer int64
+	MemImageBytes    int64
+	GoldenCached     bool
+
+	lazy *xfer.LazyMirror
+}
+
+// OutReport describes one swap-out.
+type OutReport struct {
+	Started  sim.Time
+	Finished sim.Time
+	// PreCopyBytes streamed while the experiment was still running.
+	PreCopyBytes int64
+	// ResidualBytes were re-dirtied during pre-copy and flushed frozen.
+	ResidualBytes int64
+	MemoryBytes   int64
+	MergedBytes   int64
+	Checkpoint    *core.Result
+}
+
+// Duration reports the wall time of the swap-out.
+func (r *OutReport) Duration() sim.Time { return r.Finished - r.Started }
+
+// InReport describes one swap-in.
+type InReport struct {
+	Started  sim.Time
+	Finished sim.Time // experiment running again
+	Lazy     bool
+	// GoldenFetched marks a cold golden-image download.
+	GoldenFetched bool
+	DeltaBytes    int64
+	MemoryBytes   int64
+	// BackgroundDone is when lazy background fill completed (lazy only).
+	BackgroundDone sim.Time
+}
+
+// Duration reports time until the experiment was running again.
+func (r *InReport) Duration() sim.Time { return r.Finished - r.Started }
+
+// Options tunes a swap cycle.
+type Options struct {
+	// PreCopy enables eager pre-copy during swap-out (default on via
+	// DefaultOptions).
+	PreCopy bool
+	// RateLimit caps background transfer bytes/sec (0 = unthrottled).
+	RateLimit int64
+	// Lazy enables lazy copy-in at swap-in.
+	Lazy bool
+}
+
+// DefaultOptions enables pre-copy, lazy copy-in, and the paper's
+// rate-limited background transfer.
+func DefaultOptions() Options {
+	return Options{PreCopy: true, RateLimit: 10 << 20, Lazy: true}
+}
+
+// Manager orchestrates swap cycles for one experiment.
+type Manager struct {
+	S      *sim.Simulator
+	Server *xfer.Server
+	Coord  *core.Coordinator
+	Nodes  []*Node
+
+	// ServerMergeRate models the offline server-side delta merge.
+	ServerMergeRate int64
+
+	swappedOut bool
+
+	// Cycle counts completed swap-outs.
+	Cycle int
+}
+
+// NewManager builds a swap manager over the coordinator's members.
+func NewManager(s *sim.Simulator, server *xfer.Server, coord *core.Coordinator, nodes []*Node) *Manager {
+	return &Manager{S: s, Server: server, Coord: coord, Nodes: nodes, ServerMergeRate: 45 << 20}
+}
+
+// SwappedOut reports whether the experiment is currently swapped out.
+func (m *Manager) SwappedOut() bool { return m.swappedOut }
+
+// SwapOut swaps the experiment out; done receives one report per node.
+func (m *Manager) SwapOut(o Options, done func([]*OutReport)) error {
+	if m.swappedOut {
+		return fmt.Errorf("swap: already swapped out")
+	}
+	start := m.S.Now()
+	reports := make([]*OutReport, len(m.Nodes))
+	cuts := make([]int, len(m.Nodes))
+	for i, n := range m.Nodes {
+		reports[i] = &OutReport{Started: start}
+		cuts[i] = n.Vol.Cur.Slots()
+	}
+
+	ckpt := func() {
+		err := m.Coord.Checkpoint(core.Options{
+			Target:     xen.ToControlNet,
+			HoldResume: true,
+		}, func(res *core.Result) {
+			m.afterFreeze(o, res, reports, cuts, done)
+		})
+		if err != nil {
+			panic("swap: " + err.Error())
+		}
+	}
+
+	if !o.PreCopy {
+		ckpt()
+		return nil
+	}
+	// Eager pre-copy of every node's live current delta, in parallel;
+	// the shared server pipe serializes the bytes.
+	remaining := len(m.Nodes)
+	for i, n := range m.Nodes {
+		i, n := i, n
+		bytes := n.Vol.CurrentDeltaBytes(n.IsFree)
+		c := xfer.NewCopier(m.S, n.Vol.Disk, m.Server)
+		if o.RateLimit > 0 {
+			c.RateLimit = o.RateLimit
+		}
+		c.CopyOut(storage.CurBase, bytes, func(moved int64) {
+			reports[i].PreCopyBytes = moved
+			remaining--
+			if remaining == 0 {
+				ckpt()
+			}
+		})
+	}
+	return nil
+}
+
+// afterFreeze flushes residual deltas and memory accounting, then
+// releases the hardware.
+func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport, cuts []int, done func([]*OutReport)) {
+	remaining := len(m.Nodes)
+	for i, n := range m.Nodes {
+		i, n := i, n
+		rep := reports[i]
+		rep.Checkpoint = res
+		for _, img := range res.Images {
+			if img.Node == n.Name {
+				rep.MemoryBytes = img.MemoryBytes + img.DeviceBytes
+				n.MemImageBytes = img.MemoryBytes + img.DeviceBytes
+			}
+		}
+		// Blocks appended to the redo log after the pre-copy cut are
+		// residual: blocks written (or re-written) during pre-copy.
+		residualSlots := n.Vol.Cur.Slots() - cuts[i]
+		if !o.PreCopy {
+			residualSlots = n.Vol.Cur.Slots()
+			// Without pre-copy the whole live delta moves while frozen.
+			rep.ResidualBytes = n.Vol.CurrentDeltaBytes(n.IsFree)
+		} else {
+			rep.ResidualBytes = int64(residualSlots) * storage.BlockSize
+		}
+		m.Server.Upload(rep.ResidualBytes, func() {
+			// The node's part of the swap-out ends here; the delta merge
+			// is offline server-side post-processing (§5.3) and does not
+			// extend the user-visible swap-out.
+			rep.Finished = m.S.Now()
+			merged := n.Vol.Merge(true, n.IsFree)
+			n.AggBytesOnServer = merged
+			rep.MergedBytes = merged
+			mergeDur := sim.Time(float64(merged) / float64(m.ServerMergeRate) * float64(sim.Second))
+			m.S.After(mergeDur, "swap.merge", func() {
+				remaining--
+				if remaining == 0 {
+					m.swappedOut = true
+					m.Cycle++
+					done(reports)
+				}
+			})
+		})
+	}
+}
+
+// SwapIn restores the experiment; done receives one report per node
+// once every guest is running (lazy background fill may continue).
+func (m *Manager) SwapIn(o Options, done func([]*InReport)) error {
+	if !m.swappedOut {
+		return fmt.Errorf("swap: not swapped out")
+	}
+	start := m.S.Now()
+	reports := make([]*InReport, len(m.Nodes))
+	remaining := len(m.Nodes)
+	finishNode := func(i int) {
+		remaining--
+		if remaining == 0 {
+			// All state staged: resume the experiment together.
+			err := m.Coord.ResumeHeld(func(*core.Result) {
+				now := m.S.Now()
+				for _, r := range reports {
+					r.Finished = now
+				}
+				m.swappedOut = false
+				done(reports)
+			})
+			if err != nil {
+				panic("swap: " + err.Error())
+			}
+		}
+		_ = i
+	}
+	for i, n := range m.Nodes {
+		i, n := i, n
+		rep := &InReport{Started: start, Lazy: o.Lazy}
+		reports[i] = rep
+		stage2 := func() {
+			// Node setup + memory image download, then disk state.
+			m.S.After(NodeSetupTime, "swap.setup", func() {
+				m.Server.Download(n.MemImageBytes, func() {
+					rep.MemoryBytes = n.MemImageBytes
+					rep.DeltaBytes = n.AggBytesOnServer
+					if !o.Lazy {
+						// Eager: the whole aggregated delta lands before
+						// the node may resume.
+						c := xfer.NewCopier(m.S, n.Vol.Disk, m.Server)
+						if o.RateLimit > 0 {
+							c.RateLimit = o.RateLimit
+						}
+						c.CopyIn(storage.AggBase, n.AggBytesOnServer, func(int64) {
+							finishNode(i)
+						})
+						return
+					}
+					// Lazy: resume immediately; the aggregated delta image
+					// is demand-paged and back-filled into the COW log
+					// region (raw addressing — the delta is an image file,
+					// not guest-visible block space).
+					lm := xfer.NewLazyMirror(m.S, rawRegion{d: n.Vol.Disk, base: storage.AggBase},
+						m.Server, n.Vol.Disk, n.AggBytesOnServer)
+					n.lazy = lm
+					lm.StartBackground(func() { rep.BackgroundDone = m.S.Now() })
+					finishNode(i)
+				})
+			})
+		}
+		if !n.GoldenCached {
+			rep.GoldenFetched = true
+			m.S.After(GoldenFetchTime, "swap.frisbee", func() {
+				n.GoldenCached = true
+				stage2()
+			})
+		} else {
+			stage2()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+func TestRTOExponentialBackoff(t *testing.T) {
+	s := sim.New(1)
+	se := &fakeEnv{s: s, delay: sim.Millisecond, dropSeq: map[int64]bool{}}
+	snd := NewSender(se, "c")
+	se.peer = func(*Segment) {} // black hole: every packet lost
+	snd.Stream(2 * MSS)
+	s.RunFor(3 * sim.Second)
+	if snd.Timeouts < 3 {
+		t.Fatalf("timeouts = %d, want repeated", snd.Timeouts)
+	}
+	// After k timeouts the RTO has doubled k times from MinRTO.
+	want := MinRTO
+	for i := 0; i < snd.Timeouts; i++ {
+		want *= 2
+	}
+	if snd.rto != want {
+		t.Fatalf("rto = %v after %d timeouts, want %v", snd.rto, snd.Timeouts, want)
+	}
+	if snd.cwnd != MSS {
+		t.Fatalf("cwnd = %d after timeout, want 1 MSS", snd.cwnd)
+	}
+}
+
+func TestReceiverWindowLimitsSender(t *testing.T) {
+	s := sim.New(1)
+	snd, rcv, _, _ := pipe(s, sim.Millisecond)
+	rcv.wnd = 8 * MSS // tiny advertised window
+	snd.Stream(1 << 20)
+	s.RunFor(50 * sim.Millisecond)
+	if snd.InFlight() > 8*MSS {
+		t.Fatalf("inflight %d exceeds advertised window", snd.InFlight())
+	}
+}
+
+func TestStreamGoalExtension(t *testing.T) {
+	// The BitTorrent pattern: the goal grows in pieces; TCP must pick
+	// up each extension without stalling.
+	s := sim.New(1)
+	snd, rcv, _, _ := pipe(s, sim.Millisecond)
+	var delivered int64
+	rcv.OnData = func(n int, total int64) { delivered = total }
+	snd.Stream(64 << 10)
+	s.RunFor(sim.Second)
+	if delivered != 64<<10 {
+		t.Fatalf("first chunk: %d", delivered)
+	}
+	snd.Stream(128 << 10) // extend
+	s.RunFor(sim.Second)
+	if delivered != 128<<10 {
+		t.Fatalf("after extension: %d", delivered)
+	}
+}
+
+func TestCongestionAvoidanceAboveSsthresh(t *testing.T) {
+	s := sim.New(1)
+	snd, _, _, _ := pipe(s, 5*sim.Millisecond)
+	snd.ssthresh = 4 * MSS
+	snd.Stream(8 << 20)
+	s.RunFor(200 * sim.Millisecond)
+	// Additive growth: cwnd should exceed ssthresh but modestly, far
+	// below what slow start would have reached (which doubles per RTT:
+	// 20 RTTs -> astronomically large).
+	if snd.cwnd <= 4*MSS {
+		t.Fatalf("cwnd never grew: %d", snd.cwnd)
+	}
+	if snd.cwnd > 64*MSS {
+		t.Fatalf("cwnd = %d: grew like slow start above ssthresh", snd.cwnd)
+	}
+}
+
+func TestFastRecoveryHalvesWindow(t *testing.T) {
+	s := sim.New(1)
+	snd, _, se, _ := pipe(s, 5*sim.Millisecond)
+	se.dropSeq[int64(30*MSS)] = true
+	snd.Stream(1 << 20)
+	s.RunFor(10 * sim.Second)
+	if snd.FastRecovers == 0 {
+		t.Fatal("no fast recovery")
+	}
+	if !snd.Done() {
+		t.Fatalf("stalled at %d", snd.Acked())
+	}
+}
+
+func TestAckCountsAndNoWindowChanges(t *testing.T) {
+	s := sim.New(1)
+	snd, rcv, _, _ := pipe(s, sim.Millisecond)
+	snd.Stream(256 << 10)
+	s.RunFor(5 * sim.Second)
+	if rcv.AcksSent != rcv.SegmentsRcvd {
+		t.Fatalf("acks %d != segments %d", rcv.AcksSent, rcv.SegmentsRcvd)
+	}
+	if rcv.WndChanges != 0 {
+		t.Fatalf("window changed %d times", rcv.WndChanges)
+	}
+}
+
+func TestZeroLengthStream(t *testing.T) {
+	s := sim.New(1)
+	snd, _, se, _ := pipe(s, sim.Millisecond)
+	snd.Stream(0)
+	s.RunFor(sim.Second)
+	if se.sent != 0 {
+		t.Fatalf("sent %d segments for an empty stream", se.sent)
+	}
+	if !snd.Done() {
+		t.Fatal("empty stream not done")
+	}
+}

@@ -1,0 +1,86 @@
+package timetravel
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+func TestPerturbKindStrings(t *testing.T) {
+	for k, want := range map[PerturbKind]string{
+		Deterministic: "deterministic",
+		SeedChange:    "seed-change",
+		TimeDilation:  "time-dilation",
+		PacketReorder: "packet-reorder",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d = %q", k, k.String())
+		}
+	}
+}
+
+func TestDeepBranchingTree(t *testing.T) {
+	// Build a comb: a spine of checkpoints, with a branch hanging off
+	// each spine node, exercising rollback bookkeeping at depth.
+	tr := NewTree(1 << 40)
+	var spine []NodeID
+	for i := 0; i < 10; i++ {
+		n, err := tr.Record(res(100), sim.Time(i+1)*sim.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spine = append(spine, n.ID)
+	}
+	for _, id := range spine[:9] {
+		if _, err := tr.Rollback(id, Perturbation{Kind: SeedChange}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Record(res(10), 99*sim.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(tr.Leaves()); got != 10 {
+		t.Fatalf("leaves = %d, want 10 (spine tip + 9 branches)", got)
+	}
+	// Depth of the spine tip is unchanged by branching.
+	if d := tr.Depth(spine[9]); d != 10 {
+		t.Fatalf("spine depth = %d", d)
+	}
+}
+
+func TestRollbackToRootReplaysFromStart(t *testing.T) {
+	tr := NewTree(0)
+	tr.Record(res(1), 5*sim.Second)
+	plan, err := tr.Rollback(Root, Perturbation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Target != 0 {
+		t.Fatalf("root target = %v", plan.Target)
+	}
+	if tr.Head() != Root {
+		t.Fatal("head not at root")
+	}
+}
+
+func TestPruneBranchThenSpineContinues(t *testing.T) {
+	tr := NewTree(0)
+	n1, _ := tr.Record(res(10), sim.Second)
+	tr.Record(res(10), 2*sim.Second)
+	tr.Rollback(n1.ID, Perturbation{})
+	branch, _ := tr.Record(res(10), 90*sim.Second)
+	if err := tr.Prune(branch.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Head fell back to the branch's parent; recording continues there.
+	if tr.Head() != n1.ID {
+		t.Fatalf("head = %d", tr.Head())
+	}
+	n3, err := tr.Record(res(10), 3*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.Parent != n1.ID {
+		t.Fatal("parentage broken after prune")
+	}
+}

@@ -1,0 +1,97 @@
+package xen
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+func TestPreCopyConvergesWithQuietGuest(t *testing.T) {
+	s, h := newHV(7)
+	s.RunFor(sim.Second)
+	var img *Image
+	h.Save(SaveOptions{}, func(i *Image) { img = i })
+	s.RunFor(sim.Minute)
+	if img == nil {
+		t.Fatal("incomplete")
+	}
+	// A quiet guest converges quickly: few rounds, tiny stop-copy.
+	if img.Rounds > 2 {
+		t.Fatalf("rounds = %d for an idle guest", img.Rounds)
+	}
+	if img.StopCopyPages > 2048 {
+		t.Fatalf("stop-copy %d pages for an idle guest", img.StopCopyPages)
+	}
+	h.Resume(nil)
+	s.RunFor(sim.Second)
+}
+
+func TestSaveResumeManyCycles(t *testing.T) {
+	s, h := newHV(8)
+	s.RunFor(sim.Second)
+	for i := 0; i < 10; i++ {
+		done := false
+		if err := h.Save(SaveOptions{Incremental: i > 0}, func(*Image) { done = true }); err != nil {
+			t.Fatal(err)
+		}
+		s.RunFor(20 * sim.Second)
+		if !done {
+			t.Fatalf("save %d incomplete", i)
+		}
+		if err := h.Resume(nil); err != nil {
+			t.Fatal(err)
+		}
+		s.RunFor(sim.Second)
+	}
+	if h.Saves != 10 {
+		t.Fatalf("saves = %d", h.Saves)
+	}
+	// Ten checkpoints leak at most ten sub-100 µs slices.
+	if leak := h.K.Clock.LeakTotal(); leak > sim.Millisecond {
+		t.Fatalf("cumulative leak %v", leak)
+	}
+}
+
+func TestDowntimeScalesWithResidualDirt(t *testing.T) {
+	downtime := func(churn bool) sim.Time {
+		s, h := newHV(9)
+		if churn {
+			var loop func()
+			loop = func() { h.K.Compute(30*sim.Millisecond, "churn", loop) }
+			loop()
+		}
+		s.RunFor(sim.Second)
+		var img *Image
+		h.Save(SaveOptions{Incremental: true, SuspendAt: s.Now() + sim.Second}, func(i *Image) { img = i })
+		s.RunFor(sim.Minute)
+		if img == nil {
+			t.Fatal("incomplete")
+		}
+		h.Resume(nil)
+		s.RunFor(sim.Second)
+		return img.Downtime
+	}
+	quiet := downtime(false)
+	busy := downtime(true)
+	if busy <= quiet {
+		t.Fatalf("busy downtime %v not above quiet %v", busy, quiet)
+	}
+}
+
+func TestClockStateInImage(t *testing.T) {
+	s, h := newHV(10)
+	s.RunFor(3 * sim.Second)
+	var img *Image
+	h.Save(SaveOptions{}, func(i *Image) { img = i })
+	s.RunFor(sim.Minute)
+	if img == nil || img.Clock == nil {
+		t.Fatal("no clock in image")
+	}
+	// The serialized virtual time is the guest's time at suspension,
+	// within the leak plus the pre-copy interval.
+	if img.Clock.VirtualNow < 3*sim.Second {
+		t.Fatalf("clock state %v predates the save", img.Clock.VirtualNow)
+	}
+	h.Resume(nil)
+	s.RunFor(sim.Second)
+}

@@ -1,0 +1,206 @@
+package xen
+
+import (
+	"testing"
+
+	"emucheck/internal/guest"
+	"emucheck/internal/node"
+	"emucheck/internal/sim"
+)
+
+func newHV(seed int64) (*sim.Simulator, *Hypervisor) {
+	s := sim.New(seed)
+	p := node.DefaultParams()
+	m := node.NewMachine(s, "n0", p)
+	k := guest.New(m, p, guest.DefaultConfig())
+	return s, New(m, p, k)
+}
+
+func TestEventDrivenFullSave(t *testing.T) {
+	s, h := newHV(1)
+	s.RunFor(sim.Second)
+	var img *Image
+	if err := h.Save(SaveOptions{}, func(i *Image) { img = i }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * sim.Second)
+	if img == nil {
+		t.Fatal("save never completed")
+	}
+	// Full save moves at least the boot-resident 64 MB.
+	if img.MemoryBytes < 60<<20 {
+		t.Fatalf("memory image %d bytes", img.MemoryBytes)
+	}
+	if img.Clock == nil {
+		t.Fatal("no clock state")
+	}
+	if !h.K.Suspended() {
+		t.Fatal("guest resumed without coordinator consent")
+	}
+	if img.Downtime <= 0 {
+		t.Fatal("no downtime recorded")
+	}
+	if err := h.Resume(nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(sim.Second)
+	if h.K.Suspended() {
+		t.Fatal("guest still suspended")
+	}
+	if h.Saves != 1 {
+		t.Fatalf("saves = %d", h.Saves)
+	}
+}
+
+func TestIncrementalSaveIsSmall(t *testing.T) {
+	s, h := newHV(1)
+	s.RunFor(sim.Second)
+	// First full checkpoint.
+	done1 := false
+	h.Save(SaveOptions{}, func(i *Image) { done1 = true })
+	s.RunFor(10 * sim.Second)
+	if !done1 {
+		t.Fatal("first save incomplete")
+	}
+	h.Resume(nil)
+	s.RunFor(2 * sim.Second)
+	// Incremental second checkpoint: only pages dirtied in ~2 s.
+	var img2 *Image
+	h.Save(SaveOptions{Incremental: true}, func(i *Image) { img2 = i })
+	s.RunFor(10 * sim.Second)
+	if img2 == nil {
+		t.Fatal("second save incomplete")
+	}
+	if img2.MemoryBytes >= 32<<20 {
+		t.Fatalf("incremental image too large: %d", img2.MemoryBytes)
+	}
+	h.Resume(nil)
+	s.RunFor(sim.Second)
+}
+
+func TestScheduledSuspendHitsDeadline(t *testing.T) {
+	s, h := newHV(1)
+	s.RunFor(sim.Second)
+	deadline := s.Now() + 3*sim.Second
+	var img *Image
+	h.Save(SaveOptions{Incremental: true, SuspendAt: deadline}, func(i *Image) { img = i })
+	s.RunFor(10 * sim.Second)
+	if img == nil {
+		t.Fatal("save incomplete")
+	}
+	// Suspend begins at deadline + XenBus latency, within a tight bound.
+	slack := img.SuspendedAt - deadline
+	if slack < 0 || slack > sim.Millisecond {
+		t.Fatalf("suspend at %v, deadline %v (slack %v)", img.SuspendedAt, deadline, slack)
+	}
+	h.Resume(nil)
+	s.RunFor(sim.Second)
+}
+
+func TestScheduledSaveWithBusyGuest(t *testing.T) {
+	s, h := newHV(1)
+	// A guest churning memory: compute continuously.
+	var churn func()
+	churn = func() {
+		h.K.Compute(50*sim.Millisecond, "churn", churn)
+	}
+	churn()
+	s.RunFor(sim.Second)
+	deadline := s.Now() + 2*sim.Second
+	var img *Image
+	h.Save(SaveOptions{Incremental: true, SuspendAt: deadline}, func(i *Image) { img = i })
+	s.RunUntil(deadline + 20*sim.Second)
+	if img == nil {
+		t.Fatal("save incomplete")
+	}
+	if img.Rounds < 1 {
+		t.Fatal("no pre-copy rounds despite churn")
+	}
+	if img.StopCopyPages <= 0 {
+		t.Fatal("stop-and-copy had nothing despite churn")
+	}
+	h.Resume(nil)
+	s.RunFor(100 * sim.Millisecond)
+}
+
+func TestDowntimeConcealedFromGuest(t *testing.T) {
+	s, h := newHV(1)
+	s.RunFor(sim.Second)
+	v0 := h.K.Monotonic()
+	r0 := s.Now()
+	var img *Image
+	h.Save(SaveOptions{}, func(i *Image) { img = i })
+	s.RunFor(10 * sim.Second)
+	h.Resume(nil)
+	s.RunFor(sim.Second)
+	realElapsed := s.Now() - r0
+	virtElapsed := h.K.Monotonic() - v0
+	concealed := realElapsed - virtElapsed
+	if img.Downtime < sim.Millisecond {
+		t.Fatalf("downtime suspiciously low: %v", img.Downtime)
+	}
+	// All downtime except the µs leak must be concealed.
+	if concealed < img.Downtime-sim.Millisecond {
+		t.Fatalf("concealed only %v of %v downtime", concealed, img.Downtime)
+	}
+	if h.K.Clock.LeakTotal() > 100*sim.Microsecond {
+		t.Fatalf("leak %v", h.K.Clock.LeakTotal())
+	}
+}
+
+func TestConcurrentSaveRejected(t *testing.T) {
+	s, h := newHV(1)
+	h.Save(SaveOptions{}, func(*Image) {})
+	if err := h.Save(SaveOptions{}, func(*Image) {}); err == nil {
+		t.Fatal("concurrent save accepted")
+	}
+	s.RunFor(20 * sim.Second)
+	h.Resume(nil)
+	s.RunFor(sim.Second)
+}
+
+func TestDom0JobPerturbsGuest(t *testing.T) {
+	s, h := newHV(1)
+	var done sim.Time
+	h.K.Compute(200*sim.Millisecond, "bench", func() { done = s.Now() })
+	s.RunFor(50 * sim.Millisecond)
+	// An "xm list"-style dom0 job: 130 ms at full steal.
+	h.Dom0Job(130*sim.Millisecond, 1.0)
+	s.Run()
+	if done != 330*sim.Millisecond {
+		t.Fatalf("perturbed compute finished at %v, want 330ms", done)
+	}
+}
+
+func TestControlNetTargetSlower(t *testing.T) {
+	run := func(target SaveTarget) sim.Time {
+		s, h := newHV(1)
+		s.RunFor(sim.Second)
+		start := s.Now()
+		var end sim.Time
+		h.Save(SaveOptions{Target: target}, func(i *Image) { end = s.Now() })
+		s.RunFor(5 * sim.Minute)
+		h.Resume(nil)
+		s.RunFor(sim.Second)
+		return end - start
+	}
+	disk := run(ToScratchDisk)
+	net := run(ToControlNet)
+	if net <= disk {
+		t.Fatalf("control-net save (%v) not slower than disk save (%v)", net, disk)
+	}
+}
+
+func TestSaveWritesScratchDisk(t *testing.T) {
+	s, h := newHV(1)
+	s.RunFor(sim.Second)
+	h.Save(SaveOptions{Target: ToScratchDisk}, func(*Image) {})
+	s.RunFor(20 * sim.Second)
+	// The image is staged in dom0 memory; the spindle sees it only
+	// after the background write-back that follows resume.
+	h.Resume(nil)
+	s.RunFor(30 * sim.Second)
+	if h.M.Scratch.WriteBytes < 60<<20 {
+		t.Fatalf("scratch writes = %d", h.M.Scratch.WriteBytes)
+	}
+}

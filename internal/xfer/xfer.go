@@ -1,0 +1,338 @@
+// Package xfer implements the background block-transfer machinery of
+// stateful swapping (paper §5.1, §5.3): rate-limited streaming built on
+// LVM-mirror-style remote redirection, with an eager pre-copy mode for
+// swap-out and a lazy demand-paged mode for swap-in.
+//
+// The paper's key refinement is the rate-limiting function added to LVM
+// mirror synchronization: unthrottled background copying visibly
+// perturbs the guest's disk throughput (Fig. 9), so synchronization is
+// slowed relative to normal system I/O.
+package xfer
+
+import (
+	"emucheck/internal/node"
+	"emucheck/internal/sim"
+)
+
+// Server models the Emulab file server reached over the control
+// network. Transfers are serialized FIFO at the configured rate — the
+// 100 Mbps control LAN is the bottleneck the paper calls out in §7.2.
+type Server struct {
+	s    *sim.Simulator
+	Rate int64 // bytes/second
+
+	busyUntil sim.Time
+	// Bytes moved in each direction, for reports.
+	Received uint64
+	Served   uint64
+}
+
+// NewServer creates a file server; rate defaults to 100 Mbps worth of
+// bytes if zero.
+func NewServer(s *sim.Simulator, rate int64) *Server {
+	if rate <= 0 {
+		rate = 100_000_000 / 8
+	}
+	return &Server{s: s, Rate: rate}
+}
+
+// transfer schedules n bytes through the shared server pipe and fires
+// done when this transfer's bytes have fully drained.
+func (sv *Server) transfer(n int64, up bool, done func()) {
+	if n <= 0 {
+		sv.s.After(0, "xfer.zero", done)
+		return
+	}
+	start := sv.s.Now()
+	if sv.busyUntil > start {
+		start = sv.busyUntil
+	}
+	dur := sim.Time(float64(n) / float64(sv.Rate) * float64(sim.Second))
+	sv.busyUntil = start + dur
+	if up {
+		sv.Received += uint64(n)
+	} else {
+		sv.Served += uint64(n)
+	}
+	sv.s.At(sv.busyUntil, "xfer.server", done)
+}
+
+// Upload moves n bytes node->server.
+func (sv *Server) Upload(n int64, done func()) { sv.transfer(n, true, done) }
+
+// Download moves n bytes server->node.
+func (sv *Server) Download(n int64, done func()) { sv.transfer(n, false, done) }
+
+// Copier streams a byte range between a local disk and the server in
+// rate-limited chunks, sharing the spindle with foreground I/O.
+type Copier struct {
+	s      *sim.Simulator
+	disk   *node.Disk
+	server *Server
+
+	// ChunkBytes is the unit of background copying (default 1 MiB).
+	ChunkBytes int64
+	// RateLimit caps background throughput in bytes/second; this is the
+	// paper's rate-limiting function (§5.3). Zero means unthrottled.
+	RateLimit int64
+
+	cancelled bool
+	// Moved reports bytes copied so far.
+	Moved int64
+	// Resent counts bytes re-copied because they were re-dirtied.
+	Resent int64
+}
+
+// NewCopier builds a copier between disk and server.
+func NewCopier(s *sim.Simulator, disk *node.Disk, server *Server) *Copier {
+	return &Copier{s: s, disk: disk, server: server, ChunkBytes: 1 << 20, RateLimit: 10 << 20}
+}
+
+// Cancel stops the copy after the in-flight chunk.
+func (c *Copier) Cancel() { c.cancelled = true }
+
+// pace reports the minimum wall time one chunk may take under the rate
+// limit.
+func (c *Copier) pace(n int64) sim.Time {
+	if c.RateLimit <= 0 {
+		return 0
+	}
+	return sim.Time(float64(n) / float64(c.RateLimit) * float64(sim.Second))
+}
+
+// CopyOut streams n bytes from the disk region at base to the server:
+// read chunk (sharing the spindle), upload, honor the rate limit, next
+// chunk. done receives the total moved (less if cancelled).
+func (c *Copier) CopyOut(base, n int64, done func(moved int64)) {
+	c.copyOutFrom(base, base+n, done)
+}
+
+func (c *Copier) copyOutFrom(cur, end int64, done func(int64)) {
+	if c.cancelled || cur >= end {
+		done(c.Moved)
+		return
+	}
+	n := c.ChunkBytes
+	if end-cur < n {
+		n = end - cur
+	}
+	floor := c.s.Now() + c.pace(n)
+	c.disk.Submit(&node.DiskRequest{Op: node.Read, LBA: cur, Bytes: n, Done: func() {
+		c.server.Upload(n, func() {
+			c.Moved += n
+			next := floor - c.s.Now()
+			c.s.After(next, "xfer.pace", func() { c.copyOutFrom(cur+n, end, done) })
+		})
+	}})
+}
+
+// CopyIn streams n bytes from the server onto the disk region at base.
+func (c *Copier) CopyIn(base, n int64, done func(moved int64)) {
+	c.copyInFrom(base, base+n, done)
+}
+
+func (c *Copier) copyInFrom(cur, end int64, done func(int64)) {
+	if c.cancelled || cur >= end {
+		done(c.Moved)
+		return
+	}
+	n := c.ChunkBytes
+	if end-cur < n {
+		n = end - cur
+	}
+	floor := c.s.Now() + c.pace(n)
+	c.server.Download(n, func() {
+		c.disk.Submit(&node.DiskRequest{Op: node.Write, LBA: cur, Bytes: n, Done: func() {
+			c.Moved += n
+			next := floor - c.s.Now()
+			c.s.After(next, "xfer.pace", func() { c.copyInFrom(cur+n, end, done) })
+		}})
+	})
+}
+
+// LazyMirror wraps a block backend whose contents are partially remote:
+// reads of not-yet-present chunks fault and fetch over the control
+// network first (demand paging), while a background CopyIn fills the
+// rest (lazy copy-in, §5.1). Chunk granularity is ChunkBytes. Every
+// fetch path — background fill, demand fault, readahead — goes through
+// one in-flight table, so a chunk is never downloaded twice and readers
+// wait on fetches already under way.
+type LazyMirror struct {
+	s       *sim.Simulator
+	backend Backend
+	server  *Server
+
+	ChunkBytes int64
+	present    map[int64]bool // chunk index -> local
+	inflight   map[int64]bool // chunk index -> download under way
+	waiters    map[int64][]func()
+	total      int64 // bytes under management
+	bg         *Copier
+
+	// Base offsets the managed region: bytes in [Base, Base+total) are
+	// remote until fetched; everything else is local.
+	Base int64
+
+	// Faults counts demand fetches triggered by guest reads.
+	Faults uint64
+}
+
+// Backend is the byte-addressed device being mirrored (matches
+// guest.BlockBackend).
+type Backend interface {
+	Read(off, n int64, done func())
+	Write(off, n int64, done func())
+}
+
+// NewLazyMirror manages total bytes of remote content over backend.
+func NewLazyMirror(s *sim.Simulator, backend Backend, server *Server, disk *node.Disk, total int64) *LazyMirror {
+	lm := &LazyMirror{
+		s: s, backend: backend, server: server,
+		ChunkBytes: 1 << 20,
+		present:    make(map[int64]bool),
+		inflight:   make(map[int64]bool),
+		waiters:    make(map[int64][]func()),
+		total:      total,
+	}
+	lm.bg = NewCopier(s, disk, server)
+	return lm
+}
+
+// SetBackgroundRate adjusts the background fill's rate limit
+// (bytes/second; 0 = unthrottled).
+func (lm *LazyMirror) SetBackgroundRate(bps int64) { lm.bg.RateLimit = bps }
+
+// chunks reports the number of managed chunks.
+func (lm *LazyMirror) chunks() int64 {
+	return (lm.total + lm.ChunkBytes - 1) / lm.ChunkBytes
+}
+
+// fetch downloads chunk c unless local or already in flight; then fires
+// the chunk's waiters.
+func (lm *LazyMirror) fetch(c int64) {
+	if lm.present[c] || lm.inflight[c] || c < 0 || c >= lm.chunks() {
+		return
+	}
+	lm.inflight[c] = true
+	n := lm.ChunkBytes
+	if rem := lm.total - c*lm.ChunkBytes; rem < n {
+		n = rem
+	}
+	lm.server.Download(n, func() {
+		lm.backend.Write(lm.Base+c*lm.ChunkBytes, n, func() {
+			lm.arrived(c)
+		})
+	})
+}
+
+// arrived marks a chunk local and wakes its waiters.
+func (lm *LazyMirror) arrived(c int64) {
+	lm.present[c] = true
+	delete(lm.inflight, c)
+	ws := lm.waiters[c]
+	delete(lm.waiters, c)
+	lm.bg.Moved += lm.ChunkBytes
+	for _, w := range ws {
+		w()
+	}
+}
+
+// StartBackground begins filling missing chunks sequentially at the
+// copier's rate limit; done fires when everything is local.
+func (lm *LazyMirror) StartBackground(done func()) {
+	lm.fillNext(0, done)
+}
+
+func (lm *LazyMirror) fillNext(idx int64, done func()) {
+	for idx < lm.chunks() && (lm.present[idx] || lm.inflight[idx]) {
+		if lm.inflight[idx] {
+			// Wait for the in-flight fetch (a fault got there first).
+			idx := idx
+			lm.waiters[idx] = append(lm.waiters[idx], func() { lm.fillNext(idx+1, done) })
+			return
+		}
+		idx++
+	}
+	if idx >= lm.chunks() {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	floor := lm.s.Now() + lm.bg.pace(lm.ChunkBytes)
+	lm.waiters[idx] = append(lm.waiters[idx], func() {
+		lm.s.After(floor-lm.s.Now(), "xfer.bgfill", func() { lm.fillNext(idx+1, done) })
+	})
+	lm.fetch(idx)
+}
+
+// Resident reports how many bytes are local.
+func (lm *LazyMirror) Resident() int64 {
+	return int64(len(lm.present)) * lm.ChunkBytes
+}
+
+// ensure faults in every chunk overlapping [off, off+n), then fn.
+func (lm *LazyMirror) ensure(off, n int64, fn func()) {
+	if off+n <= lm.Base || off >= lm.Base+lm.total {
+		fn()
+		return
+	}
+	lo := maxI64(off-lm.Base, 0) / lm.ChunkBytes
+	hi := (minI64(off+n, lm.Base+lm.total) - lm.Base - 1) / lm.ChunkBytes
+	var missing []int64
+	for c := lo; c <= hi; c++ {
+		if !lm.present[c] {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) == 0 {
+		fn()
+		return
+	}
+	remaining := len(missing)
+	for _, c := range missing {
+		lm.Faults++
+		lm.waiters[c] = append(lm.waiters[c], func() {
+			remaining--
+			if remaining == 0 {
+				fn()
+			}
+		})
+		lm.fetch(c)
+	}
+	// Readahead: prefetch the next chunk so sequential readers overlap
+	// fetch latency with their local I/O.
+	lm.fetch(hi + 1)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Read implements Backend: demand-fetch then read locally.
+func (lm *LazyMirror) Read(off, n int64, done func()) {
+	lm.ensure(off, n, func() { lm.backend.Read(off, n, done) })
+}
+
+// Write implements Backend: writes land locally and mark overlapped
+// chunks present (they are now newer than the remote copy).
+func (lm *LazyMirror) Write(off, n int64, done func()) {
+	if off+n > lm.Base && off < lm.Base+lm.total {
+		lo := maxI64(off-lm.Base, 0) / lm.ChunkBytes
+		hi := (minI64(off+n, lm.Base+lm.total) - lm.Base - 1) / lm.ChunkBytes
+		for c := lo; c <= hi; c++ {
+			lm.present[c] = true
+		}
+	}
+	lm.backend.Write(off, n, done)
+}

@@ -1,0 +1,91 @@
+package xfer
+
+import (
+	"testing"
+
+	"emucheck/internal/node"
+	"emucheck/internal/sim"
+)
+
+func TestLazyMirrorPartialTailChunk(t *testing.T) {
+	s := sim.New(1)
+	d := node.NewDisk(s, node.DefaultParams())
+	sv := NewServer(s, 12<<20)
+	// Total not a multiple of the chunk size: 2.5 MB.
+	lm := NewLazyMirror(s, &memBackend{d}, sv, d, (2<<20)+(1<<19))
+	done := false
+	lm.StartBackground(func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("partial tail never filled")
+	}
+	if sv.Served != (2<<20)+(1<<19) {
+		t.Fatalf("served %d", sv.Served)
+	}
+}
+
+func TestLazyMirrorBaseOffsetIsolation(t *testing.T) {
+	s := sim.New(1)
+	d := node.NewDisk(s, node.DefaultParams())
+	sv := NewServer(s, 12<<20)
+	lm := NewLazyMirror(s, &memBackend{d}, sv, d, 4<<20)
+	lm.Base = 1 << 30
+	// Reads fully outside the managed window never fault.
+	lm.Read(0, 1<<20, nil)
+	lm.Read(2<<30, 1<<20, nil)
+	s.Run()
+	if lm.Faults != 0 {
+		t.Fatalf("out-of-window reads faulted %d times", lm.Faults)
+	}
+	// A read inside the window faults.
+	lm.Read(1<<30, 1<<20, nil)
+	s.Run()
+	if lm.Faults == 0 {
+		t.Fatal("in-window read did not fault")
+	}
+}
+
+func TestLazyMirrorFaultAndFillDoNotDuplicate(t *testing.T) {
+	s := sim.New(1)
+	d := node.NewDisk(s, node.DefaultParams())
+	sv := NewServer(s, 12<<20)
+	lm := NewLazyMirror(s, &memBackend{d}, sv, d, 8<<20)
+	lm.SetBackgroundRate(0)
+	lm.StartBackground(nil)
+	// Demand-read everything while the fill races.
+	for off := int64(0); off < 8<<20; off += 1 << 20 {
+		lm.Read(off, 1<<20, nil)
+	}
+	s.Run()
+	// No chunk may be downloaded twice: total served == total bytes.
+	if sv.Served != 8<<20 {
+		t.Fatalf("served %d for an 8MB region (duplicate downloads)", sv.Served)
+	}
+}
+
+func TestCopierChunkBoundary(t *testing.T) {
+	s := sim.New(1)
+	d := node.NewDisk(s, node.DefaultParams())
+	sv := NewServer(s, 12<<20)
+	c := NewCopier(s, d, sv)
+	c.ChunkBytes = 1 << 20
+	var moved int64
+	c.CopyOut(0, (3<<20)+123, func(m int64) { moved = m })
+	s.Run()
+	if moved != (3<<20)+123 {
+		t.Fatalf("moved %d", moved)
+	}
+}
+
+func TestServerInterleavedDirections(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 10<<20)
+	var t1, t2 sim.Time
+	sv.Upload(5<<20, func() { t1 = s.Now() })
+	sv.Download(5<<20, func() { t2 = s.Now() })
+	s.Run()
+	// One shared pipe: the download queues behind the upload.
+	if t1 != 500*sim.Millisecond || t2 != sim.Second {
+		t.Fatalf("t1=%v t2=%v", t1, t2)
+	}
+}

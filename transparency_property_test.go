@@ -1,0 +1,97 @@
+package emucheck
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emucheck/internal/apps"
+	"emucheck/internal/sim"
+)
+
+// TestPropertyTransparencyUnderRandomSchedules is the repository's
+// headline property: for ANY checkpoint schedule (random intervals,
+// random count), a guest measuring 20 ms sleep iterations never observes
+// more than the calibrated leak + skew bound, and the distributed
+// protocol always terminates with every node resumed.
+func TestPropertyTransparencyUnderRandomSchedules(t *testing.T) {
+	f := func(seed int64, gaps []uint8) bool {
+		if len(gaps) > 6 {
+			gaps = gaps[:6]
+		}
+		var loop *apps.SleepLoop
+		sc := demoScenario()
+		sc.Setup = func(s *Session) {
+			loop = apps.NewSleepLoop(s.Kernel("a"), 200)
+			loop.Run(nil)
+		}
+		s := NewSession(sc, seed%1000+1)
+		// Random checkpoint schedule.
+		for _, g := range gaps {
+			s.RunFor(sim.Time(g%40)*100*sim.Millisecond + 200*sim.Millisecond)
+			if _, err := s.Checkpoint(); err != nil {
+				return false
+			}
+		}
+		s.RunFor(10 * sim.Second)
+		if loop.Times.Len() != 200 {
+			return false
+		}
+		// Worst iteration bound: nominal 20 ms + leak (~90 µs) + jitter
+		// headroom. A leaked checkpoint would show up as tens of ms.
+		if loop.Times.Max() > 20.5*float64(sim.Millisecond) {
+			return false
+		}
+		// Everyone resumed; no inside activity ran while frozen.
+		for _, n := range s.Exp.Nodes {
+			if n.K.Suspended() || n.K.FW.InsideFired != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyVirtualTimeNeverExceedsReal: virtual clocks only ever run
+// at or below real time (dilation >= 1, freezes subtract), and never go
+// backwards — across random checkpoint/swap interleavings.
+func TestPropertyVirtualClockMonotone(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := NewSession(demoScenario(), 55)
+		var last sim.Time
+		for _, op := range ops {
+			if len(ops) > 8 {
+				ops = ops[:8]
+			}
+			switch op % 3 {
+			case 0:
+				s.RunFor(sim.Time(op%5+1) * 500 * sim.Millisecond)
+			case 1:
+				if _, err := s.Checkpoint(); err != nil {
+					return false
+				}
+			case 2:
+				if _, err := s.SwapOut(); err == nil {
+					s.RunFor(sim.Minute)
+					if _, err := s.SwapIn(true); err != nil {
+						return false
+					}
+				}
+			}
+			v := s.VirtualNow("a")
+			if v < last {
+				return false // virtual clock ran backwards
+			}
+			if v > s.Now() {
+				return false // virtual time outran real time
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

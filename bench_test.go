@@ -4,15 +4,37 @@
 // reproduction alongside runtime cost. The underlying experiments are
 // deterministic; results are cached across b.N iterations so Go's
 // benchmark calibration does not re-run multi-minute simulations.
-package emucheck
+package emucheck_test
 
 import (
 	"sync"
 	"testing"
 
+	"emucheck"
+	"emucheck/internal/emulab"
 	"emucheck/internal/evalrun"
 	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
 )
+
+// demoSpecForBench mirrors the 2-node demo experiment used by the
+// in-package tests. (This file lives in the external test package so
+// evalrun — which imports emucheck for the timeshare benchmark — can be
+// benchmarked without an import cycle.)
+func demoSpecForBench() emulab.Spec {
+	return emulab.Spec{
+		Name: "demo",
+		Nodes: []emulab.NodeSpec{
+			{Name: "a", Swappable: true},
+			{Name: "b", Swappable: true},
+		},
+		Links: []emulab.LinkSpec{{
+			A: "a", B: "b",
+			Bandwidth: 100 * simnet.Mbps,
+			Delay:     5 * sim.Millisecond,
+		}},
+	}
+}
 
 // Reduced-size workloads keep the full bench suite in CI territory while
 // preserving every claim under test; benchrunner runs paper-scale.
@@ -205,7 +227,7 @@ func BenchmarkAblationDelayNodeCapture(b *testing.B) {
 // distributed checkpoint on an idle 2-node experiment — an ablation for
 // the downtime the firewall conceals.
 func BenchmarkCheckpointLatency(b *testing.B) {
-	s := NewSession(Scenario{Spec: demoSpecForBench()}, benchSeed)
+	s := emucheck.NewSession(emucheck.Scenario{Spec: demoSpecForBench()}, benchSeed)
 	s.RunFor(sim.Second)
 	if _, err := s.Checkpoint(); err != nil { // absorb the full save
 		b.Fatal(err)

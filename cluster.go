@@ -1,0 +1,254 @@
+package emucheck
+
+import (
+	"fmt"
+
+	"emucheck/internal/emulab"
+	"emucheck/internal/sched"
+	"emucheck/internal/sim"
+	"emucheck/internal/swap"
+	"emucheck/internal/timetravel"
+)
+
+// Policy re-exports the scheduler's victim-selection policies.
+type Policy = sched.Policy
+
+// Preemption policies, re-exported.
+const (
+	FIFO      = sched.FIFO
+	IdleFirst = sched.IdleFirst
+	Priority  = sched.Priority
+)
+
+// Cluster is the shared facility hosting many experiments at once: one
+// deterministic simulator, one testbed (hardware pool, control LAN,
+// file server), and a preemptive swap scheduler that time-shares the
+// pool by statefully swapping experiments in and out (§2, §5). Each
+// submitted Scenario becomes a tenant Session with its own coordinator
+// and swap manager; all of them contend for the same control-network
+// file server, so swap costs are charged realistically.
+//
+// Everything stays bit-deterministic under one seed: tenants are kept
+// in slices, scheduler decisions fire at well-defined instants, and all
+// randomness flows from the cluster's simulator.
+type Cluster struct {
+	Seed  int64
+	S     *sim.Simulator
+	TB    *emulab.Testbed
+	Sched *sched.Scheduler
+
+	// Stateless switches parking to the classic Emulab swap-out that
+	// destroys run-time state (re-admission reboots from scratch and
+	// reruns Setup). It exists as the evaluation baseline against
+	// stateful swapping; set it before submitting tenants.
+	Stateless bool
+
+	tenants   []*Session
+	byName    map[string]*Session
+	nodeOwner map[string]string
+}
+
+// NewCluster creates a cluster over a hardware pool of the given size.
+func NewCluster(pool int, seed int64, policy Policy) *Cluster {
+	s := sim.New(seed)
+	return &Cluster{
+		Seed:      seed,
+		S:         s,
+		TB:        emulab.NewTestbed(s, pool),
+		Sched:     sched.New(s, pool, policy),
+		byName:    make(map[string]*Session),
+		nodeOwner: make(map[string]string),
+	}
+}
+
+// adopt registers a tenant's names; it is also used by the one-tenant
+// NewSession path, which bypasses the scheduler.
+func (c *Cluster) adopt(sess *Session) {
+	c.tenants = append(c.tenants, sess)
+	c.byName[sess.Scenario.Spec.Name] = sess
+	for _, ns := range sess.Scenario.Spec.Nodes {
+		c.nodeOwner[ns.Name] = sess.Scenario.Spec.Name
+	}
+}
+
+// Submit queues a scenario for admission. The scheduler admits it when
+// the pool has room — preempting running tenants by policy if needed —
+// and the scenario's Setup runs on first admission. Node names must be
+// unique across the cluster (they are control-network identities).
+func (c *Cluster) Submit(sc Scenario, priority int) (*Session, error) {
+	name := sc.Spec.Name
+	if name == "" {
+		return nil, fmt.Errorf("emucheck: scenario needs a name")
+	}
+	if old, dup := c.byName[name]; dup && old.State() != "done" {
+		return nil, fmt.Errorf("emucheck: experiment %q already submitted", name)
+	}
+	for _, ns := range sc.Spec.Nodes {
+		if owner, taken := c.nodeOwner[ns.Name]; taken {
+			return nil, fmt.Errorf("emucheck: node name %q already used by experiment %q", ns.Name, owner)
+		}
+	}
+	sess := &Session{
+		Scenario: sc, Seed: c.Seed, Priority: priority,
+		C: c, S: c.S, TB: c.TB,
+		Tree: timetravel.NewTree(146 << 30),
+	}
+	job := &sched.Job{
+		Name: name, Need: sc.Spec.NodesNeeded(), Priority: priority,
+		Preemptible: sc.Spec.Swappable() || c.Stateless,
+		Hooks: sched.Hooks{
+			Start: func(done func()) { c.startTenant(sess, done) },
+		},
+	}
+	// Only a fully swappable experiment can be parked statefully: with a
+	// mixed spec the swap manager would save the swappable subset while
+	// the rest kept running on released hardware. The stateless baseline
+	// can always park (state is discarded anyway). Leaving the hooks nil
+	// turns park attempts into clean scheduler errors.
+	if job.Preemptible {
+		job.Hooks.Park = func(done func()) { c.parkTenant(sess, done) }
+		job.Hooks.Resume = func(done func()) { c.resumeTenant(sess, done) }
+	}
+	sess.job = job
+	if err := c.Sched.Submit(job); err != nil {
+		return nil, err
+	}
+	c.adopt(sess)
+	return sess, nil
+}
+
+// startTenant is the scheduler's first-admission hook: allocate, load
+// images, boot, install the workload. Admission plumbing costs the
+// paper's fixed eight seconds (§7.2).
+func (c *Cluster) startTenant(sess *Session, done func()) {
+	c.S.After(swap.NodeSetupTime, "cluster.provision", func() {
+		exp, err := c.TB.SwapIn(sess.Scenario.Spec)
+		if err != nil {
+			panic("emucheck: admit " + sess.Scenario.Spec.Name + ": " + err.Error())
+		}
+		sess.Exp = exp
+		if sess.Scenario.Setup != nil {
+			sess.Scenario.Setup(sess)
+		}
+		done()
+	})
+}
+
+// parkTenant swaps a tenant out to free its hardware. Stateful parking
+// preserves run-time state on the file server; the stateless baseline
+// discards it (keeping only the definition).
+func (c *Cluster) parkTenant(sess *Session, done func()) {
+	if c.Stateless {
+		c.TB.SwapOutStateless(sess.Exp)
+		sess.Exp = nil
+		c.S.After(0, "cluster.stateless-out", done)
+		return
+	}
+	err := sess.Exp.Swap.SwapOut(swap.DefaultOptions(), func([]*swap.OutReport) {
+		c.TB.ReleaseHardware(sess.Exp)
+		done()
+	})
+	if err != nil {
+		panic("emucheck: park " + sess.Scenario.Spec.Name + ": " + err.Error())
+	}
+}
+
+// resumeTenant is the re-admission hook. Stateful: re-acquire hardware
+// and swap the preserved state back in (the interruption stays hidden
+// behind the temporal firewall). Stateless: reboot from the golden
+// image — node setup plus a Frisbee fetch — and rerun Setup, losing
+// all prior progress.
+func (c *Cluster) resumeTenant(sess *Session, done func()) {
+	if c.Stateless {
+		c.S.After(swap.NodeSetupTime+swap.GoldenFetchTime, "cluster.stateless-in", func() {
+			exp, err := c.TB.SwapInByName(sess.Scenario.Spec.Name)
+			if err != nil {
+				panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
+			}
+			sess.Exp = exp
+			if sess.Scenario.Setup != nil {
+				sess.Scenario.Setup(sess)
+			}
+			done()
+		})
+		return
+	}
+	if err := c.TB.AcquireHardware(sess.Exp); err != nil {
+		panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
+	}
+	err := sess.Exp.Swap.SwapIn(swap.DefaultOptions(), func([]*swap.InReport) { done() })
+	if err != nil {
+		panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
+	}
+}
+
+// Park voluntarily swaps a running tenant out (scenario "swap_out"); it
+// holds no hardware until Unpark re-queues it.
+func (c *Cluster) Park(name string) error { return c.Sched.Park(name) }
+
+// Unpark re-queues a parked tenant for admission ("swap_in").
+func (c *Cluster) Unpark(name string) error { return c.Sched.Unpark(name) }
+
+// Touch records tenant activity — the signal the IdleFirst policy
+// preempts on the absence of.
+func (c *Cluster) Touch(name string) { c.Sched.Touch(name) }
+
+// Finish retires a tenant: its hardware returns to the pool and its
+// definition is retained on the testbed.
+func (c *Cluster) Finish(name string) error {
+	sess, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("emucheck: no experiment %q", name)
+	}
+	if sess.job != nil {
+		switch sess.job.State() {
+		case sched.Running, sched.Parked, sched.Queued:
+		default:
+			return fmt.Errorf("emucheck: %q is %s, cannot finish", name, sess.State())
+		}
+	} else if sess.done {
+		return fmt.Errorf("emucheck: %q is already finished", name)
+	}
+	// Release the testbed hardware before telling the scheduler: the
+	// scheduler re-admits the queue head synchronously, and that tenant
+	// may need these very nodes.
+	freed := 0
+	if sess.Exp != nil {
+		freed = sess.Exp.Allocated()
+		c.TB.SwapOutStateless(sess.Exp)
+		sess.Exp = nil
+	}
+	// Free the tenant's node names so its retained definition (or
+	// another experiment reusing them) can be submitted again; the
+	// session stays registered for state queries and reporting until a
+	// resubmission replaces it.
+	for _, ns := range sess.Scenario.Spec.Nodes {
+		delete(c.nodeOwner, ns.Name)
+	}
+	if sess.job == nil {
+		// Standalone sessions were charged via Reserve; balance the
+		// scheduler's ledger too.
+		sess.done = true
+		c.Sched.Release(freed)
+		return nil
+	}
+	return c.Sched.Finish(name)
+}
+
+// Tenant returns a submitted experiment's session by name.
+func (c *Cluster) Tenant(name string) *Session { return c.byName[name] }
+
+// Tenants returns every tenant in submit order.
+func (c *Cluster) Tenants() []*Session { return c.tenants }
+
+// RunFor advances the cluster by d of simulated real time.
+func (c *Cluster) RunFor(d sim.Time) { c.S.RunFor(d) }
+
+// RunUntilIdle drains every pending event.
+func (c *Cluster) RunUntilIdle() { c.S.Run() }
+
+// Now reports simulated real time.
+func (c *Cluster) Now() sim.Time { return c.S.Now() }
+
+// Utilization reports the time-averaged fraction of the pool allocated.
+func (c *Cluster) Utilization() float64 { return c.Sched.Utilization() }

@@ -7,12 +7,16 @@
 //	benchrunner -fig 6
 //	benchrunner -table swap
 //	benchrunner -fig 4 -seed 7 -quick
+//	benchrunner -all -quick -json > bench.json
 //
 // Each experiment is deterministic for a given seed; -quick shrinks the
 // workloads (fewer iterations, smaller files) for a fast sanity pass.
+// -json emits one object keyed by figure/table name with the measured
+// scalar results, for machine-readable tracking across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +26,12 @@ import (
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "figure number to regenerate (4-9)")
-		table = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation")
-		all   = flag.Bool("all", false, "regenerate everything")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		quick = flag.Bool("quick", false, "reduced workload sizes")
+		fig    = flag.Int("fig", 0, "figure number to regenerate (4-9)")
+		table  = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare")
+		all    = flag.Bool("all", false, "regenerate everything")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		quick  = flag.Bool("quick", false, "reduced workload sizes")
+		asJSON = flag.Bool("json", false, "emit results as JSON instead of tables")
 	)
 	flag.Parse()
 
@@ -34,45 +39,63 @@ func main() {
 	fileMB7 := int64(3 << 10) // the paper's 3 GB torrent
 	fileMB8 := int64(512)
 	copyMB9 := int64(512)
+	ticksTS := int64(0) // timeshare default: 900 ticks per tenant
 	if *quick {
 		iters4, iters5 = 1500, 150
 		fileMB7 = 512
 		fileMB8 = 256
 		copyMB9 = 256
+		ticksTS = 600
 	}
 
+	type renderer interface{ Render() string }
+	results := make(map[string]any)
 	ran := false
-	run := func(n int, f func()) {
+	emit := func(key, title string, f func() renderer) {
+		ran = true
+		r := f()
+		if *asJSON {
+			results[key] = r
+			return
+		}
+		fmt.Printf("== %s ==\n", title)
+		fmt.Print(r.Render())
+		fmt.Println()
+	}
+	run := func(n int, f func() renderer) {
 		if *all || *fig == n {
-			ran = true
-			fmt.Printf("== Figure %d ==\n", n)
-			f()
-			fmt.Println()
+			emit(fmt.Sprintf("fig%d", n), fmt.Sprintf("Figure %d", n), f)
 		}
 	}
-	runT := func(name, title string, f func()) {
+	runT := func(name, title string, f func() renderer) {
 		if *all || *table == name {
-			ran = true
-			fmt.Printf("== %s ==\n", title)
-			f()
-			fmt.Println()
+			emit(name, title, f)
 		}
 	}
 
-	run(4, func() { fmt.Print(evalrun.Fig4(*seed, iters4).Render()) })
-	run(5, func() { fmt.Print(evalrun.Fig5(*seed, iters5).Render()) })
-	run(6, func() { fmt.Print(evalrun.Fig6(*seed).Render()) })
-	run(7, func() { fmt.Print(evalrun.Fig7(*seed, fileMB7).Render()) })
-	run(8, func() { fmt.Print(evalrun.Fig8(*seed, fileMB8).Render()) })
-	run(9, func() { fmt.Print(evalrun.Fig9(*seed, copyMB9).Render()) })
-	runT("swap", "Stateful swapping (§7.2)", func() { fmt.Print(evalrun.SwapTable(*seed).Render()) })
-	runT("freeblock", "Free-block elimination (§5.1)", func() { fmt.Print(evalrun.FreeBlockTable(*seed).Render()) })
-	runT("sync", "Checkpoint synchronization (§4.3)", func() { fmt.Print(evalrun.SyncTable(*seed).Render()) })
-	runT("dom0", "Dom0 interference (§7.1)", func() { fmt.Print(evalrun.Dom0Jobs(*seed).Render()) })
-	runT("ablation", "Ablation: delay-node capture (§4.4)", func() { fmt.Print(evalrun.AblationDelayNode(*seed).Render()) })
+	run(4, func() renderer { return evalrun.Fig4(*seed, iters4) })
+	run(5, func() renderer { return evalrun.Fig5(*seed, iters5) })
+	run(6, func() renderer { return evalrun.Fig6(*seed) })
+	run(7, func() renderer { return evalrun.Fig7(*seed, fileMB7) })
+	run(8, func() renderer { return evalrun.Fig8(*seed, fileMB8) })
+	run(9, func() renderer { return evalrun.Fig9(*seed, copyMB9) })
+	runT("swap", "Stateful swapping (§7.2)", func() renderer { return evalrun.SwapTable(*seed) })
+	runT("freeblock", "Free-block elimination (§5.1)", func() renderer { return evalrun.FreeBlockTable(*seed) })
+	runT("sync", "Checkpoint synchronization (§4.3)", func() renderer { return evalrun.SyncTable(*seed) })
+	runT("dom0", "Dom0 interference (§7.1)", func() renderer { return evalrun.Dom0Jobs(*seed) })
+	runT("ablation", "Ablation: delay-node capture (§4.4)", func() renderer { return evalrun.AblationDelayNode(*seed) })
+	runT("timeshare", "Multi-tenancy: stateful vs stateless swapping", func() renderer { return evalrun.Timeshare(*seed, ticksTS) })
 
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 	}
 }

@@ -1,0 +1,132 @@
+// Command emucheck is the multi-experiment testbed driver: it loads
+// declarative scenario files (fleet of experiments + timed events +
+// assertions), validates them, and replays them deterministically on a
+// simulated Emulab cluster with a preemptive swap scheduler; it also
+// runs the multi-tenancy benchmark comparing stateful against classic
+// stateless swapping.
+//
+// Usage:
+//
+//	emucheck validate <scenario.json>
+//	emucheck run [-json] <scenario.json>
+//	emucheck evalrun [-seed N] [-ticks N] [-json]
+//
+// Example scenarios live in examples/scenarios/. run exits nonzero when
+// any scenario assertion fails, so scripted scenarios double as
+// integration checks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"emucheck/internal/evalrun"
+	"emucheck/internal/scenario"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: emucheck <command> [flags] [args]
+
+commands:
+  validate <scenario.json>   check a scenario file without running it
+  run [-json] <scenario.json>
+                             replay a scenario and evaluate its assertions
+  evalrun [-seed N] [-ticks N] [-json]
+                             stateful-vs-stateless multi-tenancy benchmark
+`)
+	os.Exit(2)
+}
+
+func loadFile(path string) *scenario.File {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emucheck:", err)
+		os.Exit(1)
+	}
+	f, err := scenario.Parse(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emucheck:", err)
+		os.Exit(1)
+	}
+	return f
+}
+
+func cmdValidate(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f := loadFile(args[0])
+	if errs := scenario.Validate(f); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "invalid:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok (%d experiments, %d events, %d assertions)\n",
+		f.Name, len(f.Experiments), len(f.Events), len(f.Assertions))
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	res, err := scenario.Run(loadFile(fs.Arg(0)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emucheck:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emucheck:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(res.Render())
+	}
+	if !res.Pass {
+		os.Exit(1)
+	}
+}
+
+func cmdEvalrun(args []string) {
+	fs := flag.NewFlagSet("evalrun", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	ticks := fs.Int64("ticks", 0, "work per tenant in 100 ms ticks (0 = default 900)")
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	fs.Parse(args)
+	r := evalrun.Timeshare(*seed, *ticks)
+	if *asJSON {
+		out, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emucheck:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Println("== Multi-tenancy: stateful vs stateless swapping ==")
+	fmt.Print(r.Render())
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "validate":
+		cmdValidate(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	case "evalrun":
+		cmdEvalrun(os.Args[2:])
+	default:
+		usage()
+	}
+}

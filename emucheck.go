@@ -36,6 +36,7 @@ import (
 	"emucheck/internal/core"
 	"emucheck/internal/emulab"
 	"emucheck/internal/guest"
+	"emucheck/internal/sched"
 	"emucheck/internal/sim"
 	"emucheck/internal/swap"
 	"emucheck/internal/timetravel"
@@ -74,23 +75,38 @@ type Scenario struct {
 	Setup func(s *Session)
 }
 
-// Session is one live execution of a scenario.
+// Session is one live execution of a scenario — one experiment hosted
+// on a Cluster. NewSession builds a private one-tenant cluster (the
+// classic single-experiment case); Cluster.Submit creates sessions that
+// time-share a pool with other tenants under the swap scheduler.
 type Session struct {
 	Scenario Scenario
 	Seed     int64
+	// Priority orders tenants under the Priority preemption policy.
+	Priority int
 
+	// C is the hosting cluster (a private one for NewSession sessions).
+	C   *Cluster
 	S   *sim.Simulator
 	TB  *emulab.Testbed
-	Exp *emulab.Experiment
+	Exp *emulab.Experiment // nil while queued or parked stateless
 
 	// Tree records checkpoints for time travel.
 	Tree *timetravel.Tree
 
+	// RecordErr holds the most recent failure to record an async
+	// checkpoint in the tree (e.g. budget exhausted); the synchronous
+	// paths return such errors directly.
+	RecordErr error
+
+	job     *sched.Job
+	done    bool // finished standalone session (job-managed ones track state in job)
 	perturb Perturbation
 	branch  TreeNodeID
 }
 
-// NewSession instantiates the scenario on a fresh deterministic testbed.
+// NewSession instantiates the scenario on a fresh deterministic testbed
+// sized to fit it — a one-tenant cluster with immediate admission.
 func NewSession(sc Scenario, seed int64) *Session {
 	return newSession(sc, seed, Perturbation{}, timetravel.Root)
 }
@@ -99,28 +115,73 @@ func newSession(sc Scenario, seed int64, p Perturbation, branch TreeNodeID) *Ses
 	if p.Kind == SeedChange && p.Seed != 0 {
 		seed = p.Seed
 	}
-	s := sim.New(seed)
 	pool := sc.Pool
 	if pool <= 0 {
 		pool = len(sc.Spec.Nodes) + len(sc.Spec.Links) + 2
 	}
-	tb := emulab.NewTestbed(s, pool)
+	c := NewCluster(pool, seed, FIFO)
 	sess := &Session{
-		Scenario: sc, Seed: seed, S: s, TB: tb,
+		Scenario: sc, Seed: seed, C: c, S: c.S, TB: c.TB,
 		Tree:    timetravel.NewTree(146 << 30),
 		perturb: p, branch: branch,
 	}
 	sess.applyPerturbation()
-	exp, err := tb.SwapIn(sc.Spec)
+	exp, err := c.TB.SwapIn(sc.Spec)
 	if err != nil {
 		panic("emucheck: " + err.Error())
 	}
 	sess.Exp = exp
+	// Charge the scheduler's ledger too, so a later Submit on this
+	// cluster cannot over-admit against hardware the session holds.
+	if err := c.Sched.Reserve(exp.Allocated()); err != nil {
+		panic("emucheck: " + err.Error())
+	}
+	c.adopt(sess)
 	sess.applyDilation()
 	if sc.Setup != nil {
 		sc.Setup(sess)
 	}
 	return sess
+}
+
+// State reports the session's scheduler state ("running", "queued",
+// "parked", ...). Sessions outside scheduler control are "running".
+func (s *Session) State() string {
+	if s.job == nil {
+		if s.done {
+			return "done"
+		}
+		return "running"
+	}
+	return s.job.State().String()
+}
+
+// Scheduled reports whether the session is under scheduler control
+// (created by Cluster.Submit rather than NewSession).
+func (s *Session) Scheduled() bool { return s.job != nil }
+
+// QueueWait reports total time spent waiting for admission.
+func (s *Session) QueueWait() sim.Time {
+	if s.job == nil {
+		return 0
+	}
+	return s.job.QueueWait()
+}
+
+// Preemptions reports how often the session was involuntarily parked.
+func (s *Session) Preemptions() int {
+	if s.job == nil {
+		return 0
+	}
+	return s.job.Preemptions()
+}
+
+// Admissions reports how often the session was (re-)admitted.
+func (s *Session) Admissions() int {
+	if s.job == nil {
+		return 1
+	}
+	return s.job.Admissions()
 }
 
 // applyPerturbation adjusts environment knobs before construction.
@@ -151,6 +212,9 @@ func (s *Session) applyDilation() {
 
 // Kernel returns a node's guest kernel for workload installation.
 func (s *Session) Kernel(node string) *guest.Kernel {
+	if s.Exp == nil {
+		panic(fmt.Sprintf("emucheck: experiment %q is %s, not instantiated", s.Scenario.Spec.Name, s.State()))
+	}
 	n := s.Exp.Node(node)
 	if n == nil {
 		panic(fmt.Sprintf("emucheck: no node %q", node))
@@ -177,8 +241,37 @@ func (s *Session) Checkpoint() (*CheckpointResult, error) {
 	return s.CheckpointOpts(CheckpointOptions{Incremental: s.Tree.Len() > 1})
 }
 
-// CheckpointOpts is Checkpoint with explicit options.
+// CheckpointAsync initiates one transparent distributed checkpoint and
+// returns immediately; done (optional) receives the result once every
+// node has resumed, and the checkpoint is recorded in the time-travel
+// tree. Use this from inside simulation events (e.g. scripted scenario
+// actions), where the synchronous Checkpoint would re-enter the event
+// loop.
+func (s *Session) CheckpointAsync(o CheckpointOptions, done func(*CheckpointResult)) error {
+	// A stateful-parked tenant keeps its Exp (state preserved on the
+	// file server), so check scheduler state, not just instantiation.
+	if s.Exp == nil || s.job != nil && s.job.State() != sched.Running {
+		return fmt.Errorf("emucheck: experiment %q is %s", s.Scenario.Spec.Name, s.State())
+	}
+	first := s.Exp.Spec.Nodes[0].Name
+	return s.Exp.Coord.Checkpoint(o, func(r *CheckpointResult) {
+		if _, err := s.Tree.Record(r, s.VirtualNow(first)); err != nil {
+			s.RecordErr = err
+		}
+		if done != nil {
+			done(r)
+		}
+	})
+}
+
+// CheckpointOpts is Checkpoint with explicit options. Like
+// CheckpointAsync it requires the experiment to be in service — a
+// stateful-parked tenant still has an Exp, but its guests are frozen
+// and the synchronous wait would spin the shared cluster simulator.
 func (s *Session) CheckpointOpts(o CheckpointOptions) (*CheckpointResult, error) {
+	if s.Exp == nil || s.job != nil && s.job.State() != sched.Running {
+		return nil, fmt.Errorf("emucheck: experiment %q is %s", s.Scenario.Spec.Name, s.State())
+	}
 	var res *CheckpointResult
 	if err := s.Exp.Coord.Checkpoint(o, func(r *CheckpointResult) { res = r }); err != nil {
 		return nil, err
@@ -203,6 +296,9 @@ func (s *Session) CheckpointOpts(o CheckpointOptions) (*CheckpointResult, error)
 // checkpoints complete (limit 0 = until StopCheckpoints); results are
 // recorded in the tree as the run proceeds.
 func (s *Session) PeriodicCheckpoints(interval sim.Time, limit int) *core.PeriodicCheckpointer {
+	if s.Exp == nil {
+		panic(fmt.Sprintf("emucheck: experiment %q is %s, not instantiated", s.Scenario.Spec.Name, s.State()))
+	}
 	first := s.Exp.Spec.Nodes[0].Name
 	pc := &core.PeriodicCheckpointer{
 		C:        s.Exp.Coord,
@@ -216,8 +312,13 @@ func (s *Session) PeriodicCheckpoints(interval sim.Time, limit int) *core.Period
 	return pc
 }
 
-// SwapOut statefully swaps the experiment out (synchronously).
+// SwapOut statefully swaps the experiment out (synchronously). It
+// drives the session's private simulator, so it is only available on
+// standalone sessions; scheduler-managed tenants park via Cluster.Park.
 func (s *Session) SwapOut() ([]*swap.OutReport, error) {
+	if s.job != nil {
+		return nil, fmt.Errorf("emucheck: %q is scheduler-managed; use Cluster.Park", s.Scenario.Spec.Name)
+	}
 	if s.Exp.Swap == nil {
 		return nil, fmt.Errorf("emucheck: no swappable nodes in %q", s.Scenario.Spec.Name)
 	}
@@ -239,6 +340,9 @@ func (s *Session) SwapOut() ([]*swap.OutReport, error) {
 
 // SwapIn statefully swaps the experiment back in (synchronously).
 func (s *Session) SwapIn(lazy bool) ([]*swap.InReport, error) {
+	if s.job != nil {
+		return nil, fmt.Errorf("emucheck: %q is scheduler-managed; use Cluster.Unpark", s.Scenario.Spec.Name)
+	}
 	if s.Exp.Swap == nil {
 		return nil, fmt.Errorf("emucheck: no swappable nodes")
 	}
@@ -270,6 +374,11 @@ func (s *Session) SwapIn(lazy bool) ([]*swap.InReport, error) {
 // checkpoints never perturbed the original run, re-executing without
 // them reaches the same state at the same virtual time.
 func (s *Session) Rollback(id TreeNodeID, p Perturbation) (*Session, error) {
+	if s.job != nil {
+		// A tenant's history is interleaved with its neighbors'; replay
+		// would have to re-execute the whole cluster.
+		return nil, fmt.Errorf("emucheck: %q is scheduler-managed; time travel needs a standalone session", s.Scenario.Spec.Name)
+	}
 	plan, err := s.Tree.Rollback(id, p)
 	if err != nil {
 		return nil, err

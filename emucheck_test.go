@@ -196,9 +196,6 @@ func TestKernelPanicsOnGhostNode(t *testing.T) {
 	s.Kernel("ghost")
 }
 
-// demoSpecForBench is shared by bench_test.go.
-func demoSpecForBench() emulab.Spec { return demoScenario().Spec }
-
 func TestPublicEventDrivenCheckpoint(t *testing.T) {
 	s := NewSession(demoScenario(), 17)
 	s.RunFor(60 * sim.Second) // NTP converged

@@ -1,0 +1,71 @@
+// Smoke coverage for the example programs and the scenario-runner CLI:
+// each example's main path runs to completion and prints its headline
+// conclusion, so the examples stay living documentation rather than
+// build-only dead code.
+package emucheck_test
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goRun executes a main package from the repo root and returns its
+// combined output.
+func goRun(t *testing.T, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("go run %v timed out", args)
+	}
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs subprocesses")
+	}
+	cases := []struct {
+		dir  string
+		want string // a headline line proving the demo reached its point
+	}{
+		{"quickstart", "no timeout, no gap"},
+		{"statefulswap", "inactivity is invisible"},
+		{"timetravel", "deterministic replay: failure reproduced"},
+		{"statesearch", "split-brain"},
+		{"bittorrent", "center line does not move"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			out := goRun(t, "./examples/"+tc.dir)
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output of %s missing %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}
+
+func TestScenarioCLIRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs subprocesses")
+	}
+	t.Parallel()
+	out := goRun(t, "./cmd/emucheck", "validate", "examples/scenarios/timeshare.json")
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("validate: %s", out)
+	}
+	out = goRun(t, "./cmd/emucheck", "run", "examples/scenarios/swapcycle.json")
+	if !strings.Contains(out, "result: PASS") {
+		t.Fatalf("run: %s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module emucheck
+
+go 1.22

@@ -129,8 +129,15 @@ type Coordinator struct {
 	nodes []*Member
 	dns   []*dummynet.DelayNode
 
+	// Scope names the experiment this coordinator serves. Notifications
+	// carry it, and member daemons ignore messages scoped to other
+	// experiments — several coordinators can share one control LAN.
+	Scope string
+
 	epoch   int
 	current *run
+	cancels []func()
+	dead    bool
 
 	// History holds every completed checkpoint, newest last — the
 	// linear spine that time travel branches from.
@@ -154,19 +161,38 @@ func NewCoordinator(s *sim.Simulator, bus *notify.Bus, y *ntpsim.Sync, members [
 	c := &Coordinator{s: s, bus: bus, ntp: y, nodes: members, dns: delayNodes}
 	for _, m := range members {
 		m := m
-		bus.Subscribe(notify.TopicCheckpoint, func(msg *notify.Msg) { c.onCheckpoint(m, msg) })
-		bus.Subscribe(notify.TopicResume, func(msg *notify.Msg) { c.onResume(m, msg) })
+		c.cancels = append(c.cancels,
+			bus.Subscribe(notify.TopicCheckpoint, func(msg *notify.Msg) { c.onCheckpoint(m, msg) }),
+			bus.Subscribe(notify.TopicResume, func(msg *notify.Msg) { c.onResume(m, msg) }))
 	}
 	for _, d := range delayNodes {
 		d := d
-		bus.Subscribe(notify.TopicCheckpoint, func(msg *notify.Msg) { c.onCheckpointDelay(d, msg) })
-		bus.Subscribe(notify.TopicResume, func(msg *notify.Msg) { c.onResumeDelay(d, msg) })
+		c.cancels = append(c.cancels,
+			bus.Subscribe(notify.TopicCheckpoint, func(msg *notify.Msg) { c.onCheckpointDelay(d, msg) }),
+			bus.Subscribe(notify.TopicResume, func(msg *notify.Msg) { c.onResumeDelay(d, msg) }))
 	}
 	return c
 }
 
+// Shutdown unsubscribes the coordinator's daemons from the control LAN
+// and refuses further checkpoints. A torn-down experiment's coordinator
+// must go deaf: its successor may reuse the same scope, and epochs
+// restart — a stale listener could otherwise fire saves on halted
+// guests.
+func (c *Coordinator) Shutdown() {
+	c.dead = true
+	for _, cancel := range c.cancels {
+		cancel()
+	}
+	c.cancels = nil
+	c.current = nil
+}
+
 // Epoch reports the number of checkpoints initiated.
 func (c *Coordinator) Epoch() int { return c.epoch }
+
+// Busy reports whether a checkpoint epoch is still in flight.
+func (c *Coordinator) Busy() bool { return c.current != nil }
 
 // TriggerFromNode initiates an event-driven checkpoint *from a member
 // node* — the §4.3 use case where a break- or watch-point inside the
@@ -207,6 +233,9 @@ func (c *Coordinator) TriggerFromNode(nodeName string, done func(*Result)) error
 // result after every member has resumed. Only one checkpoint may be in
 // flight at a time.
 func (c *Coordinator) Checkpoint(opts Options, done func(*Result)) error {
+	if c.dead {
+		return fmt.Errorf("core: coordinator is shut down")
+	}
 	if c.current != nil {
 		return fmt.Errorf("core: checkpoint %d still in flight", c.epoch)
 	}
@@ -224,7 +253,7 @@ func (c *Coordinator) Checkpoint(opts Options, done func(*Result)) error {
 		at = c.s.Now() + opts.Lead
 		r.ScheduledAt = at
 	}
-	c.bus.Publish(&notify.Msg{Topic: notify.TopicCheckpoint, From: "coordinator", At: at, Epoch: c.epoch})
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicCheckpoint, From: "coordinator", Scope: c.Scope, At: at, Epoch: c.epoch})
 	return nil
 }
 
@@ -232,7 +261,7 @@ func (c *Coordinator) Checkpoint(opts Options, done func(*Result)) error {
 // arrives. It starts the live save with the proper suspend deadline.
 func (c *Coordinator) onCheckpoint(m *Member, msg *notify.Msg) {
 	cr := c.current
-	if cr == nil || msg.Epoch != c.epoch {
+	if cr == nil || msg.Scope != c.Scope || msg.Epoch != c.epoch {
 		return
 	}
 	var suspendAt sim.Time
@@ -261,7 +290,7 @@ func (c *Coordinator) onCheckpoint(m *Member, msg *notify.Msg) {
 // trigger time.
 func (c *Coordinator) onCheckpointDelay(d *dummynet.DelayNode, msg *notify.Msg) {
 	cr := c.current
-	if cr == nil || msg.Epoch != c.epoch {
+	if cr == nil || msg.Scope != c.Scope || msg.Epoch != c.epoch {
 		return
 	}
 	if cr.opts.SkipDelayNodes {
@@ -292,6 +321,11 @@ func (c *Coordinator) onCheckpointDelay(d *dummynet.DelayNode, msg *notify.Msg) 
 // allSaved fires when the barrier completes: publish the scheduled
 // resume, or park the frozen experiment if the caller asked to hold.
 func (c *Coordinator) allSaved(cr *run) {
+	if c.dead {
+		// A save completing after teardown must not publish a resume:
+		// the successor coordinator reuses this scope and epoch 1.
+		return
+	}
 	if cr.opts.HoldResume {
 		cr.result.SuspendSkew = spread(cr.suspendTimes)
 		cr.result.CompletedAt = c.s.Now()
@@ -302,7 +336,7 @@ func (c *Coordinator) allSaved(cr *run) {
 		return
 	}
 	at := c.s.Now() + cr.opts.ResumeLead
-	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", At: at, Epoch: cr.result.Epoch})
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", Scope: c.Scope, At: at, Epoch: cr.result.Epoch})
 }
 
 // Held reports whether a checkpoint is parked awaiting ResumeHeld.
@@ -319,13 +353,13 @@ func (c *Coordinator) ResumeHeld(after func(*Result)) error {
 	}
 	cr.done = after
 	at := c.s.Now() + cr.opts.ResumeLead
-	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", At: at, Epoch: cr.result.Epoch})
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", Scope: c.Scope, At: at, Epoch: cr.result.Epoch})
 	return nil
 }
 
 func (c *Coordinator) onResume(m *Member, msg *notify.Msg) {
 	cr := c.current
-	if cr == nil || msg.Epoch != c.epoch {
+	if cr == nil || msg.Scope != c.Scope || msg.Epoch != c.epoch {
 		return
 	}
 	at := c.ntp.LocalTrigger(m.Name, msg.At)
@@ -341,7 +375,7 @@ func (c *Coordinator) onResume(m *Member, msg *notify.Msg) {
 }
 
 func (c *Coordinator) onResumeDelay(d *dummynet.DelayNode, msg *notify.Msg) {
-	if c.current == nil || msg.Epoch != c.epoch {
+	if c.current == nil || msg.Scope != c.Scope || msg.Epoch != c.epoch {
 		return
 	}
 	if c.current.opts.SkipDelayNodes {
@@ -352,6 +386,9 @@ func (c *Coordinator) onResumeDelay(d *dummynet.DelayNode, msg *notify.Msg) {
 }
 
 func (c *Coordinator) allResumed(cr *run) {
+	if c.dead {
+		return
+	}
 	cr.result.ResumeSkew = spread(cr.resumeTimes)
 	cr.result.CompletedAt = c.s.Now()
 	if !cr.opts.HoldResume {

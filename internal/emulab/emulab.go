@@ -69,6 +69,30 @@ type Spec struct {
 	LANs  []LANSpec
 }
 
+// NodesNeeded reports the hardware demand of the spec: one machine per
+// node plus one per shaped link for the interposed delay node.
+func (sp Spec) NodesNeeded() int {
+	shaped := 0
+	for _, l := range sp.Links {
+		if l.Shaped() {
+			shaped++
+		}
+	}
+	return len(sp.Nodes) + shaped
+}
+
+// Swappable reports whether every node carries a branching-storage disk,
+// i.e. whether the experiment can be statefully swapped without losing
+// node-local state.
+func (sp Spec) Swappable() bool {
+	for _, n := range sp.Nodes {
+		if !n.Swappable {
+			return false
+		}
+	}
+	return len(sp.Nodes) > 0
+}
+
 // Testbed is the shared facility: hardware pool, control network,
 // services.
 type Testbed struct {
@@ -80,8 +104,13 @@ type Testbed struct {
 
 	// FreeNodes is the available hardware pool.
 	FreeNodes int
+	// PoolSize is the total hardware pool.
+	PoolSize int
 
 	experiments map[string]*Experiment
+	// definitions retains specs of swapped-out experiments so they can be
+	// re-admitted by name (classic Emulab keeps the definition, §2).
+	definitions map[string]Spec
 }
 
 // NewTestbed creates a testbed with the given hardware pool size.
@@ -93,9 +122,17 @@ func NewTestbed(s *sim.Simulator, pool int) *Testbed {
 		Server:      xfer.NewServer(s, 0),
 		Params:      node.DefaultParams(),
 		FreeNodes:   pool,
+		PoolSize:    pool,
 		experiments: make(map[string]*Experiment),
+		definitions: make(map[string]Spec),
 	}
 }
+
+// InUse reports how many pool machines are currently allocated.
+func (tb *Testbed) InUse() int { return tb.PoolSize - tb.FreeNodes }
+
+// Experiment returns a currently swapped-in experiment by name.
+func (tb *Testbed) Experiment(name string) *Experiment { return tb.experiments[name] }
 
 // ExpNode is one instantiated experiment node.
 type ExpNode struct {
@@ -117,8 +154,16 @@ type Experiment struct {
 	Events     *EventSystem
 	Services   *ControlServices
 
-	allocated int // machines charged against the pool (incl. delay nodes)
+	allocated int  // machines charged against the pool (incl. delay nodes)
+	released  bool // hardware returned to the pool while swapped out
 }
+
+// Allocated reports the experiment's hardware demand.
+func (e *Experiment) Allocated() int { return e.allocated }
+
+// Released reports whether the experiment's hardware is currently
+// returned to the pool (parked, statefully swapped out).
+func (e *Experiment) Released() bool { return e.released }
 
 // SwapIn instantiates an experiment: allocate machines (one per node
 // plus one per shaped link for the delay node), load images, build the
@@ -127,13 +172,7 @@ func (tb *Testbed) SwapIn(spec Spec) (*Experiment, error) {
 	if _, dup := tb.experiments[spec.Name]; dup {
 		return nil, fmt.Errorf("emulab: experiment %q already swapped in", spec.Name)
 	}
-	shaped := 0
-	for _, l := range spec.Links {
-		if l.Shaped() {
-			shaped++
-		}
-	}
-	needed := len(spec.Nodes) + shaped
+	needed := spec.NodesNeeded()
 	if needed > tb.FreeNodes {
 		return nil, fmt.Errorf("emulab: need %d nodes, %d free", needed, tb.FreeNodes)
 	}
@@ -233,25 +272,98 @@ func (tb *Testbed) SwapIn(spec Spec) (*Experiment, error) {
 	}
 
 	e.Coord = core.NewCoordinator(tb.S, tb.Bus, tb.NTP, members, e.DelayNodes)
+	// Several experiments share one control LAN; scope the checkpoint
+	// protocol so coordinators never act on each other's notifications.
+	e.Coord.Scope = spec.Name
 	if len(swapNodes) > 0 {
 		e.Swap = swap.NewManager(tb.S, tb.Server, e.Coord, swapNodes)
+		e.Swap.Tag = spec.Name
 	}
 	e.Services = &ControlServices{tb: tb}
 	e.Events = NewEventSystem(e, InExperiment)
 	tb.experiments[spec.Name] = e
+	delete(tb.definitions, spec.Name)
 	return e, nil
 }
 
 // SwapOutStateless is the classic Emulab swap-out: hardware released,
 // run-time state lost (§2). The experiment definition remains and can be
-// swapped in again from its initial state.
+// swapped in again (from its initial state) via SwapInByName.
 func (tb *Testbed) SwapOutStateless(e *Experiment) {
-	tb.FreeNodes += e.allocated
+	e.Halt()
+	// The discarded instance's control daemons stop listening; a
+	// re-admission under the same name gets fresh ones.
+	e.Coord.Shutdown()
+	if !e.released {
+		tb.FreeNodes += e.allocated
+		e.released = true
+	}
 	delete(tb.experiments, e.Spec.Name)
+	tb.definitions[e.Spec.Name] = e.Spec
+}
+
+// Definition returns the retained spec of a swapped-out experiment.
+func (tb *Testbed) Definition(name string) (Spec, bool) {
+	sp, ok := tb.definitions[name]
+	return sp, ok
+}
+
+// SwapInByName re-instantiates a retained definition from its initial
+// state — the re-admission half of classic stateless swapping.
+func (tb *Testbed) SwapInByName(name string) (*Experiment, error) {
+	sp, ok := tb.definitions[name]
+	if !ok {
+		return nil, fmt.Errorf("emulab: no retained definition %q", name)
+	}
+	return tb.SwapIn(sp)
+}
+
+// ReleaseHardware returns a statefully swapped-out experiment's machines
+// to the pool without discarding the experiment: its state lives on the
+// file server and it can be re-admitted with AcquireHardware + stateful
+// swap-in. This is what lets a preemptive scheduler time-share the pool.
+func (tb *Testbed) ReleaseHardware(e *Experiment) {
+	if e.released {
+		return
+	}
+	tb.FreeNodes += e.allocated
+	e.released = true
+}
+
+// AcquireHardware re-allocates machines for a parked experiment ahead of
+// its stateful swap-in.
+func (tb *Testbed) AcquireHardware(e *Experiment) error {
+	if !e.released {
+		return nil
+	}
+	if e.allocated > tb.FreeNodes {
+		return fmt.Errorf("emulab: need %d nodes, %d free", e.allocated, tb.FreeNodes)
+	}
+	tb.FreeNodes -= e.allocated
+	e.released = false
+	return nil
 }
 
 // Node returns a node by name.
 func (e *Experiment) Node(name string) *ExpNode { return e.Nodes[name] }
+
+// Halt freezes every guest and delay node with no intent to resume —
+// the fate of run-time state under classic stateless swap-out (§2). The
+// temporal firewalls engage and are never disengaged, so the discarded
+// instance schedules no further work.
+func (e *Experiment) Halt() {
+	for _, ns := range e.Spec.Nodes {
+		n := e.Nodes[ns.Name]
+		if !n.K.Suspended() {
+			// The drain completes in the background; nobody waits for a
+			// discarded instance.
+			_ = n.K.Suspend(func() {})
+		}
+	}
+	for _, dn := range e.DelayNodes {
+		dn.Freeze()
+	}
+}
 
 // ControlServices models the Emulab server services an experiment may
 // touch: DNS, NTP, and NFS. DNS and NTP are stateless by design; NFS v2

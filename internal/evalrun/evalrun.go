@@ -41,7 +41,7 @@ func twoNode(seed int64, bw simnet.Bitrate, delay sim.Time) (*sim.Simulator, *em
 
 // Fig4Result is the sleep-loop transparency experiment.
 type Fig4Result struct {
-	Iters       *metrics.Series
+	Iters       *metrics.Series `json:"-"`
 	MeanMs      float64
 	FracWithin  float64 // fraction of iterations within 28 µs of 20 ms
 	CkptMaxErr  sim.Time
@@ -96,7 +96,7 @@ func (r *Fig4Result) Render() string {
 
 // Fig5Result is the CPU-loop interference experiment.
 type Fig5Result struct {
-	Iters       *metrics.Series
+	Iters       *metrics.Series `json:"-"`
 	MeanMs      float64
 	FracWithin9 float64 // fraction within 9 ms of the nominal
 	MaxOverMs   float64 // worst positive deviation (paper: <=27 ms)
@@ -147,7 +147,7 @@ func (r *Fig5Result) Render() string {
 
 // Fig6Result is the iperf transparency experiment.
 type Fig6Result struct {
-	Throughput  *metrics.Series // 20 ms windows, MB/s
+	Throughput  *metrics.Series `json:"-"` // 20 ms windows, MB/s
 	MeanMBps    float64
 	MedianGapUs float64 // typical inter-packet arrival
 	CkptGapsUs  []float64
@@ -225,7 +225,7 @@ func (r *Fig6Result) Render() string {
 type Fig7Result struct {
 	// PerClient holds 1 s-window throughput series per client, measured
 	// at the seeder.
-	PerClient map[string]*metrics.Series
+	PerClient map[string]*metrics.Series `json:"-"`
 	// CenterBefore/During/After are mean throughputs per phase (MB/s),
 	// averaged across clients — the paper's "center line" check.
 	CenterBefore, CenterDuring, CenterAfter float64

@@ -108,7 +108,7 @@ func (r *Fig8Result) Render() string {
 // Fig9Result is the background-transfer interference experiment.
 type Fig9Result struct {
 	// Throughput per scenario, 1 s windows (MB/s).
-	NoSwap, EagerOut, LazyIn *metrics.Series
+	NoSwap, EagerOut, LazyIn *metrics.Series `json:"-"`
 	// Execution time per scenario.
 	DurNone, DurEager, DurLazy sim.Time
 	// Paper: eager +9% exec, lazy +19% exec and -45% throughput.

@@ -1,0 +1,154 @@
+package evalrun
+
+import (
+	"fmt"
+
+	"emucheck"
+	"emucheck/internal/emulab"
+	"emucheck/internal/metrics"
+	"emucheck/internal/sim"
+)
+
+// TimeshareRow is one scheduling mode's outcome.
+type TimeshareRow struct {
+	Mode        string  `json:"mode"`
+	Completed   int     `json:"completed"`
+	UsefulTicks int64   `json:"useful_ticks"`
+	LostTicks   int64   `json:"lost_ticks"`
+	Utilization float64 `json:"utilization"`
+	MeanWaitS   float64 `json:"mean_queue_wait_s"`
+	Preemptions int     `json:"preemptions"`
+	// AllDoneS is when the last tenant finished (0 = never within the
+	// horizon).
+	AllDoneS float64 `json:"all_done_s"`
+}
+
+// TimeshareResult is the multi-tenancy benchmark: an oversubscribed
+// pool (three 2-node tenants over 4 nodes, each owing a fixed amount of
+// work) scheduled with stateful preemptive swapping versus the classic
+// stateless swap-out that loses run-time state (§2, §5). Stateful
+// tenants accumulate progress across preemptions and all finish;
+// stateless tenants restart from scratch at every re-admission — under
+// sustained contention, work shorter than one service window is the
+// only work that ever completes.
+type TimeshareResult struct {
+	Pool        int     `json:"pool"`
+	Tenants     int     `json:"tenants"`
+	NodesEach   int     `json:"nodes_each"`
+	TargetTicks int64   `json:"target_ticks"`
+	HorizonS    float64 `json:"horizon_s"`
+
+	Stateful  TimeshareRow `json:"stateful"`
+	Stateless TimeshareRow `json:"stateless"`
+}
+
+// timeshareMode runs one scheduling mode to completion or the horizon.
+func timeshareMode(seed int64, stateless bool, target int64, horizon sim.Time) TimeshareRow {
+	const pool, tenants = 4, 3
+	c := emucheck.NewCluster(pool, seed, emucheck.FIFO)
+	c.Stateless = stateless
+	c.Sched.MinResidency = 45 * sim.Second
+
+	names := []string{"t1", "t2", "t3"}
+	counts := make([]int64, tenants) // progress of the current admission
+	lost := make([]int64, tenants)   // ticks discarded by stateless restarts
+	done := make([]bool, tenants)
+	for i, name := range names {
+		i, name := i, name
+		a, b := name+"a", name+"b"
+		sc := emucheck.Scenario{
+			Spec: emulab.Spec{
+				Name:  name,
+				Nodes: []emulab.NodeSpec{{Name: a, Swappable: true}, {Name: b, Swappable: true}},
+				Links: []emulab.LinkSpec{{A: a, B: b}},
+			},
+			Setup: func(s *emucheck.Session) {
+				// A stateless re-admission reboots from the golden image:
+				// whatever the previous incarnation computed is gone.
+				lost[i] += counts[i]
+				counts[i] = 0
+				k := s.Kernel(a)
+				var step func()
+				step = func() {
+					k.Usleep(100*sim.Millisecond, func() {
+						counts[i]++
+						c.Touch(name)
+						if counts[i] >= target {
+							if err := c.Finish(name); err == nil {
+								done[i] = true
+								return
+							}
+						}
+						step()
+					})
+				}
+				step()
+			},
+		}
+		if _, err := c.Submit(sc, 0); err != nil {
+			panic("timeshare: " + err.Error())
+		}
+	}
+
+	var allDoneAt sim.Time
+	for c.Now() < horizon {
+		c.RunFor(5 * sim.Second)
+		if c.Sched.AllDone() {
+			allDoneAt = c.Now()
+			break
+		}
+	}
+
+	mode := "stateful"
+	if stateless {
+		mode = "stateless"
+	}
+	row := TimeshareRow{
+		Mode:        mode,
+		Utilization: c.Utilization(),
+		MeanWaitS:   c.Sched.MeanQueueWait().Seconds(),
+		Preemptions: c.Sched.Preemptions,
+		AllDoneS:    allDoneAt.Seconds(),
+	}
+	for i := range names {
+		if done[i] {
+			row.Completed++
+			row.UsefulTicks += target
+		}
+		row.LostTicks += lost[i]
+	}
+	return row
+}
+
+// Timeshare runs the benchmark; target is each tenant's owed work in
+// 100 ms ticks (the default 900 means 90 s of computation — twice the
+// service window, so stateless restarts can never bank it).
+func Timeshare(seed int64, target int64) *TimeshareResult {
+	if target <= 0 {
+		target = 900
+	}
+	horizon := 30 * sim.Minute
+	return &TimeshareResult{
+		Pool: 4, Tenants: 3, NodesEach: 2,
+		TargetTicks: target,
+		HorizonS:    horizon.Seconds(),
+		Stateful:    timeshareMode(seed, false, target, horizon),
+		Stateless:   timeshareMode(seed, true, target, horizon),
+	}
+}
+
+// Render prints the comparison.
+func (r *TimeshareResult) Render() string {
+	t := &metrics.Table{Header: []string{"mode", "completed", "useful ticks", "lost ticks", "util %", "mean wait (s)", "preemptions", "all done (s)"}}
+	for _, row := range []TimeshareRow{r.Stateful, r.Stateless} {
+		doneAt := "never"
+		if row.AllDoneS > 0 {
+			doneAt = fmt.Sprintf("%.0f", row.AllDoneS)
+		}
+		t.AddRow(row.Mode, fmt.Sprintf("%d/%d", row.Completed, r.Tenants), row.UsefulTicks, row.LostTicks,
+			fmt.Sprintf("%.0f", row.Utilization*100), fmt.Sprintf("%.1f", row.MeanWaitS), row.Preemptions, doneAt)
+	}
+	s := fmt.Sprintf("%d tenants x %d nodes over a %d-node pool; each owes %d ticks (%.0f s of work)\n",
+		r.Tenants, r.NodesEach, r.Pool, r.TargetTicks, float64(r.TargetTicks)/10)
+	return s + t.String()
+}

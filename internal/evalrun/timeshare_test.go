@@ -1,0 +1,28 @@
+package evalrun
+
+import "testing"
+
+func TestTimeshareStatefulBeatsStateless(t *testing.T) {
+	r := Timeshare(1, 0)
+	if r.Stateful.Completed != r.Tenants {
+		t.Fatalf("stateful completed %d/%d", r.Stateful.Completed, r.Tenants)
+	}
+	if r.Stateful.LostTicks != 0 {
+		t.Fatalf("stateful lost %d ticks", r.Stateful.LostTicks)
+	}
+	if r.Stateful.Preemptions == 0 {
+		t.Fatal("stateful run never preempted; pool was not oversubscribed")
+	}
+	if r.Stateless.Completed >= r.Stateful.Completed {
+		t.Fatalf("stateless completed %d, stateful %d: baseline should lose",
+			r.Stateless.Completed, r.Stateful.Completed)
+	}
+	if r.Stateless.LostTicks == 0 {
+		t.Fatal("stateless restarts lost nothing")
+	}
+	// Deterministic across runs.
+	r2 := Timeshare(1, 0)
+	if *r != *r2 {
+		t.Fatalf("nondeterministic benchmark:\n%+v\n%+v", r, r2)
+	}
+}

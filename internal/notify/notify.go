@@ -25,6 +25,11 @@ const (
 type Msg struct {
 	Topic string
 	From  string
+	// Scope names the experiment the message belongs to. The control LAN
+	// is shared by every experiment on the testbed, so daemons filter on
+	// scope: a checkpoint notification for one experiment must not
+	// trigger saves in another.
+	Scope string
 	// At is the scheduled global time for scheduled checkpoints/resumes;
 	// zero means "now" (event-driven).
 	At sim.Time
@@ -42,10 +47,15 @@ type Bus struct {
 	BaseLatency sim.Time
 	JitterMax   sim.Time
 
-	subs map[string][]func(*Msg) // topic -> subscribers
+	subs map[string][]*subscriber // topic -> subscribers
 
 	Published uint64
 	Delivered uint64
+}
+
+type subscriber struct {
+	h       func(*Msg)
+	removed bool
 }
 
 // NewBus creates a bus with the default latency model (a 100 Mbps
@@ -55,29 +65,40 @@ func NewBus(s *sim.Simulator) *Bus {
 		s:           s,
 		BaseLatency: 180 * sim.Microsecond,
 		JitterMax:   1200 * sim.Microsecond,
-		subs:        make(map[string][]func(*Msg)),
+		subs:        make(map[string][]*subscriber),
 	}
 }
 
-// Subscribe registers a handler for a topic. Handlers run on the
-// subscriber's node-local daemon, outside any guest firewall — checkpoint
-// control must keep working while guests are frozen.
-func (b *Bus) Subscribe(topic string, h func(*Msg)) {
-	b.subs[topic] = append(b.subs[topic], h)
+// Subscribe registers a handler for a topic and returns a cancel
+// function — a torn-down experiment's daemons must stop listening, or
+// a re-admitted experiment with the same name would have two sets of
+// ears on the control LAN. Handlers run on the subscriber's node-local
+// daemon, outside any guest firewall — checkpoint control must keep
+// working while guests are frozen.
+func (b *Bus) Subscribe(topic string, h func(*Msg)) func() {
+	sub := &subscriber{h: h}
+	b.subs[topic] = append(b.subs[topic], sub)
+	return func() { sub.removed = true }
 }
 
 // Publish fans the message out to all subscribers with independent
-// per-subscriber delivery delays.
+// per-subscriber delivery delays, compacting out cancelled ones.
 func (b *Bus) Publish(m *Msg) {
 	b.Published++
-	for _, h := range b.subs[m.Topic] {
-		h := h
+	live := b.subs[m.Topic][:0]
+	for _, sub := range b.subs[m.Topic] {
+		if sub.removed {
+			continue
+		}
+		live = append(live, sub)
+		h := sub.h
 		d := b.BaseLatency + b.s.Jitter(b.JitterMax)
 		b.s.After(d, "bus."+m.Topic, func() {
 			b.Delivered++
 			h(m)
 		})
 	}
+	b.subs[m.Topic] = live
 }
 
 // Barrier counts arrivals for one checkpoint epoch and fires when all

@@ -1,0 +1,333 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"emucheck"
+	"emucheck/internal/core"
+	"emucheck/internal/guest"
+	"emucheck/internal/metrics"
+	"emucheck/internal/sched"
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+// ExpStats accumulates one experiment's observable progress.
+type ExpStats struct {
+	Ticks       int64 `json:"ticks"`
+	Checkpoints int   `json:"checkpoints"`
+}
+
+// Check is one evaluated assertion.
+type Check struct {
+	Desc   string `json:"desc"`
+	Ok     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ExpRow is one experiment's end-of-run summary.
+type ExpRow struct {
+	Name        string  `json:"name"`
+	State       string  `json:"state"`
+	Ticks       int64   `json:"ticks"`
+	Checkpoints int     `json:"checkpoints"`
+	Admissions  int     `json:"admissions"`
+	Preemptions int     `json:"preemptions"`
+	QueueWaitS  float64 `json:"queue_wait_s"`
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Name        string   `json:"name"`
+	Pass        bool     `json:"pass"`
+	Ran         string   `json:"ran"` // simulated time covered
+	Utilization float64  `json:"utilization"`
+	Preemptions int      `json:"preemptions"`
+	Admissions  int      `json:"admissions"`
+	Experiments []ExpRow `json:"experiments"`
+	Checks      []Check  `json:"checks,omitempty"`
+	EventErrors []string `json:"event_errors,omitempty"`
+}
+
+// Run validates and replays the scenario, returning the evaluated
+// result. Validation failures abort before anything runs.
+func Run(f *File) (*Result, error) {
+	if errs := Validate(f); len(errs) > 0 {
+		lines := make([]string, len(errs))
+		for i, e := range errs {
+			lines[i] = e.Error()
+		}
+		return nil, fmt.Errorf("scenario %q invalid:\n  %s", f.Name, strings.Join(lines, "\n  "))
+	}
+	pol, _ := sched.ParsePolicy(f.Policy)
+	c := emucheck.NewCluster(f.Pool, f.Seed, pol)
+
+	stats := make([]*ExpStats, len(f.Experiments))
+	res := &Result{Name: f.Name}
+	evErr := func(format string, args ...any) {
+		res.EventErrors = append(res.EventErrors, fmt.Sprintf(format, args...))
+	}
+
+	// Submit each experiment at its scheduled arrival.
+	for i := range f.Experiments {
+		e := &f.Experiments[i]
+		st := &ExpStats{}
+		stats[i] = st
+		submit := func() {
+			sc := emucheck.Scenario{Spec: e.Spec(), Setup: workloadSetup(c, e, st)}
+			if _, err := c.Submit(sc, e.Priority); err != nil {
+				evErr("submit %s: %v", e.Name, err)
+			}
+		}
+		at, _ := parseDur(e.SubmitAt)
+		if at == 0 {
+			submit()
+		} else {
+			c.S.At(at, "scenario.submit."+e.Name, submit)
+		}
+	}
+
+	// Schedule events.
+	for i := range f.Events {
+		ev := f.Events[i]
+		at, _ := parseDur(ev.At)
+		idx := expIndex(f, ev.Target)
+		c.S.At(at, "scenario."+ev.Action, func() {
+			if err := applyEvent(c, ev, stats[idx]); err != nil {
+				evErr("t=%v %s %s: %v", c.Now(), ev.Action, ev.Target, err)
+			}
+		})
+	}
+
+	dur, _ := parseDur(f.RunFor)
+	c.RunFor(dur)
+	res.Ran = dur.String()
+
+	// Collect stats and evaluate assertions.
+	res.Utilization = c.Utilization()
+	res.Preemptions = c.Sched.Preemptions
+	res.Admissions = c.Sched.Admissions
+	for i := range f.Experiments {
+		e := &f.Experiments[i]
+		row := ExpRow{Name: e.Name, State: "unsubmitted", Ticks: stats[i].Ticks, Checkpoints: stats[i].Checkpoints}
+		if t := c.Tenant(e.Name); t != nil {
+			row.State = t.State()
+			row.Admissions = t.Admissions()
+			row.Preemptions = t.Preemptions()
+			row.QueueWaitS = t.QueueWait().Seconds()
+		}
+		res.Experiments = append(res.Experiments, row)
+	}
+	for _, a := range f.Assertions {
+		res.Checks = append(res.Checks, evalAssertion(c, f, stats, a))
+	}
+	res.Pass = len(res.EventErrors) == 0
+	for _, ch := range res.Checks {
+		if !ch.Ok {
+			res.Pass = false
+		}
+	}
+	return res, nil
+}
+
+func expIndex(f *File, name string) int {
+	for i := range f.Experiments {
+		if f.Experiments[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// workloadSetup installs the named built-in workload. Every workload
+// reports activity to the scheduler (the IdleFirst signal) and counts
+// progress ticks for assertions. Setup reruns from scratch if the
+// cluster readmits the experiment statelessly.
+func workloadSetup(c *emucheck.Cluster, e *Experiment, st *ExpStats) func(*emucheck.Session) {
+	name := e.Name
+	switch e.Workload {
+	case "sleeploop":
+		first := e.Nodes[0].Name
+		return func(s *emucheck.Session) {
+			k := s.Kernel(first)
+			var step func()
+			step = func() {
+				k.Usleep(100*sim.Millisecond, func() {
+					st.Ticks++
+					c.Touch(name)
+					step()
+				})
+			}
+			step()
+		}
+	case "pingpong":
+		a, b := e.Nodes[0].Name, e.Nodes[1].Name
+		return func(s *emucheck.Session) {
+			ka, kb := s.Kernel(a), s.Kernel(b)
+			kb.Handle("ping", func(simnet.Addr, *guest.Message) {
+				kb.Send(simnet.Addr(a), 200, &guest.Message{Port: "pong"})
+			})
+			var send func()
+			ka.Handle("pong", func(simnet.Addr, *guest.Message) {
+				st.Ticks++
+				c.Touch(name)
+				// Pace the exchange: an RPC every 50 ms, not a raw-fabric
+				// packet storm.
+				ka.Usleep(50*sim.Millisecond, send)
+			})
+			send = func() { ka.Send(simnet.Addr(b), 200, &guest.Message{Port: "ping"}) }
+			send()
+		}
+	case "diskchurn":
+		first := e.Nodes[0].Name
+		return func(s *emucheck.Session) {
+			k := s.Kernel(first)
+			var off int64
+			var step func()
+			step = func() {
+				k.WriteDisk(1<<30+off%(1<<30), 512<<10, func() {
+					off += 512 << 10
+					st.Ticks++
+					c.Touch(name)
+					k.Usleep(sim.Second, step)
+				})
+			}
+			step()
+		}
+	}
+	return nil // idle
+}
+
+// applyEvent executes one timed action.
+func applyEvent(c *emucheck.Cluster, ev Event, st *ExpStats) error {
+	sess := c.Tenant(ev.Target)
+	if sess == nil {
+		return fmt.Errorf("not submitted yet")
+	}
+	switch ev.Action {
+	case "swap_out":
+		return c.Park(ev.Target)
+	case "swap_in":
+		return c.Unpark(ev.Target)
+	case "checkpoint":
+		return sess.CheckpointAsync(core.Options{Incremental: true}, func(*core.Result) {
+			st.Checkpoints++
+		})
+	case "inject":
+		// A burst of fresh guest activity: dirty a few MB of disk and
+		// report liveness — the "experimenter came back" signal. Only a
+		// tenant actually in service can receive it (a stateful-parked
+		// one still has Exp, but its guests are frozen off-hardware).
+		if sess.Exp == nil || sess.State() != "running" {
+			return fmt.Errorf("experiment is %s", sess.State())
+		}
+		k := sess.Exp.Node(sess.Scenario.Spec.Nodes[0].Name).K
+		k.WriteDisk(2<<30, 4<<20, nil)
+		c.Touch(ev.Target)
+		return nil
+	case "finish":
+		return c.Finish(ev.Target)
+	}
+	return fmt.Errorf("unknown action %q", ev.Action)
+}
+
+// evalAssertion checks one assertion against the finished run.
+func evalAssertion(c *emucheck.Cluster, f *File, stats []*ExpStats, a Assertion) Check {
+	idx := expIndex(f, a.Target)
+	var sess *emucheck.Session
+	if a.Target != "" {
+		sess = c.Tenant(a.Target)
+	}
+	switch a.Type {
+	case "state":
+		got := "unsubmitted"
+		if sess != nil {
+			got = sess.State()
+		}
+		return mkCheck(fmt.Sprintf("%s state == %s", a.Target, a.Want), got == a.Want, "got "+got)
+	case "min_ticks":
+		got := stats[idx].Ticks
+		return mkCheck(fmt.Sprintf("%s ticks >= %d", a.Target, a.Value), got >= a.Value, fmt.Sprintf("got %d", got))
+	case "min_checkpoints":
+		got := stats[idx].Checkpoints
+		return mkCheck(fmt.Sprintf("%s checkpoints >= %d", a.Target, a.Value), int64(got) >= a.Value, fmt.Sprintf("got %d", got))
+	case "min_preemptions":
+		got := c.Sched.Preemptions
+		desc := fmt.Sprintf("preemptions >= %d", a.Value)
+		if sess != nil {
+			got = sess.Preemptions()
+			desc = fmt.Sprintf("%s preemptions >= %d", a.Target, a.Value)
+		}
+		return mkCheck(desc, int64(got) >= a.Value, fmt.Sprintf("got %d", got))
+	case "all_admitted":
+		for _, t := range c.Tenants() {
+			if t.Admissions() == 0 {
+				return mkCheck("all experiments admitted", false, t.Scenario.Spec.Name+" never admitted")
+			}
+		}
+		return mkCheck("all experiments admitted", len(c.Tenants()) == len(f.Experiments),
+			fmt.Sprintf("%d of %d submitted", len(c.Tenants()), len(f.Experiments)))
+	case "max_queue_wait":
+		lim, _ := parseDur(a.Dur)
+		worstName, worst := "", sim.Time(0)
+		for _, t := range c.Tenants() {
+			if a.Target != "" && t != sess {
+				continue
+			}
+			if w := t.QueueWait(); w > worst {
+				worst, worstName = w, t.Scenario.Spec.Name
+			}
+		}
+		return mkCheck(fmt.Sprintf("queue wait <= %s", a.Dur), worst <= lim,
+			fmt.Sprintf("worst %v (%s)", worst, worstName))
+	case "virtual_elapsed_max":
+		lim, _ := parseDur(a.Dur)
+		if sess == nil || sess.Exp == nil {
+			state := "unsubmitted"
+			if sess != nil {
+				state = sess.State()
+			}
+			return mkCheck(fmt.Sprintf("%s/%s virtual <= %s", a.Target, a.Node, a.Dur), false,
+				"experiment is "+state)
+		}
+		got := sess.VirtualNow(a.Node)
+		return mkCheck(fmt.Sprintf("%s/%s virtual <= %s", a.Target, a.Node, a.Dur), got <= lim,
+			fmt.Sprintf("got %v (real %v)", got, c.Now()))
+	case "utilization_min":
+		got := c.Utilization() * 100
+		return mkCheck(fmt.Sprintf("pool utilization >= %d%%", a.Value), got >= float64(a.Value),
+			fmt.Sprintf("got %.0f%%", got))
+	}
+	return mkCheck("unknown assertion "+a.Type, false, "")
+}
+
+func mkCheck(desc string, ok bool, detail string) Check {
+	return Check{Desc: desc, Ok: ok, Detail: detail}
+}
+
+// Render prints the run as a human-readable report.
+func (r *Result) Render() string {
+	t := &metrics.Table{Header: []string{"experiment", "state", "ticks", "ckpts", "admissions", "preemptions", "queue wait (s)"}}
+	for _, row := range r.Experiments {
+		t.AddRow(row.Name, row.State, row.Ticks, row.Checkpoints, row.Admissions, row.Preemptions, fmt.Sprintf("%.1f", row.QueueWaitS))
+	}
+	s := fmt.Sprintf("scenario %s: ran %s, pool utilization %.0f%%, %d admissions, %d preemptions\n%s",
+		r.Name, r.Ran, r.Utilization*100, r.Admissions, r.Preemptions, t.String())
+	for _, e := range r.EventErrors {
+		s += "event error: " + e + "\n"
+	}
+	for _, ch := range r.Checks {
+		mark := "PASS"
+		if !ch.Ok {
+			mark = "FAIL"
+		}
+		s += fmt.Sprintf("%s  %s (%s)\n", mark, ch.Desc, ch.Detail)
+	}
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	s += "result: " + verdict + "\n"
+	return s
+}

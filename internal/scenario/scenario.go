@@ -1,0 +1,320 @@
+// Package scenario implements the declarative multi-experiment testbed
+// scripts behind the emucheck CLI: a scenario file names a hardware
+// pool and scheduling policy, a fleet of experiments (nodes, links,
+// LANs, a workload), a list of timed events (swap_out, swap_in,
+// checkpoint, inject, finish), and assertions checked after the run.
+// Files are validated up front and replayed deterministically — the
+// same file and seed always produce the same history.
+//
+// The format is JSON (stdlib-only):
+//
+//	{
+//	  "name": "timeshare",
+//	  "seed": 42,
+//	  "pool": 4,
+//	  "policy": "idle-first",
+//	  "run_for": "10m",
+//	  "experiments": [
+//	    {"name": "e1", "workload": "sleeploop",
+//	     "nodes": [{"name": "e1a", "swappable": true}]}
+//	  ],
+//	  "events": [
+//	    {"at": "30s", "action": "swap_out", "target": "e1"}
+//	  ],
+//	  "assertions": [
+//	    {"type": "state", "target": "e1", "want": "parked"}
+//	  ]
+//	}
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"emucheck/internal/emulab"
+	"emucheck/internal/sched"
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+// File is one parsed scenario.
+type File struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Seed        int64        `json:"seed"`
+	Pool        int          `json:"pool"`
+	Policy      string       `json:"policy,omitempty"`
+	RunFor      string       `json:"run_for"`
+	Experiments []Experiment `json:"experiments"`
+	Events      []Event      `json:"events,omitempty"`
+	Assertions  []Assertion  `json:"assertions,omitempty"`
+}
+
+// Experiment declares one tenant: its network and its workload.
+type Experiment struct {
+	Name     string `json:"name"`
+	Priority int    `json:"priority,omitempty"`
+	// Workload is one of the built-ins: idle, sleeploop, pingpong,
+	// diskchurn.
+	Workload string `json:"workload"`
+	// SubmitAt delays submission (default: submitted at the start).
+	SubmitAt string `json:"submit_at,omitempty"`
+	Nodes    []Node `json:"nodes"`
+	Links    []Link `json:"links,omitempty"`
+	LANs     []LAN  `json:"lans,omitempty"`
+}
+
+// Node declares one experiment node.
+type Node struct {
+	Name      string `json:"name"`
+	Swappable bool   `json:"swappable"`
+}
+
+// Link declares one (possibly shaped) duplex link.
+type Link struct {
+	A             string  `json:"a"`
+	B             string  `json:"b"`
+	BandwidthMbps float64 `json:"bandwidth_mbps,omitempty"`
+	DelayMs       float64 `json:"delay_ms,omitempty"`
+	LossPct       float64 `json:"loss_pct,omitempty"`
+}
+
+// LAN declares a switched LAN segment.
+type LAN struct {
+	Name          string   `json:"name"`
+	Members       []string `json:"members"`
+	BandwidthMbps float64  `json:"bandwidth_mbps,omitempty"`
+}
+
+// Event is one timed action against a named experiment.
+type Event struct {
+	At     string `json:"at"`
+	Action string `json:"action"`
+	Target string `json:"target"`
+}
+
+// Assertion is one post-run check.
+type Assertion struct {
+	Type   string `json:"type"`
+	Target string `json:"target,omitempty"`
+	Node   string `json:"node,omitempty"`
+	Value  int64  `json:"value,omitempty"`
+	Dur    string `json:"dur,omitempty"`
+	Want   string `json:"want,omitempty"`
+}
+
+// Actions understood by the runner.
+var actions = map[string]bool{
+	"swap_out":   true,
+	"swap_in":    true,
+	"checkpoint": true,
+	"inject":     true,
+	"finish":     true,
+}
+
+// Workloads understood by the runner.
+var workloads = map[string]bool{
+	"idle":      true,
+	"sleeploop": true,
+	"pingpong":  true,
+	"diskchurn": true,
+}
+
+// Assertion types understood by the runner.
+var assertionTypes = map[string]bool{
+	"state":               true,
+	"min_ticks":           true,
+	"min_checkpoints":     true,
+	"min_preemptions":     true,
+	"all_admitted":        true,
+	"max_queue_wait":      true,
+	"virtual_elapsed_max": true,
+	"utilization_min":     true,
+}
+
+// Parse decodes a scenario file, rejecting unknown fields (typos in a
+// declarative file should fail loudly, not silently no-op).
+func Parse(data []byte) (*File, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	return &f, nil
+}
+
+// parseDur converts a "30s"/"10m" string to simulated time.
+func parseDur(s string) (sim.Time, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}
+
+// Spec converts an experiment declaration to a testbed spec.
+func (e *Experiment) Spec() emulab.Spec {
+	sp := emulab.Spec{Name: e.Name}
+	for _, n := range e.Nodes {
+		sp.Nodes = append(sp.Nodes, emulab.NodeSpec{Name: n.Name, Swappable: n.Swappable})
+	}
+	for _, l := range e.Links {
+		sp.Links = append(sp.Links, emulab.LinkSpec{
+			A: l.A, B: l.B,
+			Bandwidth: simnet.Bitrate(l.BandwidthMbps * float64(simnet.Mbps)),
+			Delay:     sim.Time(l.DelayMs * float64(sim.Millisecond)),
+			Loss:      l.LossPct / 100,
+		})
+	}
+	for _, lan := range e.LANs {
+		sp.LANs = append(sp.LANs, emulab.LANSpec{
+			Name: lan.Name, Members: lan.Members,
+			Bandwidth: simnet.Bitrate(lan.BandwidthMbps * float64(simnet.Mbps)),
+		})
+	}
+	return sp
+}
+
+// Validate checks the scenario semantically; it returns every problem
+// found, not just the first.
+func Validate(f *File) []error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if f.Name == "" {
+		bad("scenario has no name")
+	}
+	if f.Pool <= 0 {
+		bad("pool must be positive, got %d", f.Pool)
+	}
+	if _, err := parseDur(f.RunFor); err != nil || f.RunFor == "" {
+		bad("run_for %q does not parse", f.RunFor)
+	}
+	if _, err := sched.ParsePolicy(f.Policy); err != nil {
+		bad("%v", err)
+	}
+	if len(f.Experiments) == 0 {
+		bad("no experiments")
+	}
+
+	expByName := make(map[string]*Experiment)
+	nodeOwner := make(map[string]string)
+	for i := range f.Experiments {
+		e := &f.Experiments[i]
+		if e.Name == "" {
+			bad("experiment %d has no name", i)
+			continue
+		}
+		if _, dup := expByName[e.Name]; dup {
+			bad("duplicate experiment %q", e.Name)
+			continue
+		}
+		expByName[e.Name] = e
+		if len(e.Nodes) == 0 {
+			bad("experiment %q has no nodes", e.Name)
+		}
+		if !workloads[e.Workload] {
+			bad("experiment %q: unknown workload %q", e.Name, e.Workload)
+		}
+		if e.Workload == "pingpong" && len(e.Nodes) < 2 {
+			bad("experiment %q: pingpong needs two nodes", e.Name)
+		}
+		if _, err := parseDur(e.SubmitAt); err != nil {
+			bad("experiment %q: submit_at %q does not parse", e.Name, e.SubmitAt)
+		}
+		local := make(map[string]bool)
+		for _, n := range e.Nodes {
+			if owner, taken := nodeOwner[n.Name]; taken {
+				bad("node %q of %q collides with %q (node names are control-network identities)", n.Name, e.Name, owner)
+				continue
+			}
+			nodeOwner[n.Name] = e.Name
+			local[n.Name] = true
+		}
+		for _, l := range e.Links {
+			if !local[l.A] || !local[l.B] {
+				bad("experiment %q: link %s-%s references unknown node", e.Name, l.A, l.B)
+			}
+		}
+		for _, lan := range e.LANs {
+			for _, m := range lan.Members {
+				if !local[m] {
+					bad("experiment %q: LAN %s references unknown node %s", e.Name, lan.Name, m)
+				}
+			}
+		}
+		if need := e.Spec().NodesNeeded(); need > f.Pool {
+			bad("experiment %q needs %d nodes, pool is %d — it can never be admitted", e.Name, need, f.Pool)
+		}
+	}
+
+	for i, ev := range f.Events {
+		if _, err := parseDur(ev.At); err != nil || ev.At == "" {
+			bad("event %d: at %q does not parse", i, ev.At)
+		}
+		if !actions[ev.Action] {
+			bad("event %d: unknown action %q", i, ev.Action)
+		}
+		target, ok := expByName[ev.Target]
+		if !ok {
+			bad("event %d: unknown target %q", i, ev.Target)
+			continue
+		}
+		if (ev.Action == "swap_out" || ev.Action == "swap_in") && !target.Spec().Swappable() {
+			bad("event %d: %s needs every node of %q swappable (stateful swap preserves node-local state)", i, ev.Action, ev.Target)
+		}
+	}
+
+	for i, a := range f.Assertions {
+		if !assertionTypes[a.Type] {
+			bad("assertion %d: unknown type %q", i, a.Type)
+			continue
+		}
+		if a.Target != "" {
+			if _, ok := expByName[a.Target]; !ok {
+				bad("assertion %d: unknown target %q", i, a.Target)
+			}
+		}
+		switch a.Type {
+		case "state":
+			if a.Target == "" || a.Want == "" {
+				bad("assertion %d: state needs target and want", i)
+			}
+		case "min_ticks", "min_checkpoints":
+			if a.Target == "" {
+				bad("assertion %d: %s needs a target", i, a.Type)
+			}
+		case "max_queue_wait", "virtual_elapsed_max":
+			if _, err := parseDur(a.Dur); err != nil || a.Dur == "" {
+				bad("assertion %d: dur %q does not parse", i, a.Dur)
+			}
+			if a.Type == "virtual_elapsed_max" {
+				if a.Target == "" || a.Node == "" {
+					bad("assertion %d: virtual_elapsed_max needs target and node", i)
+				} else if e, ok := expByName[a.Target]; ok {
+					found := false
+					for _, n := range e.Nodes {
+						if n.Name == a.Node {
+							found = true
+							break
+						}
+					}
+					if !found {
+						bad("assertion %d: node %q is not in experiment %q", i, a.Node, a.Target)
+					}
+				}
+			}
+		}
+	}
+	return errs
+}

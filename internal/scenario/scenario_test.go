@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, name string) *File {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestExampleScenariosValidate(t *testing.T) {
+	for _, name := range []string{"timeshare.json", "swapcycle.json", "priority.json"} {
+		if errs := Validate(load(t, name)); len(errs) > 0 {
+			t.Fatalf("%s: %v", name, errs)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"name": "x", "polcy": "fifo"}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	f := &File{
+		Name: "bad", Pool: 2, RunFor: "notaduration", Policy: "lifo",
+		Experiments: []Experiment{
+			{Name: "a", Workload: "mystery", Nodes: []Node{{Name: "n"}}},
+			{Name: "a", Workload: "idle", Nodes: []Node{{Name: "n2"}}},
+			{Name: "c", Workload: "idle", Nodes: []Node{{Name: "n"}}},
+			{Name: "big", Workload: "idle", Nodes: []Node{
+				{Name: "b0"}, {Name: "b1"}, {Name: "b2"}},
+				Links: []Link{{A: "b0", B: "ghost"}}},
+		},
+		Events: []Event{
+			{At: "5s", Action: "explode", Target: "nobody"},
+			{At: "6s", Action: "swap_out", Target: "c"},
+		},
+		Assertions: []Assertion{
+			{Type: "state", Target: "a"},
+			{Type: "virtual_elapsed_max", Target: "c", Node: "typo", Dur: "1m"},
+		},
+	}
+	errs := Validate(f)
+	joined := ""
+	for _, e := range errs {
+		joined += e.Error() + "\n"
+	}
+	for _, want := range []string{
+		"run_for", "unknown policy", "unknown workload", "duplicate experiment",
+		"collides", "unknown node", "never be admitted", "unknown action",
+		"unknown target", "needs target and want", "every node", "not in experiment",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRunSwapCycleScenario(t *testing.T) {
+	res, err := Run(load(t, "swapcycle.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("scenario failed:\n%s", res.Render())
+	}
+	if res.Experiments[0].State != "running" {
+		t.Fatalf("web = %s", res.Experiments[0].State)
+	}
+}
+
+func TestRunTimeshareScenarioDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := Run(load(t, "timeshare.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Pass {
+			t.Fatalf("scenario failed:\n%s", res.Render())
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same file+seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestRunPriorityScenario(t *testing.T) {
+	res, err := Run(load(t, "priority.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("scenario failed:\n%s", res.Render())
+	}
+}
+
+func TestRunRejectsInvalidFile(t *testing.T) {
+	if _, err := Run(&File{Name: "nope"}); err == nil {
+		t.Fatal("invalid file ran")
+	}
+}

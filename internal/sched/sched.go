@@ -1,0 +1,531 @@
+// Package sched implements a preemptive swap scheduler for the shared
+// testbed — the facility-level use case stateful swapping exists for
+// (paper §2, §5): Emulab is oversubscribed, most experiments are idle
+// most of the time, and transparently swapping idle experiments out
+// lets many experiments time-share one hardware pool.
+//
+// The scheduler admits experiments against a finite pool. When the
+// queue head does not fit, it selects running victims by policy,
+// statefully swaps them out (releasing their hardware), and admits the
+// queued experiment. Preempted experiments re-join the queue and are
+// resumed — with the whole interruption concealed from them by the
+// checkpoint machinery — once capacity frees up.
+//
+// The scheduler is mechanism-agnostic: admission, parking, and resume
+// are callbacks supplied by the hosting layer (the emucheck Cluster),
+// which charge realistic swap costs through the shared control LAN.
+// Everything here is deterministic: jobs live in slices, decisions
+// happen at well-defined simulation instants, and no map is iterated.
+package sched
+
+import (
+	"fmt"
+
+	"emucheck/internal/sim"
+)
+
+// Policy selects the preemption victim.
+type Policy int
+
+// Victim-selection policies.
+const (
+	// FIFO preempts the earliest-admitted experiment — round-robin
+	// time-sharing under contention.
+	FIFO Policy = iota
+	// IdleFirst preempts the experiment idle the longest, the paper's
+	// motivating case: idle experiments should not hold hardware.
+	IdleFirst
+	// Priority preempts the lowest-priority experiment, and only for a
+	// strictly higher-priority arrival.
+	Priority
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case IdleFirst:
+		return "idle-first"
+	case Priority:
+		return "priority"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy maps a policy name to its value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo", "":
+		return FIFO, nil
+	case "idle-first", "idlefirst":
+		return IdleFirst, nil
+	case "priority":
+		return Priority, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", s)
+}
+
+// State is a job's lifecycle position.
+type State int
+
+// Job states.
+const (
+	Queued State = iota
+	Starting
+	Running
+	Parking
+	Parked
+	Resuming
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Starting:
+		return "starting"
+	case Running:
+		return "running"
+	case Parking:
+		return "parking"
+	case Parked:
+		return "parked"
+	case Resuming:
+		return "resuming"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Hooks are the mechanism callbacks the hosting layer supplies. Each is
+// asynchronous: it begins the operation and must call done when the
+// operation completes (possibly much later in simulated time).
+type Hooks struct {
+	// Start instantiates the experiment on freshly allocated hardware
+	// (first admission: testbed swap-in, boot, workload setup).
+	Start func(done func())
+	// Park statefully swaps the experiment out and releases its
+	// hardware; done fires once the pool has the nodes back.
+	Park func(done func())
+	// Resume re-acquires hardware and statefully swaps the experiment
+	// back in; done fires when the experiment is running again.
+	Resume func(done func())
+}
+
+// Job is one experiment under scheduler control.
+type Job struct {
+	Name string
+	// Need is the job's hardware demand (nodes + delay nodes).
+	Need int
+	// Priority orders jobs under the Priority policy; larger is more
+	// important.
+	Priority int
+	// Preemptible marks jobs whose state survives a stateful swap-out
+	// (every node swappable). Non-preemptible jobs hold their hardware
+	// until they finish.
+	Preemptible bool
+	Hooks       Hooks
+
+	state        State
+	submitted    sim.Time
+	admittedAt   sim.Time // most recent admission decision
+	runningSince sim.Time // most recent entry into service
+	lastActive   sim.Time
+	queuedSince  sim.Time
+	queuedWait   sim.Time
+	preemptions  int
+	admissions   int
+	// autoResume re-queues the job after a park. Preemptions set it;
+	// voluntary parks clear it until Unpark.
+	autoResume bool
+
+	sched *Scheduler // set at Submit
+}
+
+// State reports the job's lifecycle position.
+func (j *Job) State() State { return j.state }
+
+// QueueWait reports total time spent waiting for admission, including
+// the wait still in progress if the job is queued right now — a
+// starving job must not report zero.
+func (j *Job) QueueWait() sim.Time {
+	w := j.queuedWait
+	if j.state == Queued && j.sched != nil {
+		w += j.sched.S.Now() - j.queuedSince
+	}
+	return w
+}
+
+// Preemptions reports how often the job was involuntarily parked.
+func (j *Job) Preemptions() int { return j.preemptions }
+
+// Admissions reports how often the job was (re-)admitted.
+func (j *Job) Admissions() int { return j.admissions }
+
+// IdleFor reports time since the job last reported activity.
+func (j *Job) IdleFor(now sim.Time) sim.Time { return now - j.lastActive }
+
+// Scheduler admits experiments against the pool and preempts by policy.
+type Scheduler struct {
+	S        *sim.Simulator
+	Capacity int
+	Policy   Policy
+
+	// MinResidency protects a freshly admitted job from immediate
+	// re-preemption; without it two oversubscribed jobs would thrash.
+	MinResidency sim.Time
+
+	free          int
+	jobs          []*Job // submit order
+	queue         []*Job // admission order
+	parksInFlight int
+
+	// Admissions and Preemptions count scheduler decisions.
+	Admissions  int
+	Preemptions int
+
+	t0       sim.Time
+	utilAcc  float64 // node-nanoseconds of allocated hardware
+	utilLast sim.Time
+	wake     *sim.Event
+}
+
+// New creates a scheduler over capacity pool nodes.
+func New(s *sim.Simulator, capacity int, policy Policy) *Scheduler {
+	return &Scheduler{
+		S: s, Capacity: capacity, Policy: policy,
+		MinResidency: 10 * sim.Second,
+		free:         capacity,
+		t0:           s.Now(), utilLast: s.Now(),
+	}
+}
+
+// Free reports currently unallocated pool nodes.
+func (d *Scheduler) Free() int { return d.free }
+
+// Reserve charges n nodes allocated outside job control (experiments
+// admitted directly, bypassing the queue), so the scheduler's capacity
+// ledger matches the testbed's.
+func (d *Scheduler) Reserve(n int) error {
+	if n < 0 || n > d.free {
+		return fmt.Errorf("sched: cannot reserve %d nodes, %d free", n, d.free)
+	}
+	d.setFree(d.free - n)
+	return nil
+}
+
+// Release returns nodes previously charged with Reserve and lets the
+// queue use them.
+func (d *Scheduler) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	f := d.free + n
+	if f > d.Capacity {
+		f = d.Capacity
+	}
+	d.setFree(f)
+	d.kick()
+}
+
+// Job returns a job by name (nil if unknown). A finished job's name
+// may be reused; the most recent submission wins.
+func (d *Scheduler) Job(name string) *Job {
+	for i := len(d.jobs) - 1; i >= 0; i-- {
+		if d.jobs[i].Name == name {
+			return d.jobs[i]
+		}
+	}
+	return nil
+}
+
+// Jobs returns every submitted job in submit order.
+func (d *Scheduler) Jobs() []*Job { return d.jobs }
+
+// QueueLen reports how many jobs are awaiting admission.
+func (d *Scheduler) QueueLen() int { return len(d.queue) }
+
+// Utilization reports the time-averaged fraction of the pool allocated
+// since the scheduler was created.
+func (d *Scheduler) Utilization() float64 {
+	elapsed := d.S.Now() - d.t0
+	if elapsed <= 0 || d.Capacity == 0 {
+		return 0
+	}
+	acc := d.utilAcc + float64(d.Capacity-d.free)*float64(d.S.Now()-d.utilLast)
+	return acc / (float64(d.Capacity) * float64(elapsed))
+}
+
+// MeanQueueWait averages accumulated admission waits across jobs.
+func (d *Scheduler) MeanQueueWait() sim.Time {
+	if len(d.jobs) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, j := range d.jobs {
+		sum += j.QueueWait()
+	}
+	return sum / sim.Time(len(d.jobs))
+}
+
+// setFree adjusts the allocation level, integrating utilization.
+func (d *Scheduler) setFree(f int) {
+	now := d.S.Now()
+	d.utilAcc += float64(d.Capacity-d.free) * float64(now-d.utilLast)
+	d.utilLast = now
+	d.free = f
+}
+
+// Submit queues a job for admission. Jobs whose demand can never fit
+// are rejected outright.
+func (d *Scheduler) Submit(j *Job) error {
+	if j.Need <= 0 {
+		return fmt.Errorf("sched: job %q needs %d nodes", j.Name, j.Need)
+	}
+	if j.Need > d.Capacity {
+		return fmt.Errorf("sched: job %q needs %d nodes, pool is %d", j.Name, j.Need, d.Capacity)
+	}
+	if prev := d.Job(j.Name); prev != nil && prev.state != Done {
+		return fmt.Errorf("sched: duplicate job %q", j.Name)
+	}
+	now := d.S.Now()
+	j.sched = d
+	j.state = Queued
+	j.submitted = now
+	j.queuedSince = now
+	j.lastActive = now
+	j.autoResume = true
+	d.jobs = append(d.jobs, j)
+	d.queue = append(d.queue, j)
+	d.kick()
+	return nil
+}
+
+// Touch records activity for a job — the signal IdleFirst preempts on
+// the absence of.
+func (d *Scheduler) Touch(name string) {
+	if j := d.Job(name); j != nil {
+		j.lastActive = d.S.Now()
+	}
+}
+
+// Park voluntarily swaps a running job out; it stays parked (holding no
+// hardware) until Unpark.
+func (d *Scheduler) Park(name string) error {
+	j := d.Job(name)
+	if j == nil {
+		return fmt.Errorf("sched: no job %q", name)
+	}
+	if j.state != Running {
+		return fmt.Errorf("sched: job %q is %v, not running", name, j.state)
+	}
+	if j.Hooks.Park == nil {
+		return fmt.Errorf("sched: job %q cannot be parked", name)
+	}
+	j.autoResume = false
+	d.park(j)
+	return nil
+}
+
+// Unpark re-queues a parked job for admission.
+func (d *Scheduler) Unpark(name string) error {
+	j := d.Job(name)
+	if j == nil {
+		return fmt.Errorf("sched: no job %q", name)
+	}
+	if j.state != Parked {
+		return fmt.Errorf("sched: job %q is %v, not parked", name, j.state)
+	}
+	j.autoResume = true
+	d.enqueue(j)
+	d.kick()
+	return nil
+}
+
+// Finish retires a job, releasing its hardware if it holds any.
+func (d *Scheduler) Finish(name string) error {
+	j := d.Job(name)
+	if j == nil {
+		return fmt.Errorf("sched: no job %q", name)
+	}
+	switch j.state {
+	case Running:
+		d.setFree(d.free + j.Need)
+	case Parked:
+		// No hardware held.
+	case Queued:
+		for i, q := range d.queue {
+			if q == j {
+				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				break
+			}
+		}
+		j.queuedWait += d.S.Now() - j.queuedSince
+	default:
+		return fmt.Errorf("sched: job %q is %v, cannot finish", name, j.state)
+	}
+	j.state = Done
+	d.kick()
+	return nil
+}
+
+// AllDone reports whether every submitted job has finished.
+func (d *Scheduler) AllDone() bool {
+	for _, j := range d.jobs {
+		if j.state != Done {
+			return false
+		}
+	}
+	return len(d.jobs) > 0
+}
+
+func (d *Scheduler) enqueue(j *Job) {
+	j.state = Queued
+	j.queuedSince = d.S.Now()
+	d.queue = append(d.queue, j)
+}
+
+// kick admits as much of the queue head as capacity allows, preempting
+// by policy when it does not fit.
+func (d *Scheduler) kick() {
+	for len(d.queue) > 0 {
+		head := d.queue[0]
+		if d.free >= head.Need {
+			d.admit(head)
+			continue
+		}
+		// Head-of-line blocking is deliberate: FIFO admission order is
+		// part of the facility's fairness contract.
+		if d.parksInFlight == 0 {
+			d.tryPreempt(head)
+		}
+		return
+	}
+}
+
+func (d *Scheduler) admit(j *Job) {
+	now := d.S.Now()
+	d.queue = d.queue[1:]
+	j.queuedWait += now - j.queuedSince
+	d.setFree(d.free - j.Need)
+	j.admittedAt = now
+	j.lastActive = now
+	j.admissions++
+	d.Admissions++
+	live := func() {
+		j.state = Running
+		j.runningSince = d.S.Now()
+		j.lastActive = d.S.Now()
+		// A job entering service may be the missing preemption victim
+		// for the queue head (once its residency matures).
+		d.kick()
+	}
+	if j.admissions > 1 {
+		j.state = Resuming
+		j.Hooks.Resume(live)
+		return
+	}
+	j.state = Starting
+	j.Hooks.Start(live)
+}
+
+// victims lists preemptible running jobs in policy order for candidate.
+func (d *Scheduler) victims(candidate *Job) (eligible []*Job, nextEligible sim.Time) {
+	now := d.S.Now()
+	nextEligible = sim.Never
+	var pool []*Job
+	for _, j := range d.jobs {
+		if j.state != Running || !j.Preemptible || j.Hooks.Park == nil {
+			continue
+		}
+		if d.Policy == Priority && j.Priority >= candidate.Priority {
+			continue
+		}
+		// Residency counts actual service time: admission plumbing (node
+		// setup, image fetch, swap-in) must not eat the protected window,
+		// or oversubscribed pools thrash.
+		if now-j.runningSince < d.MinResidency {
+			if t := j.runningSince + d.MinResidency; t < nextEligible {
+				nextEligible = t
+			}
+			continue
+		}
+		pool = append(pool, j)
+	}
+	// Policy ordering (stable: pool is in submit order).
+	less := func(a, b *Job) bool {
+		switch d.Policy {
+		case IdleFirst:
+			if a.lastActive != b.lastActive {
+				return a.lastActive < b.lastActive
+			}
+		case Priority:
+			if a.Priority != b.Priority {
+				return a.Priority < b.Priority
+			}
+		}
+		return a.admittedAt < b.admittedAt
+	}
+	for i := 1; i < len(pool); i++ {
+		for k := i; k > 0 && less(pool[k], pool[k-1]); k-- {
+			pool[k], pool[k-1] = pool[k-1], pool[k]
+		}
+	}
+	return pool, nextEligible
+}
+
+func (d *Scheduler) tryPreempt(head *Job) {
+	shortfall := head.Need - d.free
+	pool, nextEligible := d.victims(head)
+	var chosen []*Job
+	freed := 0
+	for _, v := range pool {
+		if freed >= shortfall {
+			break
+		}
+		chosen = append(chosen, v)
+		freed += v.Need
+	}
+	if freed < shortfall {
+		// Not enough victims yet. If residency protection is the only
+		// obstacle, wake up when the next victim matures.
+		if nextEligible < sim.Never {
+			d.wakeAt(nextEligible)
+		}
+		return
+	}
+	for _, v := range chosen {
+		v.preemptions++
+		d.Preemptions++
+		d.park(v)
+	}
+}
+
+func (d *Scheduler) park(v *Job) {
+	v.state = Parking
+	d.parksInFlight++
+	v.Hooks.Park(func() {
+		v.state = Parked
+		d.parksInFlight--
+		d.setFree(d.free + v.Need)
+		if v.autoResume {
+			d.enqueue(v)
+		}
+		d.kick()
+	})
+}
+
+func (d *Scheduler) wakeAt(t sim.Time) {
+	if d.wake != nil && d.wake.When() <= t && !d.wake.Cancelled() {
+		return
+	}
+	if d.wake != nil {
+		d.S.Cancel(d.wake)
+	}
+	d.wake = d.S.At(t, "sched.wake", func() {
+		d.wake = nil
+		d.kick()
+	})
+}

@@ -129,6 +129,10 @@ type Manager struct {
 	Coord  *core.Coordinator
 	Nodes  []*Node
 
+	// Tag attributes this experiment's control-LAN bytes on the shared
+	// file server, so cross-experiment contention is accountable.
+	Tag string
+
 	// ServerMergeRate models the offline server-side delta merge.
 	ServerMergeRate int64
 
@@ -159,7 +163,22 @@ func (m *Manager) SwapOut(o Options, done func([]*OutReport)) error {
 		cuts[i] = n.Vol.Cur.Slots()
 	}
 
-	ckpt := func() {
+	var ckpt func()
+	ckpt = func() {
+		if m.Coord.Held() {
+			// A HoldResume checkpoint parked the experiment and only an
+			// explicit ResumeHeld will clear it — waiting would spin
+			// forever. Fail the way a busy coordinator always has.
+			panic("swap: cannot swap out: a held checkpoint awaits ResumeHeld")
+		}
+		if m.Coord.Busy() {
+			// A periodic (or scripted) checkpoint is mid-flight; the
+			// swap-out's freeze queues behind it rather than failing —
+			// the preempting scheduler must not crash a checkpointing
+			// tenant.
+			m.S.After(500*sim.Millisecond, "swap.ckpt-wait", ckpt)
+			return
+		}
 		err := m.Coord.Checkpoint(core.Options{
 			Target:     xen.ToControlNet,
 			HoldResume: true,
@@ -182,6 +201,7 @@ func (m *Manager) SwapOut(o Options, done func([]*OutReport)) error {
 		i, n := i, n
 		bytes := n.Vol.CurrentDeltaBytes(n.IsFree)
 		c := xfer.NewCopier(m.S, n.Vol.Disk, m.Server)
+		c.Tag = m.Tag
 		if o.RateLimit > 0 {
 			c.RateLimit = o.RateLimit
 		}
@@ -220,7 +240,7 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 		} else {
 			rep.ResidualBytes = int64(residualSlots) * storage.BlockSize
 		}
-		m.Server.Upload(rep.ResidualBytes, func() {
+		m.Server.UploadTagged(m.Tag, rep.ResidualBytes, func() {
 			// The node's part of the swap-out ends here; the delta merge
 			// is offline server-side post-processing (§5.3) and does not
 			// extend the user-visible swap-out.
@@ -275,13 +295,14 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport)) error {
 		stage2 := func() {
 			// Node setup + memory image download, then disk state.
 			m.S.After(NodeSetupTime, "swap.setup", func() {
-				m.Server.Download(n.MemImageBytes, func() {
+				m.Server.DownloadTagged(m.Tag, n.MemImageBytes, func() {
 					rep.MemoryBytes = n.MemImageBytes
 					rep.DeltaBytes = n.AggBytesOnServer
 					if !o.Lazy {
 						// Eager: the whole aggregated delta lands before
 						// the node may resume.
 						c := xfer.NewCopier(m.S, n.Vol.Disk, m.Server)
+						c.Tag = m.Tag
 						if o.RateLimit > 0 {
 							c.RateLimit = o.RateLimit
 						}
@@ -296,6 +317,7 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport)) error {
 					// not guest-visible block space).
 					lm := xfer.NewLazyMirror(m.S, rawRegion{d: n.Vol.Disk, base: storage.AggBase},
 						m.Server, n.Vol.Disk, n.AggBytesOnServer)
+					lm.SetTag(m.Tag)
 					n.lazy = lm
 					lm.StartBackground(func() { rep.BackgroundDone = m.S.Now() })
 					finishNode(i)

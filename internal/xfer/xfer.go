@@ -25,6 +25,17 @@ type Server struct {
 	// Bytes moved in each direction, for reports.
 	Received uint64
 	Served   uint64
+
+	// Queued is the total time transfers spent waiting behind earlier
+	// bytes in the shared pipe — the control-LAN bottleneck of §7.2.
+	// It counts all serialization, both an experiment's own concurrent
+	// streams and its neighbors'; ByTag apportions the bytes when the
+	// cross-experiment share matters.
+	Queued sim.Time
+	// MaxBacklog is the worst backlog observed at enqueue time.
+	MaxBacklog sim.Time
+	// ByTag attributes bytes moved (both directions) per experiment.
+	ByTag map[string]int64
 }
 
 // NewServer creates a file server; rate defaults to 100 Mbps worth of
@@ -33,18 +44,23 @@ func NewServer(s *sim.Simulator, rate int64) *Server {
 	if rate <= 0 {
 		rate = 100_000_000 / 8
 	}
-	return &Server{s: s, Rate: rate}
+	return &Server{s: s, Rate: rate, ByTag: make(map[string]int64)}
 }
 
 // transfer schedules n bytes through the shared server pipe and fires
 // done when this transfer's bytes have fully drained.
-func (sv *Server) transfer(n int64, up bool, done func()) {
+func (sv *Server) transfer(tag string, n int64, up bool, done func()) {
 	if n <= 0 {
 		sv.s.After(0, "xfer.zero", done)
 		return
 	}
 	start := sv.s.Now()
 	if sv.busyUntil > start {
+		wait := sv.busyUntil - start
+		sv.Queued += wait
+		if wait > sv.MaxBacklog {
+			sv.MaxBacklog = wait
+		}
 		start = sv.busyUntil
 	}
 	dur := sim.Time(float64(n) / float64(sv.Rate) * float64(sim.Second))
@@ -54,14 +70,23 @@ func (sv *Server) transfer(n int64, up bool, done func()) {
 	} else {
 		sv.Served += uint64(n)
 	}
+	if tag != "" {
+		sv.ByTag[tag] += n
+	}
 	sv.s.At(sv.busyUntil, "xfer.server", done)
 }
 
 // Upload moves n bytes node->server.
-func (sv *Server) Upload(n int64, done func()) { sv.transfer(n, true, done) }
+func (sv *Server) Upload(n int64, done func()) { sv.transfer("", n, true, done) }
 
 // Download moves n bytes server->node.
-func (sv *Server) Download(n int64, done func()) { sv.transfer(n, false, done) }
+func (sv *Server) Download(n int64, done func()) { sv.transfer("", n, false, done) }
+
+// UploadTagged is Upload with per-experiment attribution.
+func (sv *Server) UploadTagged(tag string, n int64, done func()) { sv.transfer(tag, n, true, done) }
+
+// DownloadTagged is Download with per-experiment attribution.
+func (sv *Server) DownloadTagged(tag string, n int64, done func()) { sv.transfer(tag, n, false, done) }
 
 // Copier streams a byte range between a local disk and the server in
 // rate-limited chunks, sharing the spindle with foreground I/O.
@@ -75,6 +100,8 @@ type Copier struct {
 	// RateLimit caps background throughput in bytes/second; this is the
 	// paper's rate-limiting function (§5.3). Zero means unthrottled.
 	RateLimit int64
+	// Tag attributes this copy's server bytes to an experiment.
+	Tag string
 
 	cancelled bool
 	// Moved reports bytes copied so far.
@@ -118,7 +145,7 @@ func (c *Copier) copyOutFrom(cur, end int64, done func(int64)) {
 	}
 	floor := c.s.Now() + c.pace(n)
 	c.disk.Submit(&node.DiskRequest{Op: node.Read, LBA: cur, Bytes: n, Done: func() {
-		c.server.Upload(n, func() {
+		c.server.UploadTagged(c.Tag, n, func() {
 			c.Moved += n
 			next := floor - c.s.Now()
 			c.s.After(next, "xfer.pace", func() { c.copyOutFrom(cur+n, end, done) })
@@ -141,7 +168,7 @@ func (c *Copier) copyInFrom(cur, end int64, done func(int64)) {
 		n = end - cur
 	}
 	floor := c.s.Now() + c.pace(n)
-	c.server.Download(n, func() {
+	c.server.DownloadTagged(c.Tag, n, func() {
 		c.disk.Submit(&node.DiskRequest{Op: node.Write, LBA: cur, Bytes: n, Done: func() {
 			c.Moved += n
 			next := floor - c.s.Now()
@@ -202,6 +229,9 @@ func NewLazyMirror(s *sim.Simulator, backend Backend, server *Server, disk *node
 // (bytes/second; 0 = unthrottled).
 func (lm *LazyMirror) SetBackgroundRate(bps int64) { lm.bg.RateLimit = bps }
 
+// SetTag attributes this mirror's server bytes to an experiment.
+func (lm *LazyMirror) SetTag(tag string) { lm.bg.Tag = tag }
+
 // chunks reports the number of managed chunks.
 func (lm *LazyMirror) chunks() int64 {
 	return (lm.total + lm.ChunkBytes - 1) / lm.ChunkBytes
@@ -218,7 +248,7 @@ func (lm *LazyMirror) fetch(c int64) {
 	if rem := lm.total - c*lm.ChunkBytes; rem < n {
 		n = rem
 	}
-	lm.server.Download(n, func() {
+	lm.server.DownloadTagged(lm.bg.Tag, n, func() {
 		lm.backend.Write(lm.Base+c*lm.ChunkBytes, n, func() {
 			lm.arrived(c)
 		})

@@ -223,6 +223,39 @@ func BenchmarkAblationDelayNodeCapture(b *testing.B) {
 	}
 }
 
+var (
+	tsOnce sync.Once
+	tsRes  *evalrun.TimeshareResult
+)
+
+// BenchmarkTimeshare regenerates the multi-tenancy table comparing
+// incremental (dirty-delta lineage), full-copy stateful, and stateless
+// swapping on an oversubscribed pool. The incremental pipeline must
+// move strictly fewer bytes and finish the 3-tenant scenario in less
+// simulated time than full copies.
+func BenchmarkTimeshare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// The default 900-tick workload forces repeat preemptions per
+		// tenant; shorter targets park each tenant only once, and a
+		// first swap-out is always a full save (no base on the server),
+		// which would make the two stateful modes indistinguishable.
+		tsOnce.Do(func() { tsRes = evalrun.Timeshare(benchSeed, 0) })
+	}
+	b.ReportMetric(tsRes.StatefulIncr.MovedMB, "MB-incremental")
+	b.ReportMetric(tsRes.Stateful.MovedMB, "MB-fullcopy")
+	b.ReportMetric(tsRes.StatefulIncr.AllDoneS, "s-done-incremental")
+	b.ReportMetric(tsRes.Stateful.AllDoneS, "s-done-fullcopy")
+	b.ReportMetric(tsRes.StatefulIncr.PreemptedMB, "MB-preempted-incremental")
+	if tsRes.StatefulIncr.MovedMB >= tsRes.Stateful.MovedMB {
+		b.Fatalf("incremental swap moved %.0f MB, full-copy %.0f MB",
+			tsRes.StatefulIncr.MovedMB, tsRes.Stateful.MovedMB)
+	}
+	if tsRes.StatefulIncr.AllDoneS <= 0 || tsRes.StatefulIncr.AllDoneS >= tsRes.Stateful.AllDoneS {
+		b.Fatalf("incremental finished at %.0f s, full-copy at %.0f s",
+			tsRes.StatefulIncr.AllDoneS, tsRes.Stateful.AllDoneS)
+	}
+}
+
 // BenchmarkCheckpointLatency measures the raw cost of one incremental
 // distributed checkpoint on an idle 2-node experiment — an ablation for
 // the downtime the firewall conceals.

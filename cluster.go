@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emucheck/internal/emulab"
+	"emucheck/internal/metrics"
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
 	"emucheck/internal/swap"
@@ -43,6 +44,18 @@ type Cluster struct {
 	// stateful swapping; set it before submitting tenants.
 	Stateless bool
 
+	// Incremental switches parking to the dirty-delta pipeline: parks
+	// upload only state dirtied since the tenant's last resident
+	// checkpoint (committed to a per-node lineage), resumes replay base
+	// + delta chain, and per-node uploads share the control-LAN pipe as
+	// parallel streams. Preemption cost becomes proportional to dirtied
+	// state. Set it before submitting tenants.
+	Incremental bool
+
+	// SwapStats accumulates delta/full byte counts across every
+	// tenant's swap cycles (see swap.Manager.Stats for the keys).
+	SwapStats *metrics.Counters
+
 	tenants   []*Session
 	byName    map[string]*Session
 	nodeOwner map[string]string
@@ -56,9 +69,39 @@ func NewCluster(pool int, seed int64, policy Policy) *Cluster {
 		S:         s,
 		TB:        emulab.NewTestbed(s, pool),
 		Sched:     sched.New(s, pool, policy),
+		SwapStats: metrics.NewCounters(),
 		byName:    make(map[string]*Session),
 		nodeOwner: make(map[string]string),
 	}
+}
+
+// swapOptions picks the park/resume transfer mode.
+func (c *Cluster) swapOptions() swap.Options {
+	if c.Incremental {
+		return swap.IncrementalOptions()
+	}
+	return swap.DefaultOptions()
+}
+
+// parkCost estimates the bytes a stateful park of sess would move right
+// now: per node, the memory state to checkpoint (pages dirtied since
+// the last resident checkpoint under incremental swapping, the full
+// resident image otherwise) plus the live current disk delta. The
+// scheduler uses it to price victim selection.
+func (c *Cluster) parkCost(sess *Session) int64 {
+	if sess.Exp == nil || sess.Exp.Swap == nil {
+		return 0
+	}
+	var total int64
+	for _, n := range sess.Exp.Swap.Nodes {
+		if c.Incremental && sess.Exp.Swap.Cycle > 0 {
+			total += int64(n.HV.K.Dirty.EpochDirty()) * int64(n.HV.P.PageSize)
+		} else {
+			total += n.HV.K.MemoryImageBytes()
+		}
+		total += n.Vol.CurrentDeltaBytes(n.IsFree)
+	}
+	return total
 }
 
 // adopt registers a tenant's names; it is also used by the one-tenant
@@ -108,6 +151,9 @@ func (c *Cluster) Submit(sc Scenario, priority int) (*Session, error) {
 	if job.Preemptible {
 		job.Hooks.Park = func(done func()) { c.parkTenant(sess, done) }
 		job.Hooks.Resume = func(done func()) { c.resumeTenant(sess, done) }
+		if !c.Stateless {
+			job.Hooks.ParkCost = func() int64 { return c.parkCost(sess) }
+		}
 	}
 	sess.job = job
 	if err := c.Sched.Submit(job); err != nil {
@@ -127,6 +173,9 @@ func (c *Cluster) startTenant(sess *Session, done func()) {
 			panic("emucheck: admit " + sess.Scenario.Spec.Name + ": " + err.Error())
 		}
 		sess.Exp = exp
+		if exp.Swap != nil {
+			exp.Swap.Stats = c.SwapStats
+		}
 		if sess.Scenario.Setup != nil {
 			sess.Scenario.Setup(sess)
 		}
@@ -144,7 +193,7 @@ func (c *Cluster) parkTenant(sess *Session, done func()) {
 		c.S.After(0, "cluster.stateless-out", done)
 		return
 	}
-	err := sess.Exp.Swap.SwapOut(swap.DefaultOptions(), func([]*swap.OutReport) {
+	err := sess.Exp.Swap.SwapOut(c.swapOptions(), func([]*swap.OutReport) {
 		c.TB.ReleaseHardware(sess.Exp)
 		done()
 	})
@@ -166,6 +215,9 @@ func (c *Cluster) resumeTenant(sess *Session, done func()) {
 				panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
 			}
 			sess.Exp = exp
+			if exp.Swap != nil {
+				exp.Swap.Stats = c.SwapStats
+			}
 			if sess.Scenario.Setup != nil {
 				sess.Scenario.Setup(sess)
 			}
@@ -176,7 +228,7 @@ func (c *Cluster) resumeTenant(sess *Session, done func()) {
 	if err := c.TB.AcquireHardware(sess.Exp); err != nil {
 		panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
 	}
-	err := sess.Exp.Swap.SwapIn(swap.DefaultOptions(), func([]*swap.InReport) { done() })
+	err := sess.Exp.Swap.SwapIn(c.swapOptions(), func([]*swap.InReport) { done() })
 	if err != nil {
 		panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
 	}

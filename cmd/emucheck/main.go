@@ -11,9 +11,11 @@
 //	emucheck run [-json] <scenario.json>
 //	emucheck evalrun [-seed N] [-ticks N] [-json]
 //
-// Example scenarios live in examples/scenarios/. run exits nonzero when
-// any scenario assertion fails, so scripted scenarios double as
-// integration checks.
+// Example scenarios live in examples/scenarios/ and are documented in
+// docs/scenarios.md. run exits nonzero when any scenario assertion
+// fails, so scripted scenarios double as integration checks. evalrun
+// compares incremental (dirty-delta), full-copy stateful, and classic
+// stateless swapping on an oversubscribed pool.
 package main
 
 import (
@@ -34,7 +36,8 @@ commands:
   run [-json] <scenario.json>
                              replay a scenario and evaluate its assertions
   evalrun [-seed N] [-ticks N] [-json]
-                             stateful-vs-stateless multi-tenancy benchmark
+                             multi-tenancy benchmark: incremental vs
+                             full-copy vs stateless swapping
 `)
 	os.Exit(2)
 }
@@ -111,7 +114,7 @@ func cmdEvalrun(args []string) {
 		fmt.Println(string(out))
 		return
 	}
-	fmt.Println("== Multi-tenancy: stateful vs stateless swapping ==")
+	fmt.Println("== Multi-tenancy: incremental vs full-copy vs stateless swapping ==")
 	fmt.Print(r.Render())
 }
 

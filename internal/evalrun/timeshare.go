@@ -21,16 +21,43 @@ type TimeshareRow struct {
 	// AllDoneS is when the last tenant finished (0 = never within the
 	// horizon).
 	AllDoneS float64 `json:"all_done_s"`
+	// MovedMB is the total file-server traffic (both directions) the
+	// mode generated across every swap cycle.
+	MovedMB float64 `json:"moved_mb"`
+	// PreemptedMB is the scheduler's estimated transfer bill for its
+	// involuntary parks — proportional to dirtied state under
+	// incremental swapping, to full images under full-copy.
+	PreemptedMB float64 `json:"preempted_mb"`
+}
+
+// timeshareMode selects the swap machinery under measurement.
+type timeshareMode int
+
+const (
+	statefulIncr timeshareMode = iota // dirty-delta lineage pipeline
+	statefulFull                      // full-copy stateful baseline
+	stateless                         // classic Emulab swap-out (state lost)
+)
+
+func (m timeshareMode) String() string {
+	switch m {
+	case statefulIncr:
+		return "stateful-incr"
+	case statefulFull:
+		return "stateful-full"
+	default:
+		return "stateless"
+	}
 }
 
 // TimeshareResult is the multi-tenancy benchmark: an oversubscribed
 // pool (three 2-node tenants over 4 nodes, each owing a fixed amount of
-// work) scheduled with stateful preemptive swapping versus the classic
-// stateless swap-out that loses run-time state (§2, §5). Stateful
-// tenants accumulate progress across preemptions and all finish;
-// stateless tenants restart from scratch at every re-admission — under
-// sustained contention, work shorter than one service window is the
-// only work that ever completes.
+// work) scheduled three ways. Stateful tenants accumulate progress
+// across preemptions and all finish; the incremental variant moves only
+// dirty deltas per swap cycle, so it finishes sooner and moves strictly
+// fewer bytes than full copies. Stateless tenants restart from scratch
+// at every re-admission — under sustained contention, work shorter than
+// one service window is the only work that ever completes (§2, §5).
 type TimeshareResult struct {
 	Pool        int     `json:"pool"`
 	Tenants     int     `json:"tenants"`
@@ -38,15 +65,17 @@ type TimeshareResult struct {
 	TargetTicks int64   `json:"target_ticks"`
 	HorizonS    float64 `json:"horizon_s"`
 
-	Stateful  TimeshareRow `json:"stateful"`
-	Stateless TimeshareRow `json:"stateless"`
+	StatefulIncr TimeshareRow `json:"stateful_incremental"`
+	Stateful     TimeshareRow `json:"stateful"`
+	Stateless    TimeshareRow `json:"stateless"`
 }
 
-// timeshareMode runs one scheduling mode to completion or the horizon.
-func timeshareMode(seed int64, stateless bool, target int64, horizon sim.Time) TimeshareRow {
+// runTimeshareMode runs one scheduling mode to completion or the horizon.
+func runTimeshareMode(seed int64, mode timeshareMode, target int64, horizon sim.Time) TimeshareRow {
 	const pool, tenants = 4, 3
 	c := emucheck.NewCluster(pool, seed, emucheck.FIFO)
-	c.Stateless = stateless
+	c.Stateless = mode == stateless
+	c.Incremental = mode == statefulIncr
 	c.Sched.MinResidency = 45 * sim.Second
 
 	names := []string{"t1", "t2", "t3"}
@@ -99,16 +128,14 @@ func timeshareMode(seed int64, stateless bool, target int64, horizon sim.Time) T
 		}
 	}
 
-	mode := "stateful"
-	if stateless {
-		mode = "stateless"
-	}
 	row := TimeshareRow{
-		Mode:        mode,
+		Mode:        mode.String(),
 		Utilization: c.Utilization(),
 		MeanWaitS:   c.Sched.MeanQueueWait().Seconds(),
 		Preemptions: c.Sched.Preemptions,
 		AllDoneS:    allDoneAt.Seconds(),
+		MovedMB:     float64(c.TB.Server.Received+c.TB.Server.Served) / (1 << 20),
+		PreemptedMB: float64(c.Sched.PreemptedBytes) / (1 << 20),
 	}
 	for i := range names {
 		if done[i] {
@@ -130,23 +157,25 @@ func Timeshare(seed int64, target int64) *TimeshareResult {
 	horizon := 30 * sim.Minute
 	return &TimeshareResult{
 		Pool: 4, Tenants: 3, NodesEach: 2,
-		TargetTicks: target,
-		HorizonS:    horizon.Seconds(),
-		Stateful:    timeshareMode(seed, false, target, horizon),
-		Stateless:   timeshareMode(seed, true, target, horizon),
+		TargetTicks:  target,
+		HorizonS:     horizon.Seconds(),
+		StatefulIncr: runTimeshareMode(seed, statefulIncr, target, horizon),
+		Stateful:     runTimeshareMode(seed, statefulFull, target, horizon),
+		Stateless:    runTimeshareMode(seed, stateless, target, horizon),
 	}
 }
 
 // Render prints the comparison.
 func (r *TimeshareResult) Render() string {
-	t := &metrics.Table{Header: []string{"mode", "completed", "useful ticks", "lost ticks", "util %", "mean wait (s)", "preemptions", "all done (s)"}}
-	for _, row := range []TimeshareRow{r.Stateful, r.Stateless} {
+	t := &metrics.Table{Header: []string{"mode", "completed", "useful ticks", "lost ticks", "util %", "mean wait (s)", "preemptions", "moved MB", "preempted MB", "all done (s)"}}
+	for _, row := range []TimeshareRow{r.StatefulIncr, r.Stateful, r.Stateless} {
 		doneAt := "never"
 		if row.AllDoneS > 0 {
 			doneAt = fmt.Sprintf("%.0f", row.AllDoneS)
 		}
 		t.AddRow(row.Mode, fmt.Sprintf("%d/%d", row.Completed, r.Tenants), row.UsefulTicks, row.LostTicks,
-			fmt.Sprintf("%.0f", row.Utilization*100), fmt.Sprintf("%.1f", row.MeanWaitS), row.Preemptions, doneAt)
+			fmt.Sprintf("%.0f", row.Utilization*100), fmt.Sprintf("%.1f", row.MeanWaitS), row.Preemptions,
+			fmt.Sprintf("%.0f", row.MovedMB), fmt.Sprintf("%.0f", row.PreemptedMB), doneAt)
 	}
 	s := fmt.Sprintf("%d tenants x %d nodes over a %d-node pool; each owes %d ticks (%.0f s of work)\n",
 		r.Tenants, r.NodesEach, r.Pool, r.TargetTicks, float64(r.TargetTicks)/10)

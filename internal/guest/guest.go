@@ -64,6 +64,13 @@ type DirtyTracker struct {
 	ActiveWSS int
 	dirty     int
 	Total     uint64 // lifetime dirtied pages
+
+	// sinceEpoch counts distinct page-dirtying since the last CutEpoch —
+	// the state an incremental swap-out must move. Unlike the dirty log
+	// it is not consumed by pre-copy rounds (ForceDirty returns pages to
+	// the log without re-counting them), so it measures the epoch's
+	// working set, capped at the resident set.
+	sinceEpoch int
 }
 
 // Touch marks n existing pages dirty (re-writes within the resident
@@ -83,6 +90,10 @@ func (d *DirtyTracker) Touch(n int) {
 		if d.dirty > limit {
 			d.dirty = limit
 		}
+	}
+	d.sinceEpoch += n
+	if d.sinceEpoch > d.Resident {
+		d.sinceEpoch = d.Resident
 	}
 	d.Total += uint64(n)
 }
@@ -131,6 +142,20 @@ func (d *DirtyTracker) TakeDirty() int {
 
 // Dirty reports the current dirty page count.
 func (d *DirtyTracker) Dirty() int { return d.dirty }
+
+// EpochDirty reports pages dirtied since the last CutEpoch without
+// consuming them — the scheduler's park-cost signal: preempting a guest
+// costs transfer proportional to this, not to its full resident set.
+func (d *DirtyTracker) EpochDirty() int { return d.sinceEpoch }
+
+// CutEpoch closes the current dirty epoch: it returns the pages dirtied
+// since the previous cut and starts a fresh epoch. Swap-out calls it
+// when the epoch's state has been committed to the checkpoint lineage.
+func (d *DirtyTracker) CutEpoch() int {
+	n := d.sinceEpoch
+	d.sinceEpoch = 0
+	return n
+}
 
 // Config tunes one guest kernel.
 type Config struct {

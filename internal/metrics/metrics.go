@@ -212,6 +212,41 @@ func (h *Histogram) Total() int {
 	return n
 }
 
+// Counters is a set of named monotonic accumulators (byte and event
+// counts) with deterministic iteration order — the container swap and
+// scheduling layers use to surface delta-vs-full transfer volumes to
+// reports and scenario assertions.
+type Counters struct {
+	names []string
+	vals  map[string]int64
+}
+
+// NewCounters creates an empty counter set.
+func NewCounters() *Counters { return &Counters{vals: make(map[string]int64)} }
+
+// Add accumulates n into the named counter (created at zero on first use).
+func (c *Counters) Add(name string, n int64) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += n
+}
+
+// Get reports a counter's value (zero if never touched).
+func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Names returns counter names in first-touch order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// String renders the counters as an aligned table.
+func (c *Counters) String() string {
+	t := &Table{Header: []string{"counter", "value"}}
+	for _, name := range c.names {
+		t.AddRow(name, c.vals[name])
+	}
+	return t.String()
+}
+
 // Table renders aligned rows for the benchmark harness output.
 type Table struct {
 	Header []string

@@ -35,16 +35,25 @@ type ExpRow struct {
 	Admissions  int     `json:"admissions"`
 	Preemptions int     `json:"preemptions"`
 	QueueWaitS  float64 `json:"queue_wait_s"`
+	// SwapMB is the experiment's total file-server traffic (both
+	// directions) across its swap cycles, in MB.
+	SwapMB float64 `json:"swap_mb"`
 }
 
 // Result is a completed scenario run.
 type Result struct {
-	Name        string   `json:"name"`
-	Pass        bool     `json:"pass"`
-	Ran         string   `json:"ran"` // simulated time covered
-	Utilization float64  `json:"utilization"`
-	Preemptions int      `json:"preemptions"`
-	Admissions  int      `json:"admissions"`
+	Name        string  `json:"name"`
+	Pass        bool    `json:"pass"`
+	Ran         string  `json:"ran"` // simulated time covered
+	Utilization float64 `json:"utilization"`
+	Preemptions int     `json:"preemptions"`
+	Admissions  int     `json:"admissions"`
+	// SwapMode is the transfer mode the run used (full or incremental).
+	SwapMode string `json:"swap_mode"`
+	// PreemptedMB is the scheduler's estimated transfer bill for its
+	// involuntary parks, in MB (proportional to dirtied state under
+	// incremental swapping).
+	PreemptedMB float64  `json:"preempted_mb"`
 	Experiments []ExpRow `json:"experiments"`
 	Checks      []Check  `json:"checks,omitempty"`
 	EventErrors []string `json:"event_errors,omitempty"`
@@ -62,9 +71,14 @@ func Run(f *File) (*Result, error) {
 	}
 	pol, _ := sched.ParsePolicy(f.Policy)
 	c := emucheck.NewCluster(f.Pool, f.Seed, pol)
+	c.Incremental = f.Swap == "incremental"
 
 	stats := make([]*ExpStats, len(f.Experiments))
-	res := &Result{Name: f.Name}
+	mode := f.Swap
+	if mode == "" {
+		mode = "full"
+	}
+	res := &Result{Name: f.Name, SwapMode: mode}
 	evErr := func(format string, args ...any) {
 		res.EventErrors = append(res.EventErrors, fmt.Sprintf(format, args...))
 	}
@@ -108,6 +122,7 @@ func Run(f *File) (*Result, error) {
 	res.Utilization = c.Utilization()
 	res.Preemptions = c.Sched.Preemptions
 	res.Admissions = c.Sched.Admissions
+	res.PreemptedMB = float64(c.Sched.PreemptedBytes) / (1 << 20)
 	for i := range f.Experiments {
 		e := &f.Experiments[i]
 		row := ExpRow{Name: e.Name, State: "unsubmitted", Ticks: stats[i].Ticks, Checkpoints: stats[i].Checkpoints}
@@ -116,6 +131,7 @@ func Run(f *File) (*Result, error) {
 			row.Admissions = t.Admissions()
 			row.Preemptions = t.Preemptions()
 			row.QueueWaitS = t.QueueWait().Seconds()
+			row.SwapMB = float64(c.TB.Server.ByTag[e.Name]) / (1 << 20)
 		}
 		res.Experiments = append(res.Experiments, row)
 	}
@@ -298,6 +314,17 @@ func evalAssertion(c *emucheck.Cluster, f *File, stats []*ExpStats, a Assertion)
 		got := c.Utilization() * 100
 		return mkCheck(fmt.Sprintf("pool utilization >= %d%%", a.Value), got >= float64(a.Value),
 			fmt.Sprintf("got %.0f%%", got))
+	case "max_swap_mb":
+		var gotBytes int64
+		desc := fmt.Sprintf("swap traffic <= %d MB", a.Value)
+		if a.Target != "" {
+			gotBytes = c.TB.Server.ByTag[a.Target]
+			desc = fmt.Sprintf("%s swap traffic <= %d MB", a.Target, a.Value)
+		} else {
+			gotBytes = int64(c.TB.Server.Received + c.TB.Server.Served)
+		}
+		gotMB := float64(gotBytes) / (1 << 20)
+		return mkCheck(desc, gotMB <= float64(a.Value), fmt.Sprintf("got %.1f MB", gotMB))
 	}
 	return mkCheck("unknown assertion "+a.Type, false, "")
 }
@@ -308,12 +335,13 @@ func mkCheck(desc string, ok bool, detail string) Check {
 
 // Render prints the run as a human-readable report.
 func (r *Result) Render() string {
-	t := &metrics.Table{Header: []string{"experiment", "state", "ticks", "ckpts", "admissions", "preemptions", "queue wait (s)"}}
+	t := &metrics.Table{Header: []string{"experiment", "state", "ticks", "ckpts", "admissions", "preemptions", "queue wait (s)", "swap MB"}}
 	for _, row := range r.Experiments {
-		t.AddRow(row.Name, row.State, row.Ticks, row.Checkpoints, row.Admissions, row.Preemptions, fmt.Sprintf("%.1f", row.QueueWaitS))
+		t.AddRow(row.Name, row.State, row.Ticks, row.Checkpoints, row.Admissions, row.Preemptions,
+			fmt.Sprintf("%.1f", row.QueueWaitS), fmt.Sprintf("%.1f", row.SwapMB))
 	}
-	s := fmt.Sprintf("scenario %s: ran %s, pool utilization %.0f%%, %d admissions, %d preemptions\n%s",
-		r.Name, r.Ran, r.Utilization*100, r.Admissions, r.Preemptions, t.String())
+	s := fmt.Sprintf("scenario %s: ran %s (%s swap), pool utilization %.0f%%, %d admissions, %d preemptions (%.1f MB preempted state)\n%s",
+		r.Name, r.Ran, r.SwapMode, r.Utilization*100, r.Admissions, r.Preemptions, r.PreemptedMB, t.String())
 	for _, e := range r.EventErrors {
 		s += "event error: " + e + "\n"
 	}

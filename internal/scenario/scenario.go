@@ -41,11 +41,15 @@ import (
 
 // File is one parsed scenario.
 type File struct {
-	Name        string       `json:"name"`
-	Description string       `json:"description,omitempty"`
-	Seed        int64        `json:"seed"`
-	Pool        int          `json:"pool"`
-	Policy      string       `json:"policy,omitempty"`
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	Pool        int    `json:"pool"`
+	Policy      string `json:"policy,omitempty"`
+	// Swap selects the stateful transfer mode for parks and resumes:
+	// "full" (default) moves whole images, "incremental" moves only
+	// dirty deltas against the checkpoint lineage.
+	Swap        string       `json:"swap,omitempty"`
 	RunFor      string       `json:"run_for"`
 	Experiments []Experiment `json:"experiments"`
 	Events      []Event      `json:"events,omitempty"`
@@ -132,6 +136,14 @@ var assertionTypes = map[string]bool{
 	"max_queue_wait":      true,
 	"virtual_elapsed_max": true,
 	"utilization_min":     true,
+	"max_swap_mb":         true,
+}
+
+// swapModes understood by the runner.
+var swapModes = map[string]bool{
+	"":            true, // default: full
+	"full":        true,
+	"incremental": true,
 }
 
 // Parse decodes a scenario file, rejecting unknown fields (typos in a
@@ -202,6 +214,9 @@ func Validate(f *File) []error {
 	}
 	if _, err := sched.ParsePolicy(f.Policy); err != nil {
 		bad("%v", err)
+	}
+	if !swapModes[f.Swap] {
+		bad("unknown swap mode %q (want full or incremental)", f.Swap)
 	}
 	if len(f.Experiments) == 0 {
 		bad("no experiments")
@@ -293,6 +308,10 @@ func Validate(f *File) []error {
 		case "min_ticks", "min_checkpoints":
 			if a.Target == "" {
 				bad("assertion %d: %s needs a target", i, a.Type)
+			}
+		case "max_swap_mb":
+			if a.Value <= 0 {
+				bad("assertion %d: max_swap_mb needs a positive value (MB)", i)
 			}
 		case "max_queue_wait", "virtual_elapsed_max":
 			if _, err := parseDur(a.Dur); err != nil || a.Dur == "" {

@@ -22,7 +22,7 @@ func load(t *testing.T, name string) *File {
 }
 
 func TestExampleScenariosValidate(t *testing.T) {
-	for _, name := range []string{"timeshare.json", "swapcycle.json", "priority.json"} {
+	for _, name := range []string{"timeshare.json", "swapcycle.json", "priority.json", "incremental.json"} {
 		if errs := Validate(load(t, name)); len(errs) > 0 {
 			t.Fatalf("%s: %v", name, errs)
 		}
@@ -117,5 +117,55 @@ func TestRunPriorityScenario(t *testing.T) {
 func TestRunRejectsInvalidFile(t *testing.T) {
 	if _, err := Run(&File{Name: "nope"}); err == nil {
 		t.Fatal("invalid file ran")
+	}
+}
+
+func TestValidateRejectsBadSwapModeAndSwapBudget(t *testing.T) {
+	f := load(t, "incremental.json")
+	f.Swap = "sideways"
+	f.Assertions = append(f.Assertions, Assertion{Type: "max_swap_mb"})
+	joined := ""
+	for _, e := range Validate(f) {
+		joined += e.Error() + "\n"
+	}
+	for _, want := range []string{"unknown swap mode", "positive value"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+// TestIncrementalScenarioMovesFewerBytes replays the incremental
+// example in both swap modes: the dirty-delta pipeline must pass its
+// swap-traffic budget and move strictly fewer bytes than full copies.
+func TestIncrementalScenarioMovesFewerBytes(t *testing.T) {
+	run := func(mode string) *Result {
+		f := load(t, "incremental.json")
+		f.Swap = mode
+		res, err := Run(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	incr := run("incremental")
+	if !incr.Pass {
+		t.Fatalf("incremental scenario failed:\n%s", incr.Render())
+	}
+	full := run("full")
+	totalMB := func(r *Result) float64 {
+		var mb float64
+		for _, row := range r.Experiments {
+			mb += row.SwapMB
+		}
+		return mb
+	}
+	if totalMB(incr) >= totalMB(full) {
+		t.Fatalf("incremental moved %.1f MB, full %.1f MB — no savings",
+			totalMB(incr), totalMB(full))
+	}
+	if incr.PreemptedMB >= full.PreemptedMB {
+		t.Fatalf("preempted state: incremental %.1f MB, full %.1f MB — park cost not proportional to dirtied state",
+			incr.PreemptedMB, full.PreemptedMB)
 	}
 }

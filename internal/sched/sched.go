@@ -40,6 +40,7 @@ const (
 	Priority
 )
 
+// String names the policy as scenario files spell it.
 func (p Policy) String() string {
 	switch p {
 	case FIFO:
@@ -79,6 +80,7 @@ const (
 	Done
 )
 
+// String names the state as reports and assertions spell it.
 func (s State) String() string {
 	switch s {
 	case Queued:
@@ -112,6 +114,12 @@ type Hooks struct {
 	// Resume re-acquires hardware and statefully swaps the experiment
 	// back in; done fires when the experiment is running again.
 	Resume func(done func())
+	// ParkCost, if set, estimates the bytes a stateful park would move
+	// right now — proportional to state dirtied since the last resident
+	// checkpoint under incremental swapping. The scheduler uses it to
+	// break victim-selection ties toward the cheapest preemption and to
+	// account the transfer cost of its decisions (PreemptedBytes).
+	ParkCost func() int64
 }
 
 // Job is one experiment under scheduler control.
@@ -137,6 +145,7 @@ type Job struct {
 	queuedWait   sim.Time
 	preemptions  int
 	admissions   int
+	lastParkCost int64
 	// autoResume re-queues the job after a park. Preemptions set it;
 	// voluntary parks clear it until Unpark.
 	autoResume bool
@@ -160,6 +169,18 @@ func (j *Job) QueueWait() sim.Time {
 
 // Preemptions reports how often the job was involuntarily parked.
 func (j *Job) Preemptions() int { return j.preemptions }
+
+// LastParkCost reports the estimated bytes moved by the job's most
+// recent park (0 if never parked or no ParkCost hook).
+func (j *Job) LastParkCost() int64 { return j.lastParkCost }
+
+// parkCost evaluates the job's ParkCost hook (0 without one).
+func (j *Job) parkCost() int64 {
+	if j.Hooks.ParkCost == nil {
+		return 0
+	}
+	return j.Hooks.ParkCost()
+}
 
 // Admissions reports how often the job was (re-)admitted.
 func (j *Job) Admissions() int { return j.admissions }
@@ -185,6 +206,10 @@ type Scheduler struct {
 	// Admissions and Preemptions count scheduler decisions.
 	Admissions  int
 	Preemptions int
+	// PreemptedBytes sums the ParkCost estimates of every involuntary
+	// park — the transfer bill of the scheduler's victim choices, which
+	// incremental swapping makes proportional to dirtied state.
+	PreemptedBytes int64
 
 	t0       sim.Time
 	utilAcc  float64 // node-nanoseconds of allocated hardware
@@ -325,6 +350,9 @@ func (d *Scheduler) Park(name string) error {
 		return fmt.Errorf("sched: job %q cannot be parked", name)
 	}
 	j.autoResume = false
+	// A voluntary park still bills the job's transfer cost, but not the
+	// scheduler's PreemptedBytes ledger — that tracks its own decisions.
+	j.lastParkCost = j.parkCost()
 	d.park(j)
 	return nil
 }
@@ -454,12 +482,19 @@ func (d *Scheduler) victims(candidate *Job) (eligible []*Job, nextEligible sim.T
 		}
 		pool = append(pool, j)
 	}
-	// Policy ordering (stable: pool is in submit order).
+	// Policy ordering (stable: pool is in submit order). IdleFirst
+	// breaks idleness ties toward the cheapest park: under incremental
+	// swapping an idle job has dirtied little since its last resident
+	// checkpoint, so the two signals usually agree — but when they
+	// don't, preferring the smaller transfer keeps preemption cheap.
 	less := func(a, b *Job) bool {
 		switch d.Policy {
 		case IdleFirst:
 			if a.lastActive != b.lastActive {
 				return a.lastActive < b.lastActive
+			}
+			if ca, cb := a.parkCost(), b.parkCost(); ca != cb {
+				return ca < cb
 			}
 		case Priority:
 			if a.Priority != b.Priority {
@@ -499,6 +534,9 @@ func (d *Scheduler) tryPreempt(head *Job) {
 	for _, v := range chosen {
 		v.preemptions++
 		d.Preemptions++
+		cost := v.parkCost()
+		v.lastParkCost = cost
+		d.PreemptedBytes += cost
 		d.park(v)
 	}
 }

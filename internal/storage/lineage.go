@@ -1,0 +1,150 @@
+package storage
+
+import "fmt"
+
+// Epoch is one committed incremental checkpoint: the set of blocks
+// dirtied since the parent epoch (content-tagged so reconstruction can
+// be verified byte-identical) plus the dirty memory pages saved with it.
+type Epoch struct {
+	// ID orders epochs within a lineage; the parent is the previous
+	// epoch in the chain (or the merged base).
+	ID int
+	// Blocks maps dirtied virtual block addresses to their content tag.
+	Blocks map[int64]int64
+	// MemPages is the count of dirty memory pages captured in this epoch.
+	MemPages int
+}
+
+// DiskBytes reports the epoch's disk-delta size.
+func (e *Epoch) DiskBytes() int64 { return int64(len(e.Blocks)) * BlockSize }
+
+// Lineage is the server-side checkpoint chain of one swappable node: a
+// merged base plus an ordered chain of incremental epochs. A swap-out
+// commits the epoch's dirty delta; a swap-in reconstructs the node's
+// state by replaying base + chain in order (later epochs win). Chains
+// deeper than MaxDepth are merged from the oldest end into the base —
+// an offline server-side step, like the paper's §5.3 delta merge — so
+// replay cost stays bounded no matter how many swap cycles accumulate.
+type Lineage struct {
+	// MaxDepth bounds the replay chain length; Commit folds the oldest
+	// epochs into the base past it. Zero means DefaultMaxDepth.
+	MaxDepth int
+
+	base   *Epoch
+	chain  []*Epoch
+	nextID int
+
+	// MergedBytes accumulates disk bytes folded into the base by
+	// pruning, the offline server-side work the merge rate pays for.
+	MergedBytes int64
+}
+
+// DefaultMaxDepth is the chain bound used when MaxDepth is zero: deep
+// enough to keep per-cycle commits cheap, shallow enough that replaying
+// base + chain stays close to the merged-image size.
+const DefaultMaxDepth = 4
+
+// NewLineage creates an empty lineage with the given chain bound
+// (0 = DefaultMaxDepth).
+func NewLineage(maxDepth int) *Lineage {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	return &Lineage{
+		MaxDepth: maxDepth,
+		base:     &Epoch{ID: 0, Blocks: make(map[int64]int64)},
+		nextID:   1,
+	}
+}
+
+// Commit appends one incremental checkpoint — the blocks dirtied since
+// the previous commit and the dirty memory pages saved alongside — and
+// prunes the chain back under MaxDepth. It returns the committed epoch.
+func (l *Lineage) Commit(blocks map[int64]int64, memPages int) *Epoch {
+	cp := make(map[int64]int64, len(blocks))
+	for vba, tag := range blocks {
+		cp[vba] = tag
+	}
+	e := &Epoch{ID: l.nextID, Blocks: cp, MemPages: memPages}
+	l.nextID++
+	l.chain = append(l.chain, e)
+	l.prune()
+	return e
+}
+
+// prune folds the oldest chain epochs into the base until the chain is
+// back under MaxDepth. Overlapping blocks deduplicate (the newer epoch
+// wins), which is what keeps replay bytes bounded.
+func (l *Lineage) prune() {
+	for len(l.chain) > l.MaxDepth {
+		oldest := l.chain[0]
+		l.chain = l.chain[1:]
+		for vba, tag := range oldest.Blocks {
+			l.base.Blocks[vba] = tag
+		}
+		l.base.MemPages += oldest.MemPages
+		l.base.ID = oldest.ID
+		l.MergedBytes += oldest.DiskBytes()
+	}
+}
+
+// Depth reports the current chain length (excluding the base).
+func (l *Lineage) Depth() int { return len(l.chain) }
+
+// Epochs reports how many epochs were ever committed.
+func (l *Lineage) Epochs() int { return l.nextID - 1 }
+
+// ReplayBytes reports the disk bytes a swap-in must move to reconstruct
+// the node's state: the merged base plus every chain epoch, in order.
+// Deduplication only happens at prune time, so blocks rewritten across
+// un-pruned epochs are counted (and moved) once per epoch — the price
+// of keeping commits cheap, bounded by MaxDepth.
+func (l *Lineage) ReplayBytes() int64 {
+	n := l.base.DiskBytes()
+	for _, e := range l.chain {
+		n += e.DiskBytes()
+	}
+	return n
+}
+
+// Materialize replays base + chain in commit order and returns the
+// reconstructed content view. Against Volume.Snapshot this is the
+// byte-identity check: a block is correct iff its content tag matches.
+func (l *Lineage) Materialize() map[int64]int64 {
+	out := make(map[int64]int64, len(l.base.Blocks))
+	for vba, tag := range l.base.Blocks {
+		out[vba] = tag
+	}
+	for _, e := range l.chain {
+		for vba, tag := range e.Blocks {
+			out[vba] = tag
+		}
+	}
+	return out
+}
+
+// Drop removes blocks from every epoch (base and chain) — free-block
+// elimination applied retroactively to the server-side history, so a
+// replay does not resurrect blocks the filesystem has freed.
+func (l *Lineage) Drop(isFree func(vba int64) bool) {
+	if isFree == nil {
+		return
+	}
+	drop := func(e *Epoch) {
+		for vba := range e.Blocks {
+			if isFree(vba) {
+				delete(e.Blocks, vba)
+			}
+		}
+	}
+	drop(l.base)
+	for _, e := range l.chain {
+		drop(e)
+	}
+}
+
+// String summarizes the lineage for diagnostics.
+func (l *Lineage) String() string {
+	return fmt.Sprintf("lineage[base=%dMB chain=%d replay=%dMB]",
+		l.base.DiskBytes()>>20, len(l.chain), l.ReplayBytes()>>20)
+}

@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"emucheck/internal/node"
+	"emucheck/internal/sim"
+)
+
+// drain runs the simulator until the volume's disk requests settle.
+func drain(s *sim.Simulator) { s.Run() }
+
+func newTestVolume(s *sim.Simulator) *Volume {
+	m := node.NewMachine(s, "t", node.DefaultParams())
+	return NewVolume(m.Disk, 4<<30, Optimized)
+}
+
+// TestLineageReplayIdentity is the delta-chain reconstruction property:
+// under a random write workload with commits at random epochs, the
+// materialized base + replayed delta chain must be byte-identical
+// (content-tag identical) to a full checkpoint of the volume — across
+// prune/merge boundaries, which the tiny MaxDepth forces constantly.
+func TestLineageReplayIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New(seed)
+		v := newTestVolume(s)
+		l := NewLineage(2) // tiny depth bound: every few commits prune
+
+		pruned := false
+		for epoch := 0; epoch < 12; epoch++ {
+			// Random workload: a mix of fresh writes, overwrites of hot
+			// blocks, and multi-block extents.
+			for w := 0; w < 1+rng.Intn(40); w++ {
+				blk := int64(rng.Intn(200))
+				if rng.Intn(3) == 0 {
+					blk = int64(rng.Intn(8)) // hot set: forces overlap across epochs
+				}
+				n := int64(1+rng.Intn(3)) * BlockSize
+				v.Write(blk*BlockSize, n, nil)
+			}
+			drain(s)
+
+			// Commit the epoch delta and merge locally, as a swap-out does.
+			l.Commit(v.EpochBlocks(nil), 0)
+			v.Merge(true, nil)
+			if l.Depth() < l.MaxDepth+1 && l.Epochs() > l.MaxDepth {
+				pruned = true
+			}
+
+			got, want := l.Materialize(), v.Snapshot(nil)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d epoch %d: replay has %d blocks, snapshot %d", seed, epoch, len(got), len(want))
+			}
+			for vba, tag := range want {
+				if got[vba] != tag {
+					t.Fatalf("seed %d epoch %d: block %d replayed tag %d, want %d", seed, epoch, vba, got[vba], tag)
+				}
+			}
+		}
+		if !pruned {
+			t.Fatalf("seed %d: chain never hit the prune boundary; property untested", seed)
+		}
+		if l.Depth() > l.MaxDepth {
+			t.Fatalf("seed %d: chain depth %d exceeds bound %d", seed, l.Depth(), l.MaxDepth)
+		}
+		if l.MergedBytes == 0 {
+			t.Fatalf("seed %d: pruning merged nothing", seed)
+		}
+	}
+}
+
+// TestLineageFreeBlockDrop: retroactive free-block elimination must
+// remove freed blocks from the replayed image exactly as the volume's
+// merge drops them from the delta history.
+func TestLineageFreeBlockDrop(t *testing.T) {
+	s := sim.New(7)
+	v := newTestVolume(s)
+	l := NewLineage(2)
+	isFree := func(vba int64) bool { return vba%2 == 0 }
+
+	for epoch := 0; epoch < 6; epoch++ {
+		for blk := int64(0); blk < 20; blk++ {
+			v.Write(blk*BlockSize, BlockSize, nil)
+		}
+		drain(s)
+		l.Commit(v.EpochBlocks(isFree), 0)
+		v.Merge(true, isFree)
+	}
+	l.Drop(isFree)
+
+	got, want := l.Materialize(), v.Snapshot(isFree)
+	if len(got) != len(want) {
+		t.Fatalf("replay has %d blocks, snapshot %d", len(got), len(want))
+	}
+	for vba, tag := range want {
+		if isFree(vba) {
+			t.Fatalf("snapshot retains freed block %d", vba)
+		}
+		if got[vba] != tag {
+			t.Fatalf("block %d replayed tag %d, want %d", vba, got[vba], tag)
+		}
+	}
+}
+
+// TestLineageReplayBounded: replay cost must stay bounded by pruning
+// even as committed epochs grow without limit.
+func TestLineageReplayBounded(t *testing.T) {
+	l := NewLineage(3)
+	// Every epoch rewrites the same 10 hot blocks plus 2 fresh ones.
+	fresh := int64(1000)
+	for epoch := 0; epoch < 50; epoch++ {
+		blocks := make(map[int64]int64)
+		for b := int64(0); b < 10; b++ {
+			blocks[b] = int64(epoch*100) + b
+		}
+		blocks[fresh] = int64(epoch)
+		blocks[fresh+1] = int64(epoch)
+		fresh += 2
+		l.Commit(blocks, 0)
+	}
+	if l.Depth() != 3 {
+		t.Fatalf("depth %d, want 3", l.Depth())
+	}
+	// Base holds hot blocks once (deduplicated) plus all pruned fresh
+	// blocks; chain holds 3 epochs of 12. Unbounded replay would be
+	// 50*12 blocks.
+	maxBlocks := int64(10 + 2*50 + 3*12)
+	if got := l.ReplayBytes() / BlockSize; got > maxBlocks {
+		t.Fatalf("replay %d blocks, want <= %d (pruning not deduplicating)", got, maxBlocks)
+	}
+}

@@ -38,6 +38,7 @@ const (
 	Raw
 )
 
+// String names the mode as the evaluation tables label it.
 func (m Mode) String() string {
 	switch m {
 	case Optimized:
@@ -139,6 +140,13 @@ type Volume struct {
 	// cowCopied tracks OriginalLVM copy-aside regions (LVM chunk
 	// granularity) that have already been preserved.
 	cowCopied map[int64]bool
+
+	// content tags every written block with a monotonically increasing
+	// write sequence number, so two views of the volume can be compared
+	// for byte-identity without storing data: equal tags mean the block
+	// was last written by the same write, hence holds the same bytes.
+	content  map[int64]int64
+	writeSeq int64
 
 	// Statistics.
 	ReadsCur, ReadsAgg, ReadsGolden int64
@@ -261,6 +269,11 @@ func (v *Volume) Write(off, n int64, done func()) {
 				v.Disk.Submit(&node.DiskRequest{Op: node.Write, LBA: CopyAreaBase + v.CowCopies*lvmChunk, Bytes: lvmChunk})
 			}
 		}
+		if v.content == nil {
+			v.content = make(map[int64]int64)
+		}
+		v.writeSeq++
+		v.content[b] = v.writeSeq
 		spans = append(spans, span{lba: v.Cur.append(b), n: BlockSize})
 		if v.MetadataEvery > 0 {
 			v.writesSinceMeta++
@@ -280,6 +293,37 @@ func (v *Volume) CurrentDeltaBytes(isFree func(vba int64) bool) int64 {
 	return v.Cur.LiveBytes(isFree)
 }
 
+// EpochBlocks returns the content-tagged view of the current delta —
+// every block dirtied since the last Merge, keyed by virtual block
+// address — optionally after free-block elimination. This is the
+// per-epoch diff an incremental swap-out uploads and commits to a
+// checkpoint Lineage.
+func (v *Volume) EpochBlocks(isFree func(vba int64) bool) map[int64]int64 {
+	out := make(map[int64]int64, len(v.Cur.Index))
+	for vba := range v.Cur.Index {
+		if isFree != nil && isFree(vba) {
+			continue
+		}
+		out[vba] = v.content[vba]
+	}
+	return out
+}
+
+// Snapshot returns the content-tagged view of every block ever written
+// (current plus aggregated history), optionally after free-block
+// elimination — the "full checkpoint" a replayed delta chain must
+// reconstruct exactly.
+func (v *Volume) Snapshot(isFree func(vba int64) bool) map[int64]int64 {
+	out := make(map[int64]int64, len(v.content))
+	for vba, tag := range v.content {
+		if isFree != nil && isFree(vba) {
+			continue
+		}
+		out[vba] = tag
+	}
+	return out
+}
+
 // Merge folds the current delta into the aggregated delta and empties
 // it, as the offline post-swap-out step does. When reorder is true the
 // merged log is re-sorted by virtual block address, restoring locality
@@ -297,6 +341,9 @@ func (v *Volume) Merge(reorder bool, isFree func(vba int64) bool) int64 {
 	vbas := make([]int64, 0, len(merged))
 	for vba := range merged {
 		if isFree != nil && isFree(vba) {
+			// Eliminated for good: the block leaves the delta history, so
+			// reads fall through to golden and the content view must agree.
+			delete(v.content, vba)
 			continue
 		}
 		vbas = append(vbas, vba)

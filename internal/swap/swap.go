@@ -20,12 +20,22 @@
 //     resume — swap-in time grows with accumulated history) or lazily
 //     (demand-paged plus rate-limited background fill — constant
 //     swap-in time); this is §7.2's 150 s-vs-35 s comparison.
+//
+// Incremental mode (Options.Incremental) moves only deltas: swap-out
+// uploads the blocks and memory pages dirtied since the experiment's
+// last resident checkpoint and commits them to a per-node lineage
+// (storage.Lineage); swap-in reconstructs state by replaying base +
+// delta chain, with chains pruned/merged past a depth bound so replay
+// cost stays flat. Per-node uploads pipeline through bandwidth-shared
+// parallel streams (xfer.Server.StreamUpload) instead of serialized
+// full copies, so preemption cost is proportional to dirtied state.
 package swap
 
 import (
 	"fmt"
 
 	"emucheck/internal/core"
+	"emucheck/internal/metrics"
 	"emucheck/internal/node"
 	"emucheck/internal/sim"
 	"emucheck/internal/storage"
@@ -81,9 +91,15 @@ type OutReport struct {
 	PreCopyBytes int64
 	// ResidualBytes were re-dirtied during pre-copy and flushed frozen.
 	ResidualBytes int64
-	MemoryBytes   int64
-	MergedBytes   int64
-	Checkpoint    *core.Result
+	// MemoryBytes is the memory image moved to the server: the full
+	// resident set, or just the dirty delta in incremental mode.
+	MemoryBytes int64
+	MergedBytes int64
+	Checkpoint  *core.Result
+	// Incremental marks a dirty-delta swap-out committed to the lineage.
+	Incremental bool
+	// ChainDepth is the lineage chain length after this commit.
+	ChainDepth int
 }
 
 // Duration reports the wall time of the swap-out.
@@ -96,10 +112,17 @@ type InReport struct {
 	Lazy     bool
 	// GoldenFetched marks a cold golden-image download.
 	GoldenFetched bool
-	DeltaBytes    int64
-	MemoryBytes   int64
+	// DeltaBytes is the disk state staged for the node: the merged
+	// aggregated delta, or the base + delta chain replay in incremental
+	// mode.
+	DeltaBytes  int64
+	MemoryBytes int64
 	// BackgroundDone is when lazy background fill completed (lazy only).
 	BackgroundDone sim.Time
+	// Incremental marks a lineage-replay swap-in.
+	Incremental bool
+	// ChainDepth is the number of chain epochs replayed over the base.
+	ChainDepth int
 }
 
 // Duration reports time until the experiment was running again.
@@ -114,12 +137,27 @@ type Options struct {
 	RateLimit int64
 	// Lazy enables lazy copy-in at swap-in.
 	Lazy bool
+	// Incremental enables the dirty-delta pipeline: swap-out moves only
+	// state dirtied since the last resident checkpoint (memory via the
+	// hypervisor's incremental save, disk via the current-delta epoch)
+	// and commits it to the per-node lineage; swap-in replays base +
+	// delta chain. Uploads go through bandwidth-shared parallel streams.
+	Incremental bool
 }
 
 // DefaultOptions enables pre-copy, lazy copy-in, and the paper's
-// rate-limited background transfer.
+// rate-limited background transfer — the full-copy baseline: the whole
+// resident memory image moves on every swap-out and the whole
+// aggregated delta on every swap-in.
 func DefaultOptions() Options {
 	return Options{PreCopy: true, RateLimit: 10 << 20, Lazy: true}
+}
+
+// IncrementalOptions is DefaultOptions plus the dirty-delta pipeline.
+func IncrementalOptions() Options {
+	o := DefaultOptions()
+	o.Incremental = true
+	return o
 }
 
 // Manager orchestrates swap cycles for one experiment.
@@ -136,15 +174,55 @@ type Manager struct {
 	// ServerMergeRate models the offline server-side delta merge.
 	ServerMergeRate int64
 
+	// MaxChainDepth bounds each node's checkpoint lineage; incremental
+	// commits past it merge the oldest epochs into the base
+	// (0 = storage.DefaultMaxDepth).
+	MaxChainDepth int
+
+	// Stats, when set, accumulates delta/full byte counts per transfer
+	// class ("out.mem_bytes", "out.delta_bytes", "in.mem_bytes",
+	// "in.disk_bytes", "merged_bytes") for reports and assertions.
+	Stats *metrics.Counters
+
 	swappedOut bool
 
 	// Cycle counts completed swap-outs.
 	Cycle int
+
+	// lineages holds each node's server-side checkpoint chain.
+	lineages map[string]*storage.Lineage
+	// lastSwapEpoch is the coordinator epoch of the last swap-out
+	// checkpoint: an incremental memory save is only sound if no other
+	// checkpoint consumed the dirty log since (otherwise the delta on
+	// the server would miss pages saved to the scratch disk instead).
+	lastSwapEpoch int
 }
 
 // NewManager builds a swap manager over the coordinator's members.
 func NewManager(s *sim.Simulator, server *xfer.Server, coord *core.Coordinator, nodes []*Node) *Manager {
-	return &Manager{S: s, Server: server, Coord: coord, Nodes: nodes, ServerMergeRate: 45 << 20}
+	return &Manager{
+		S: s, Server: server, Coord: coord, Nodes: nodes,
+		ServerMergeRate: 45 << 20,
+		lineages:        make(map[string]*storage.Lineage),
+	}
+}
+
+// Lineage returns (creating on first use) the named node's checkpoint
+// chain.
+func (m *Manager) Lineage(name string) *storage.Lineage {
+	l, ok := m.lineages[name]
+	if !ok {
+		l = storage.NewLineage(m.MaxChainDepth)
+		m.lineages[name] = l
+	}
+	return l
+}
+
+// stat accumulates into the optional counter set.
+func (m *Manager) stat(name string, n int64) {
+	if m.Stats != nil {
+		m.Stats.Add(name, n)
+	}
 }
 
 // SwappedOut reports whether the experiment is currently swapped out.
@@ -159,9 +237,14 @@ func (m *Manager) SwapOut(o Options, done func([]*OutReport)) error {
 	reports := make([]*OutReport, len(m.Nodes))
 	cuts := make([]int, len(m.Nodes))
 	for i, n := range m.Nodes {
-		reports[i] = &OutReport{Started: start}
+		reports[i] = &OutReport{Started: start, Incremental: o.Incremental}
 		cuts[i] = n.Vol.Cur.Slots()
 	}
+	// An incremental memory save needs a base on the server (one prior
+	// swap-out) and an unbroken dirty log: an intermediate checkpoint to
+	// the scratch disk consumed pages the server never saw, so fall back
+	// to a full save when the coordinator epoch moved underneath us.
+	incrMem := o.Incremental && m.Cycle > 0 && m.Coord.Epoch() == m.lastSwapEpoch
 
 	var ckpt func()
 	ckpt = func() {
@@ -180,8 +263,9 @@ func (m *Manager) SwapOut(o Options, done func([]*OutReport)) error {
 			return
 		}
 		err := m.Coord.Checkpoint(core.Options{
-			Target:     xen.ToControlNet,
-			HoldResume: true,
+			Target:      xen.ToControlNet,
+			HoldResume:  true,
+			Incremental: incrMem,
 		}, func(res *core.Result) {
 			m.afterFreeze(o, res, reports, cuts, done)
 		})
@@ -194,31 +278,83 @@ func (m *Manager) SwapOut(o Options, done func([]*OutReport)) error {
 		ckpt()
 		return nil
 	}
-	// Eager pre-copy of every node's live current delta, in parallel;
-	// the shared server pipe serializes the bytes.
+	// Eager pre-copy of every node's live current delta, in parallel.
+	// The full-copy path serializes the bytes FIFO through the shared
+	// server pipe; incremental mode pipelines them as bandwidth-shared
+	// streams so one node's delta never queues behind another's.
 	remaining := len(m.Nodes)
 	for i, n := range m.Nodes {
 		i, n := i, n
 		bytes := n.Vol.CurrentDeltaBytes(n.IsFree)
-		c := xfer.NewCopier(m.S, n.Vol.Disk, m.Server)
-		c.Tag = m.Tag
-		if o.RateLimit > 0 {
-			c.RateLimit = o.RateLimit
-		}
-		c.CopyOut(storage.CurBase, bytes, func(moved int64) {
+		finish := func(moved int64) {
 			reports[i].PreCopyBytes = moved
 			remaining--
 			if remaining == 0 {
 				ckpt()
 			}
-		})
+		}
+		if o.Incremental {
+			m.streamOut(o, n.Vol.Disk, bytes, finish)
+			continue
+		}
+		c := xfer.NewCopier(m.S, n.Vol.Disk, m.Server)
+		c.Tag = m.Tag
+		if o.RateLimit > 0 {
+			c.RateLimit = o.RateLimit
+		}
+		c.CopyOut(storage.CurBase, bytes, finish)
 	}
 	return nil
 }
 
-// afterFreeze flushes residual deltas and memory accounting, then
-// releases the hardware.
+// streamOut reads a delta image off the node's disk and pushes it
+// through the server's fair-share pipe concurrently; done fires with
+// the bytes moved when both the spindle and the network are finished.
+// The disk side reads in paced chunks — pre-copy runs while the guest
+// is live, and a monolithic read would head-of-line block every
+// foreground I/O behind the whole delta; the network side is one
+// stream, since fair sharing is the pipe's job.
+func (m *Manager) streamOut(o Options, disk *node.Disk, bytes int64, done func(moved int64)) {
+	if bytes <= 0 {
+		m.S.After(0, "swap.stream0", func() { done(0) })
+		return
+	}
+	remaining := 2
+	fin := func() {
+		remaining--
+		if remaining == 0 {
+			done(bytes)
+		}
+	}
+	const chunk = 1 << 20
+	pace := sim.Time(0)
+	if o.RateLimit > 0 {
+		pace = sim.Time(float64(chunk) / float64(o.RateLimit) * float64(sim.Second))
+	}
+	var read func(cur int64)
+	read = func(cur int64) {
+		n := int64(chunk)
+		if bytes-cur < n {
+			n = bytes - cur
+		}
+		floor := m.S.Now() + pace
+		disk.Submit(&node.DiskRequest{Op: node.Read, LBA: storage.CurBase + cur, Bytes: n, Done: func() {
+			if cur+n >= bytes {
+				fin()
+				return
+			}
+			m.S.After(floor-m.S.Now(), "swap.stream-pace", func() { read(cur + n) })
+		}})
+	}
+	read(0)
+	m.Server.StreamUpload(m.Tag, bytes, fin)
+}
+
+// afterFreeze flushes residual deltas and memory accounting, commits
+// the epoch to each node's lineage (incremental mode), then releases
+// the hardware.
 func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport, cuts []int, done func([]*OutReport)) {
+	m.lastSwapEpoch = m.Coord.Epoch()
 	remaining := len(m.Nodes)
 	for i, n := range m.Nodes {
 		i, n := i, n
@@ -227,9 +363,20 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 		for _, img := range res.Images {
 			if img.Node == n.Name {
 				rep.MemoryBytes = img.MemoryBytes + img.DeviceBytes
-				n.MemImageBytes = img.MemoryBytes + img.DeviceBytes
+				if o.Incremental {
+					// The server applies the delta to its base offline;
+					// swap-in must still restore the full resident image.
+					n.MemImageBytes = n.HV.K.MemoryImageBytes() + img.DeviceBytes
+				} else {
+					n.MemImageBytes = img.MemoryBytes + img.DeviceBytes
+				}
 			}
 		}
+		m.stat("out.mem_bytes", rep.MemoryBytes)
+		// The hypervisor streamed the image over the control net itself
+		// (its timing is inside the checkpoint); the server still logs
+		// the bytes so per-experiment totals are truthful.
+		m.Server.AccountUpload(m.Tag, rep.MemoryBytes)
 		// Blocks appended to the redo log after the pre-copy cut are
 		// residual: blocks written (or re-written) during pre-copy.
 		residualSlots := n.Vol.Cur.Slots() - cuts[i]
@@ -240,15 +387,37 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 		} else {
 			rep.ResidualBytes = int64(residualSlots) * storage.BlockSize
 		}
-		m.Server.UploadTagged(m.Tag, rep.ResidualBytes, func() {
+		m.stat("out.delta_bytes", rep.PreCopyBytes+rep.ResidualBytes)
+		afterFlush := func() {
 			// The node's part of the swap-out ends here; the delta merge
 			// is offline server-side post-processing (§5.3) and does not
 			// extend the user-visible swap-out.
 			rep.Finished = m.S.Now()
+			var serverWork int64
+			if o.Incremental {
+				// Commit the dirty epoch to the lineage before the local
+				// merge folds it into the aggregated delta; server-side
+				// work is whatever pruning folded into the base. Free-block
+				// elimination applies retroactively to the whole chain, so
+				// replay never resurrects blocks the filesystem has freed
+				// since they were committed.
+				lin := m.Lineage(n.Name)
+				pruned := lin.MergedBytes
+				lin.Commit(n.Vol.EpochBlocks(n.IsFree),
+					int(rep.MemoryBytes/int64(n.HV.P.PageSize)))
+				lin.Drop(n.IsFree)
+				rep.ChainDepth = lin.Depth()
+				serverWork = lin.MergedBytes - pruned
+			}
+			n.HV.K.Dirty.CutEpoch()
 			merged := n.Vol.Merge(true, n.IsFree)
 			n.AggBytesOnServer = merged
 			rep.MergedBytes = merged
-			mergeDur := sim.Time(float64(merged) / float64(m.ServerMergeRate) * float64(sim.Second))
+			if !o.Incremental {
+				serverWork = merged
+			}
+			m.stat("merged_bytes", serverWork)
+			mergeDur := sim.Time(float64(serverWork) / float64(m.ServerMergeRate) * float64(sim.Second))
 			m.S.After(mergeDur, "swap.merge", func() {
 				remaining--
 				if remaining == 0 {
@@ -257,7 +426,12 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 					done(reports)
 				}
 			})
-		})
+		}
+		if o.Incremental {
+			m.Server.StreamUpload(m.Tag, rep.ResidualBytes, afterFlush)
+		} else {
+			m.Server.UploadTagged(m.Tag, rep.ResidualBytes, afterFlush)
+		}
 	}
 }
 
@@ -290,38 +464,55 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport)) error {
 	}
 	for i, n := range m.Nodes {
 		i, n := i, n
-		rep := &InReport{Started: start, Lazy: o.Lazy}
+		rep := &InReport{Started: start, Lazy: o.Lazy, Incremental: o.Incremental}
 		reports[i] = rep
+		// The disk state to stage: the merged aggregated delta, or the
+		// lineage's base + delta chain replay in incremental mode.
+		diskBytes := n.AggBytesOnServer
+		if o.Incremental {
+			lin := m.Lineage(n.Name)
+			diskBytes = lin.ReplayBytes()
+			rep.ChainDepth = lin.Depth()
+		}
 		stage2 := func() {
 			// Node setup + memory image download, then disk state.
 			m.S.After(NodeSetupTime, "swap.setup", func() {
-				m.Server.DownloadTagged(m.Tag, n.MemImageBytes, func() {
+				memDone := func() {
 					rep.MemoryBytes = n.MemImageBytes
-					rep.DeltaBytes = n.AggBytesOnServer
+					rep.DeltaBytes = diskBytes
+					m.stat("in.mem_bytes", rep.MemoryBytes)
+					m.stat("in.disk_bytes", diskBytes)
 					if !o.Lazy {
-						// Eager: the whole aggregated delta lands before
-						// the node may resume.
+						// Eager: the whole disk state lands before the
+						// node may resume.
 						c := xfer.NewCopier(m.S, n.Vol.Disk, m.Server)
 						c.Tag = m.Tag
 						if o.RateLimit > 0 {
 							c.RateLimit = o.RateLimit
 						}
-						c.CopyIn(storage.AggBase, n.AggBytesOnServer, func(int64) {
+						c.CopyIn(storage.AggBase, diskBytes, func(int64) {
 							finishNode(i)
 						})
 						return
 					}
-					// Lazy: resume immediately; the aggregated delta image
-					// is demand-paged and back-filled into the COW log
-					// region (raw addressing — the delta is an image file,
-					// not guest-visible block space).
+					// Lazy: resume immediately; the staged disk image is
+					// demand-paged and back-filled into the COW log region
+					// (raw addressing — the delta is an image file, not
+					// guest-visible block space).
 					lm := xfer.NewLazyMirror(m.S, rawRegion{d: n.Vol.Disk, base: storage.AggBase},
-						m.Server, n.Vol.Disk, n.AggBytesOnServer)
+						m.Server, n.Vol.Disk, diskBytes)
 					lm.SetTag(m.Tag)
 					n.lazy = lm
 					lm.StartBackground(func() { rep.BackgroundDone = m.S.Now() })
 					finishNode(i)
-				})
+				}
+				if o.Incremental {
+					// Memory images pipeline across nodes on the shared
+					// pipe instead of queueing behind each other.
+					m.Server.StreamDownload(m.Tag, n.MemImageBytes, memDone)
+				} else {
+					m.Server.DownloadTagged(m.Tag, n.MemImageBytes, memDone)
+				}
 			})
 		}
 		if !n.GoldenCached {

@@ -1,0 +1,168 @@
+package xfer
+
+import (
+	"testing"
+
+	"emucheck/internal/node"
+	"emucheck/internal/sim"
+)
+
+// TestStreamsShareBandwidth: two equal concurrent streams must each see
+// half the pipe and finish together, taking twice the solo time — the
+// processor-sharing contract.
+func TestStreamsShareBandwidth(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 10<<20) // 10 MB/s
+	const n = 10 << 20         // 10 MB each
+
+	var doneA, doneB sim.Time
+	sv.StreamUpload("a", n, func() { doneA = s.Now() })
+	sv.StreamUpload("b", n, func() { doneB = s.Now() })
+	s.Run()
+
+	if doneA == 0 || doneB == 0 {
+		t.Fatal("streams never completed")
+	}
+	if doneA != doneB {
+		t.Fatalf("equal streams finished apart: %v vs %v", doneA, doneB)
+	}
+	want := 2 * sim.Second
+	if doneA < want-sim.Millisecond || doneA > want+sim.Millisecond {
+		t.Fatalf("two shared 1 s streams should take ~2 s, took %v", doneA)
+	}
+	if sv.ByTag["a"] != n || sv.ByTag["b"] != n {
+		t.Fatalf("per-tag accounting wrong: %v", sv.ByTag)
+	}
+}
+
+// TestStreamSmallNotBlockedByLarge: a small stream admitted alongside a
+// huge one must finish far sooner than the huge one — the anti-head-of-
+// line property serialized FIFO transfers lack.
+func TestStreamSmallNotBlockedByLarge(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 10<<20)
+
+	var bigDone, smallDone sim.Time
+	sv.StreamUpload("big", 100<<20, func() { bigDone = s.Now() })
+	sv.StreamUpload("small", 1<<20, func() { smallDone = s.Now() })
+	s.Run()
+
+	if smallDone == 0 || bigDone == 0 {
+		t.Fatal("streams never completed")
+	}
+	// Small: 1 MB at a 5 MB/s share = 0.2 s. FIFO would have made it
+	// wait 10 s behind the big one.
+	if smallDone > sim.Second {
+		t.Fatalf("small stream head-of-line blocked: finished at %v", smallDone)
+	}
+	if bigDone < 10*sim.Second {
+		t.Fatalf("big stream finished impossibly fast: %v", bigDone)
+	}
+	if sv.ActiveStreams() != 0 {
+		t.Fatalf("%d streams leaked", sv.ActiveStreams())
+	}
+}
+
+// TestStreamStaggeredAdmission: a stream joining midway slows the first
+// one from its join point only; totals stay conserved.
+func TestStreamStaggeredAdmission(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 10<<20)
+
+	var doneA, doneB sim.Time
+	sv.StreamUpload("a", 10<<20, func() { doneA = s.Now() })
+	s.At(500*sim.Millisecond, "join", func() {
+		sv.StreamUpload("b", 10<<20, func() { doneB = s.Now() })
+	})
+	s.Run()
+
+	// A: 5 MB solo in 0.5 s, then shares; both have 1 s of shared pipe
+	// ahead... A finishes at 0.5 + 5/5 = 1.5 s, B drains its remaining
+	// 5 MB solo after that: 1.5 + 0.5 = 2.0 s.
+	if doneA < 1490*sim.Millisecond || doneA > 1510*sim.Millisecond {
+		t.Fatalf("stream A finished at %v, want ~1.5s", doneA)
+	}
+	if doneB < 1990*sim.Millisecond || doneB > 2010*sim.Millisecond {
+		t.Fatalf("stream B finished at %v, want ~2s", doneB)
+	}
+}
+
+// TestCopierCancelStopsPromptly: cancelling an in-flight CopyOut must
+// stop scheduling chunks and report the bytes moved so far, well short
+// of the full range.
+func TestCopierCancelStopsPromptly(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 100<<20)
+	m := node.NewMachine(s, "n", node.DefaultParams())
+
+	c := NewCopier(s, m.Disk, sv)
+	c.RateLimit = 10 << 20 // 1 MiB chunks at 10 MB/s: ~0.1 s per chunk
+	const total = 64 << 20
+
+	var moved int64 = -1
+	c.CopyOut(0, total, func(n int64) { moved = n })
+	// Cancel mid-copy, after ~5 chunks.
+	s.After(500*sim.Millisecond, "cancel", func() { c.Cancel() })
+	s.Run()
+
+	if moved < 0 {
+		t.Fatal("done callback never fired")
+	}
+	if moved >= total {
+		t.Fatalf("cancel ignored: all %d bytes moved", moved)
+	}
+	if moved == 0 {
+		t.Fatal("nothing moved before cancel")
+	}
+	if moved != c.Moved {
+		t.Fatalf("done reported %d, Moved says %d", moved, c.Moved)
+	}
+	// At most one chunk may complete after the cancel instant.
+	if moved > 8<<20 {
+		t.Fatalf("copy kept scheduling after cancel: %d bytes", moved)
+	}
+	if !c.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+}
+
+// TestCopierCancelCopyIn mirrors the cancellation contract on the
+// download path.
+func TestCopierCancelCopyIn(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 100<<20)
+	m := node.NewMachine(s, "n", node.DefaultParams())
+
+	c := NewCopier(s, m.Disk, sv)
+	c.RateLimit = 10 << 20
+	const total = 64 << 20
+
+	var moved int64 = -1
+	c.CopyIn(0, total, func(n int64) { moved = n })
+	s.After(300*sim.Millisecond, "cancel", func() { c.Cancel() })
+	s.Run()
+
+	if moved <= 0 || moved >= total {
+		t.Fatalf("cancelled CopyIn moved %d of %d", moved, total)
+	}
+	if moved != c.Moved {
+		t.Fatalf("done reported %d, Moved says %d", moved, c.Moved)
+	}
+}
+
+// TestCopierCancelBeforeStart: a copier cancelled before the first
+// chunk reports zero moved immediately.
+func TestCopierCancelBeforeStart(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 100<<20)
+	m := node.NewMachine(s, "n", node.DefaultParams())
+
+	c := NewCopier(s, m.Disk, sv)
+	c.Cancel()
+	var moved int64 = -1
+	c.CopyOut(0, 8<<20, func(n int64) { moved = n })
+	s.Run()
+	if moved != 0 {
+		t.Fatalf("pre-cancelled copy moved %d bytes", moved)
+	}
+}

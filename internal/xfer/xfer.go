@@ -15,8 +15,11 @@ import (
 )
 
 // Server models the Emulab file server reached over the control
-// network. Transfers are serialized FIFO at the configured rate — the
-// 100 Mbps control LAN is the bottleneck the paper calls out in §7.2.
+// network. Plain transfers are serialized FIFO at the configured rate —
+// the 100 Mbps control LAN is the bottleneck the paper calls out in
+// §7.2 — while Stream transfers share the same pipe fairly
+// (processor-sharing), modeling the pipelined per-node uploads of the
+// incremental swap path instead of serialized full copies.
 type Server struct {
 	s    *sim.Simulator
 	Rate int64 // bytes/second
@@ -25,6 +28,12 @@ type Server struct {
 	// Bytes moved in each direction, for reports.
 	Received uint64
 	Served   uint64
+
+	// Processor-sharing stream state: every active stream gets an equal
+	// share of Rate; membership changes resettle the remaining bytes.
+	streams    []*stream
+	streamEv   *sim.Event
+	streamLast sim.Time
 
 	// Queued is the total time transfers spent waiting behind earlier
 	// bytes in the shared pipe — the control-LAN bottleneck of §7.2.
@@ -88,6 +97,117 @@ func (sv *Server) UploadTagged(tag string, n int64, done func()) { sv.transfer(t
 // DownloadTagged is Download with per-experiment attribution.
 func (sv *Server) DownloadTagged(tag string, n int64, done func()) { sv.transfer(tag, n, false, done) }
 
+// AccountUpload charges n node->server bytes to the accounting ledgers
+// (Received, ByTag) without occupying the pipe — for transfers whose
+// timing is modeled elsewhere, like the checkpoint images the
+// hypervisor itself streams over the control network during a swap-out.
+func (sv *Server) AccountUpload(tag string, n int64) {
+	if n <= 0 {
+		return
+	}
+	sv.Received += uint64(n)
+	if tag != "" {
+		sv.ByTag[tag] += n
+	}
+}
+
+// AccountDownload is AccountUpload for server->node bytes.
+func (sv *Server) AccountDownload(tag string, n int64) {
+	if n <= 0 {
+		return
+	}
+	sv.Served += uint64(n)
+	if tag != "" {
+		sv.ByTag[tag] += n
+	}
+}
+
+// stream is one processor-sharing transfer in flight.
+type stream struct {
+	remaining float64 // bytes still to move
+	done      func()
+}
+
+// StreamUpload moves n bytes node->server through the fair-share pipe:
+// concurrent streams split Rate equally instead of queueing FIFO, so N
+// parallel per-node uploads overlap rather than serialize — a small
+// swap-out is never stuck behind a neighbor's full image.
+func (sv *Server) StreamUpload(tag string, n int64, done func()) { sv.stream(tag, n, true, done) }
+
+// StreamDownload moves n bytes server->node through the fair-share pipe.
+func (sv *Server) StreamDownload(tag string, n int64, done func()) { sv.stream(tag, n, false, done) }
+
+// ActiveStreams reports how many fair-share transfers are in flight.
+func (sv *Server) ActiveStreams() int { return len(sv.streams) }
+
+func (sv *Server) stream(tag string, n int64, up bool, done func()) {
+	if n <= 0 {
+		sv.s.After(0, "xfer.zero", done)
+		return
+	}
+	if up {
+		sv.AccountUpload(tag, n)
+	} else {
+		sv.AccountDownload(tag, n)
+	}
+	sv.settleStreams()
+	sv.streams = append(sv.streams, &stream{remaining: float64(n), done: done})
+	sv.rescheduleStreams()
+}
+
+// settleStreams charges elapsed time against every active stream at the
+// current per-stream share.
+func (sv *Server) settleStreams() {
+	now := sv.s.Now()
+	if len(sv.streams) > 0 {
+		per := float64(sv.Rate) / float64(len(sv.streams))
+		elapsed := (now - sv.streamLast).Seconds()
+		for _, st := range sv.streams {
+			st.remaining -= elapsed * per
+		}
+	}
+	sv.streamLast = now
+}
+
+// rescheduleStreams completes drained streams (in admission order) and
+// arms the next completion event.
+func (sv *Server) rescheduleStreams() {
+	var finished []func()
+	live := sv.streams[:0]
+	for _, st := range sv.streams {
+		if st.remaining <= 0.5 { // sub-byte float residue counts as done
+			finished = append(finished, st.done)
+			continue
+		}
+		live = append(live, st)
+	}
+	sv.streams = live
+	if sv.streamEv != nil && !sv.streamEv.Cancelled() {
+		sv.s.Cancel(sv.streamEv)
+	}
+	sv.streamEv = nil
+	if len(sv.streams) > 0 {
+		per := float64(sv.Rate) / float64(len(sv.streams))
+		min := sv.streams[0].remaining
+		for _, st := range sv.streams[1:] {
+			if st.remaining < min {
+				min = st.remaining
+			}
+		}
+		dur := sim.Time(min / per * float64(sim.Second))
+		sv.streamEv = sv.s.After(dur, "xfer.stream", func() {
+			sv.streamEv = nil
+			sv.settleStreams()
+			sv.rescheduleStreams()
+		})
+	}
+	for _, fn := range finished {
+		if fn != nil {
+			fn()
+		}
+	}
+}
+
 // Copier streams a byte range between a local disk and the server in
 // rate-limited chunks, sharing the spindle with foreground I/O.
 type Copier struct {
@@ -115,8 +235,15 @@ func NewCopier(s *sim.Simulator, disk *node.Disk, server *Server) *Copier {
 	return &Copier{s: s, disk: disk, server: server, ChunkBytes: 1 << 20, RateLimit: 10 << 20}
 }
 
-// Cancel stops the copy after the in-flight chunk.
+// Cancel stops the copy: no further chunks are scheduled after the one
+// in flight, and the copy's done callback fires promptly with the bytes
+// moved so far. Cancellation is checked at every stage boundary (before
+// the disk op, before the server transfer, and before the pacing wait),
+// so a cancel lands within one chunk everywhere in the pipeline.
 func (c *Copier) Cancel() { c.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (c *Copier) Cancelled() bool { return c.cancelled }
 
 // pace reports the minimum wall time one chunk may take under the rate
 // limit.
@@ -145,8 +272,19 @@ func (c *Copier) copyOutFrom(cur, end int64, done func(int64)) {
 	}
 	floor := c.s.Now() + c.pace(n)
 	c.disk.Submit(&node.DiskRequest{Op: node.Read, LBA: cur, Bytes: n, Done: func() {
+		if c.cancelled {
+			// Cancelled between the disk read and the upload: the chunk
+			// never reached the server, so it does not count as moved.
+			done(c.Moved)
+			return
+		}
 		c.server.UploadTagged(c.Tag, n, func() {
 			c.Moved += n
+			if c.cancelled {
+				// Skip the pacing wait; report what actually moved.
+				done(c.Moved)
+				return
+			}
 			next := floor - c.s.Now()
 			c.s.After(next, "xfer.pace", func() { c.copyOutFrom(cur+n, end, done) })
 		})
@@ -169,8 +307,18 @@ func (c *Copier) copyInFrom(cur, end int64, done func(int64)) {
 	}
 	floor := c.s.Now() + c.pace(n)
 	c.server.DownloadTagged(c.Tag, n, func() {
+		if c.cancelled {
+			// The chunk crossed the network but was never written back;
+			// it is not usable data, so it does not count as moved.
+			done(c.Moved)
+			return
+		}
 		c.disk.Submit(&node.DiskRequest{Op: node.Write, LBA: cur, Bytes: n, Done: func() {
 			c.Moved += n
+			if c.cancelled {
+				done(c.Moved)
+				return
+			}
 			next := floor - c.s.Now()
 			c.s.After(next, "xfer.pace", func() { c.copyInFrom(cur+n, end, done) })
 		}})

@@ -256,6 +256,39 @@ func BenchmarkTimeshare(b *testing.B) {
 	}
 }
 
+var (
+	brOnce sync.Once
+	brRes  *evalrun.BranchResult
+)
+
+// BenchmarkBranch regenerates the branch fan-out table: the same 4-way
+// fork of a checkpointed parent staged via the refcounted shared
+// lineage (one multicast pass, clone-aware restore) versus naive
+// per-branch full copies. Sharing must move strictly fewer control-LAN
+// bytes and have the whole frontier in service strictly sooner.
+func BenchmarkBranch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		brOnce.Do(func() { brRes = evalrun.BranchTable(benchSeed, 4) })
+	}
+	b.ReportMetric(brRes.Shared.MovedMB, "MB-shared")
+	b.ReportMetric(brRes.Naive.MovedMB, "MB-naive")
+	b.ReportMetric(brRes.Shared.AllRunningS, "s-frontier-shared")
+	b.ReportMetric(brRes.Naive.AllRunningS, "s-frontier-naive")
+	b.ReportMetric(brRes.Shared.MulticastSavedMB, "MB-mcast-saved")
+	if brRes.Shared.AllRunningS <= 0 || brRes.Naive.AllRunningS <= 0 {
+		b.Fatalf("fan-out frontier never fully in service: shared %.0f s, naive %.0f s",
+			brRes.Shared.AllRunningS, brRes.Naive.AllRunningS)
+	}
+	if brRes.Shared.MovedMB >= brRes.Naive.MovedMB {
+		b.Fatalf("shared fan-out moved %.0f MB, naive %.0f MB — no byte savings",
+			brRes.Shared.MovedMB, brRes.Naive.MovedMB)
+	}
+	if brRes.Shared.AllRunningS >= brRes.Naive.AllRunningS {
+		b.Fatalf("shared frontier live at %.0f s, naive at %.0f s — no wall-clock win",
+			brRes.Shared.AllRunningS, brRes.Naive.AllRunningS)
+	}
+}
+
 // BenchmarkCheckpointLatency measures the raw cost of one incremental
 // distributed checkpoint on an idle 2-node experiment — an ablation for
 // the downtime the firewall conceals.

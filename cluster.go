@@ -7,6 +7,7 @@ import (
 	"emucheck/internal/metrics"
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
+	"emucheck/internal/storage"
 	"emucheck/internal/swap"
 	"emucheck/internal/timetravel"
 )
@@ -56,6 +57,19 @@ type Cluster struct {
 	// tenant's swap cycles (see swap.Manager.Stats for the keys).
 	SwapStats *metrics.Counters
 
+	// Chains is the facility-wide refcounted, content-addressed
+	// checkpoint-chain store: branches forked from the same checkpoint
+	// share their base and common deltas by reference, and releasing a
+	// branch garbage-collects deltas no branch can reach.
+	Chains *storage.ChainStore
+
+	// NaiveBranchCopy switches Branch to the evaluation baseline: each
+	// branch stages its own full unicast copy of the parent state (no
+	// lineage sharing, no multicast) and parks under the cluster's
+	// plain transfer mode. It exists so the shared-lineage fan-out can
+	// be measured against per-branch full copies.
+	NaiveBranchCopy bool
+
 	tenants   []*Session
 	byName    map[string]*Session
 	nodeOwner map[string]string
@@ -70,13 +84,19 @@ func NewCluster(pool int, seed int64, policy Policy) *Cluster {
 		TB:        emulab.NewTestbed(s, pool),
 		Sched:     sched.New(s, pool, policy),
 		SwapStats: metrics.NewCounters(),
+		Chains:    storage.NewChainStore(),
 		byName:    make(map[string]*Session),
 		nodeOwner: make(map[string]string),
 	}
 }
 
-// swapOptions picks the park/resume transfer mode.
-func (c *Cluster) swapOptions() swap.Options {
+// swapOptions picks the tenant's park/resume transfer mode. Branch
+// tenants restore clone-aware (their chains share a prefix with their
+// siblings) unless the naive-copy baseline is selected.
+func (c *Cluster) swapOptions(sess *Session) swap.Options {
+	if sess != nil && sess.IsBranch() && !c.NaiveBranchCopy {
+		return swap.BranchOptions()
+	}
 	if c.Incremental {
 		return swap.IncrementalOptions()
 	}
@@ -92,9 +112,10 @@ func (c *Cluster) parkCost(sess *Session) int64 {
 	if sess.Exp == nil || sess.Exp.Swap == nil {
 		return 0
 	}
+	incremental := c.swapOptions(sess).Incremental
 	var total int64
 	for _, n := range sess.Exp.Swap.Nodes {
-		if c.Incremental && sess.Exp.Swap.Cycle > 0 {
+		if incremental && sess.Exp.Swap.Cycle > 0 {
 			total += int64(n.HV.K.Dirty.EpochDirty()) * int64(n.HV.P.PageSize)
 		} else {
 			total += n.HV.K.MemoryImageBytes()
@@ -175,6 +196,7 @@ func (c *Cluster) startTenant(sess *Session, done func()) {
 		sess.Exp = exp
 		if exp.Swap != nil {
 			exp.Swap.Stats = c.SwapStats
+			exp.Swap.Chains = c.Chains
 		}
 		if sess.Scenario.Setup != nil {
 			sess.Scenario.Setup(sess)
@@ -193,7 +215,7 @@ func (c *Cluster) parkTenant(sess *Session, done func()) {
 		c.S.After(0, "cluster.stateless-out", done)
 		return
 	}
-	err := sess.Exp.Swap.SwapOut(c.swapOptions(), func([]*swap.OutReport) {
+	err := sess.Exp.Swap.SwapOut(c.swapOptions(sess), func([]*swap.OutReport) {
 		c.TB.ReleaseHardware(sess.Exp)
 		done()
 	})
@@ -228,7 +250,7 @@ func (c *Cluster) resumeTenant(sess *Session, done func()) {
 	if err := c.TB.AcquireHardware(sess.Exp); err != nil {
 		panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
 	}
-	err := sess.Exp.Swap.SwapIn(c.swapOptions(), func([]*swap.InReport) { done() })
+	err := sess.Exp.Swap.SwapIn(c.swapOptions(sess), func([]*swap.InReport) { done() })
 	if err != nil {
 		panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
 	}
@@ -266,6 +288,13 @@ func (c *Cluster) Finish(name string) error {
 	// may need these very nodes.
 	freed := 0
 	if sess.Exp != nil {
+		if sess.Exp.Swap != nil {
+			// Prune the tenant's checkpoint chains: its references drop,
+			// and the store garbage-collects deltas no surviving branch
+			// shares. A parent's release leaves forked prefixes alive for
+			// its branches; the last release reclaims them.
+			sess.Exp.Swap.ReleaseLineages()
+		}
 		freed = sess.Exp.Allocated()
 		c.TB.SwapOutStateless(sess.Exp)
 		sess.Exp = nil
@@ -289,6 +318,21 @@ func (c *Cluster) Finish(name string) error {
 
 // Tenant returns a submitted experiment's session by name.
 func (c *Cluster) Tenant(name string) *Session { return c.byName[name] }
+
+// Genealogy reports a tenant's fork ancestry, root first. A tenant
+// that is not a branch is its own one-element genealogy.
+func (c *Cluster) Genealogy(name string) []string {
+	var path []string
+	for cur := name; cur != ""; {
+		path = append([]string{cur}, path...)
+		s := c.byName[cur]
+		if s == nil {
+			break
+		}
+		cur = s.parentName
+	}
+	return path
+}
 
 // Tenants returns every tenant in submit order.
 func (c *Cluster) Tenants() []*Session { return c.tenants }

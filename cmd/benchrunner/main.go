@@ -27,10 +27,11 @@ import (
 func main() {
 	var (
 		fig    = flag.Int("fig", 0, "figure number to regenerate (4-9)")
-		table  = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare")
+		table  = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare | branch")
 		all    = flag.Bool("all", false, "regenerate everything")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		quick  = flag.Bool("quick", false, "reduced workload sizes")
+		fanout = flag.Int("fanout", 4, "branch table fan-out")
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of tables")
 	)
 	flag.Parse()
@@ -88,6 +89,7 @@ func main() {
 	runT("dom0", "Dom0 interference (§7.1)", func() renderer { return evalrun.Dom0Jobs(*seed) })
 	runT("ablation", "Ablation: delay-node capture (§4.4)", func() renderer { return evalrun.AblationDelayNode(*seed) })
 	runT("timeshare", "Multi-tenancy: incremental vs full-copy vs stateless swapping", func() renderer { return evalrun.Timeshare(*seed, ticksTS) })
+	runT("branch", "Branch fan-out: shared-lineage vs naive per-branch full copies", func() renderer { return evalrun.BranchTable(*seed, *fanout) })
 
 	if !ran {
 		flag.Usage()

@@ -16,6 +16,12 @@
 // fails, so scripted scenarios double as integration checks. evalrun
 // compares incremental (dirty-delta), full-copy stateful, and classic
 // stateless swapping on an oversubscribed pool.
+//
+// Scenario files with a "search" stanza run the state-search engine:
+// one experiment is checkpointed, forked into a gang-admitted branch
+// fan-out sharing its checkpoint prefix by reference, and the report
+// includes each branch's explored outcome (see
+// examples/scenarios/search.json and docs/branching.md).
 package main
 
 import (

@@ -38,6 +38,8 @@ import (
 	"emucheck/internal/guest"
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+	"emucheck/internal/storage"
 	"emucheck/internal/swap"
 	"emucheck/internal/timetravel"
 )
@@ -103,6 +105,15 @@ type Session struct {
 	done    bool // finished standalone session (job-managed ones track state in job)
 	perturb Perturbation
 	branch  TreeNodeID
+
+	// Branch genealogy (cluster fan-out): parentName names the tenant
+	// this session was forked from, branch the fork checkpoint, alias
+	// the logical-to-physical node-name map, and branchLineages the
+	// forked per-node chains adopted at first admission.
+	parentName     string
+	children       []string
+	alias          map[string]string
+	branchLineages map[string]*storage.Lineage
 }
 
 // NewSession instantiates the scenario on a fresh deterministic testbed
@@ -210,10 +221,15 @@ func (s *Session) applyDilation() {
 	}
 }
 
-// Kernel returns a node's guest kernel for workload installation.
+// Kernel returns a node's guest kernel for workload installation. For
+// branch sessions the parent's logical node names resolve through the
+// branch's alias map, so a parent's workload closure installs unchanged.
 func (s *Session) Kernel(node string) *guest.Kernel {
 	if s.Exp == nil {
 		panic(fmt.Sprintf("emucheck: experiment %q is %s, not instantiated", s.Scenario.Spec.Name, s.State()))
+	}
+	if phys, ok := s.alias[node]; ok {
+		node = phys
 	}
 	n := s.Exp.Node(node)
 	if n == nil {
@@ -221,6 +237,33 @@ func (s *Session) Kernel(node string) *guest.Kernel {
 	}
 	return n.K
 }
+
+// Addr resolves a (possibly logical) node name to its control-network
+// address, so branch workloads address peers by the parent's names.
+func (s *Session) Addr(node string) simnet.Addr {
+	if phys, ok := s.alias[node]; ok {
+		node = phys
+	}
+	return simnet.Addr(node)
+}
+
+// Parent names the tenant this session was branched from ("" for
+// sessions that are not branches).
+func (s *Session) Parent() string { return s.parentName }
+
+// Children lists the branches forked from this session, in fork order.
+func (s *Session) Children() []string { return append([]string(nil), s.children...) }
+
+// IsBranch reports whether the session was created by Cluster.Branch.
+func (s *Session) IsBranch() bool { return s.parentName != "" }
+
+// BranchPoint reports the checkpoint the branch was forked from.
+func (s *Session) BranchPoint() TreeNodeID { return s.branch }
+
+// Perturb reports the perturbation the session runs under. Workloads
+// may consult it (notably the SeedChange seed) to explore a different
+// nondeterministic future per branch.
+func (s *Session) Perturb() Perturbation { return s.perturb }
 
 // RunFor advances the session by d of simulated real time.
 func (s *Session) RunFor(d sim.Time) { s.S.RunFor(d) }

@@ -1,8 +1,13 @@
 // State search (paper §6): "a model checker could branch from past
-// execution checkpoints to test unexplored states." This example
-// explores a protocol's behaviour space by repeatedly branching replays
-// off one checkpoint with different perturbation seeds — each branch is
-// an independent execution future grown from the same captured past.
+// execution checkpoints to test unexplored states." This example runs
+// the search at cluster scale: a racy leader election is checkpointed
+// just before its race window, then Cluster.Branch forks the checkpoint
+// into N branch tenants exploring different perturbation seeds *in
+// parallel* — gang-admitted onto the shared pool, their common
+// checkpoint prefix shared by reference in the refcounted chain store
+// and staged by a single multicast pass over the control LAN, instead
+// of the old one-branch-at-a-time Rollback replay with a full copy per
+// branch.
 package main
 
 import (
@@ -16,15 +21,20 @@ import (
 	"emucheck/internal/simnet"
 )
 
-// racyWorkload elects a leader with a naive race: both nodes claim
-// leadership after a randomized (jitter-dependent) backoff; if their
-// claims cross in flight, the run ends in split-brain.
+// racyWorkload elects a leader with a naive race: both nodes journal a
+// ballot to disk, then claim leadership after a backoff derived from
+// measured timing jitter mixed with the session's perturbation seed (a
+// common sin — deriving randomness from timing). If the claims cross in
+// flight, the run ends in split-brain. The same closure installs on the
+// parent and on every branch: node names resolve through the branch
+// alias, and the seed comes from the session's perturbation.
 func racyWorkload(outcome *string) func(*emucheck.Session) {
 	return func(s *emucheck.Session) {
+		seed := s.Perturb().Seed
 		a, b := s.Kernel("a"), s.Kernel("b")
 		claimed := map[string]bool{}
 		decide := func(self *guest.Kernel, peer string) func(simnet.Addr, *guest.Message) {
-			return func(from simnet.Addr, m *guest.Message) {
+			return func(simnet.Addr, *guest.Message) {
 				if claimed[self.Name] {
 					*outcome = "split-brain"
 					return
@@ -36,14 +46,12 @@ func racyWorkload(outcome *string) func(*emucheck.Session) {
 		}
 		a.Handle("claim", decide(a, "b"))
 		b.Handle("claim", decide(b, "a"))
-		claim := func(self *guest.Kernel, peer simnet.Addr) {
-			// The racy part: the backoff bucket is derived from measured
-			// scheduling jitter (a common sin in real systems — deriving
-			// randomness from timing), so different perturbation seeds
-			// genuinely explore different interleavings.
+		a.WriteDisk(1<<30, 8<<20, nil) // ballot journal: the disk state branches inherit
+		b.WriteDisk(1<<30, 8<<20, nil)
+		claim := func(self *guest.Kernel, peer simnet.Addr, mix int64) {
 			t0 := self.Monotonic()
 			self.Usleep(sim.Millisecond, func() {
-				jitterNs := int64(self.Monotonic()-t0) % 1000
+				jitterNs := (int64(self.Monotonic()-t0) + mix) % 1000
 				backoff := 60 * sim.Millisecond
 				if jitterNs%2 == 1 {
 					backoff = 140 * sim.Millisecond
@@ -57,8 +65,8 @@ func racyWorkload(outcome *string) func(*emucheck.Session) {
 				})
 			})
 		}
-		claim(a, "b")
-		claim(b, "a")
+		claim(a, s.Addr("b"), seed)
+		claim(b, s.Addr("a"), seed>>1)
 	}
 }
 
@@ -76,53 +84,71 @@ func spec() emulab.Spec {
 }
 
 func main() {
-	// Original run: capture a checkpoint just before the race window.
-	var outcome string
-	s := emucheck.NewSession(emucheck.Scenario{Spec: spec(), Setup: racyWorkload(&outcome)}, 1)
-	s.RunFor(50 * sim.Millisecond)
-	if _, err := s.Checkpoint(); err != nil {
+	const fanOut = 8
+	// Pool: the parent (2 nodes + 1 delay node) plus the whole gang.
+	c := emucheck.NewCluster(3*(fanOut+1), 1, emucheck.FIFO)
+	c.Incremental = true
+
+	// Original run: capture a checkpoint, then watch the race play out.
+	var original string
+	parent, err := c.Submit(emucheck.Scenario{Spec: spec(), Setup: racyWorkload(&original)}, 0)
+	if err != nil {
 		panic(err)
 	}
-	ckpt := s.Tree.Head()
-	s.RunFor(2 * sim.Second)
-	fmt.Printf("original run outcome: %s\n", outcome)
-	fmt.Printf("exploring 12 futures branched from checkpoint %d ...\n", ckpt)
+	c.RunFor(10 * sim.Second)
+	if err := parent.CheckpointAsync(emucheck.CheckpointOptions{}, nil); err != nil {
+		panic(err)
+	}
+	c.RunFor(20 * sim.Second)
+	ckpt := parent.Tree.Head()
+	fmt.Printf("original run outcome: %s\n", original)
+	fmt.Printf("forking %d futures from checkpoint %d as parallel cluster tenants ...\n", fanOut, ckpt)
 
-	// Branch the same past into many perturbed futures.
-	results := map[string]int{}
-	cur := s
-	for seed := int64(100); seed < 112; seed++ {
-		var o string
-		cur.Scenario = emucheck.Scenario{Spec: spec(), Setup: racyWorkload(&o)}
-		branch, err := cur.Rollback(ckpt, emucheck.Perturbation{Kind: emucheck.SeedChange, Seed: seed})
-		if err != nil {
-			panic(err)
+	// One Branch call fans the whole frontier out: gang admission
+	// co-schedules the batch, the shared prefix is multicast once, and
+	// each branch re-executes the election under its own seed.
+	outcomes := make([]string, fanOut)
+	specs := make([]emucheck.BranchSpec, fanOut)
+	for i := range specs {
+		o := &outcomes[i]
+		specs[i] = emucheck.BranchSpec{
+			Perturb: emucheck.Perturbation{Kind: emucheck.SeedChange, Seed: int64(100 + i)},
+			Setup:   racyWorkload(o),
 		}
-		branch.RunFor(2 * sim.Second)
+	}
+	branches, err := c.Branch("election", ckpt, specs...)
+	if err != nil {
+		panic(err)
+	}
+	c.RunFor(5 * sim.Minute)
+
+	results := map[string]int{}
+	for i, b := range branches {
+		o := outcomes[i]
 		if o == "" {
 			o = "no-decision"
 		}
 		results[o]++
-		// Seal the branch tip with its own checkpoint so the execution
-		// tree records this explored future.
-		if _, err := branch.Checkpoint(); err != nil {
-			panic(err)
-		}
-		cur = branch
+		fmt.Printf("  %-14s seed=%d state=%s genealogy=%v\n",
+			o, specs[i].Perturb.Seed, b.State(), c.Genealogy(b.Scenario.Spec.Name))
 	}
-
 	var keys []string
 	for k := range results {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	fmt.Println("explored outcome space:")
 	for _, k := range keys {
-		fmt.Printf("  %-12s x%d\n", k, results[k])
+		fmt.Printf("  %-14s x%d\n", k, results[k])
 	}
-	fmt.Printf("execution tree: %d nodes, %d leaves — one captured past, many futures\n",
-		cur.Tree.Len(), len(cur.Tree.Leaves()))
+
+	fmt.Printf("chain store: %d unique epochs, %.1f MB stored for %d branch chains (dedup saved %.1f MB)\n",
+		c.Chains.Entries(), float64(c.Chains.StoredBytes())/(1<<20), fanOut,
+		float64(c.Chains.DedupBytes)/(1<<20))
+	fmt.Printf("staging: one multicast pass saved %.1f MB of unicast control-LAN traffic\n",
+		float64(c.TB.Server.MulticastSavedBytes)/(1<<20))
 	if results["split-brain"] > 0 {
-		fmt.Println("the state search surfaced the split-brain interleaving without")
-		fmt.Println("ever re-running the (possibly expensive) setup phase before the checkpoint")
+		fmt.Println("the state search surfaced the split-brain interleaving — with the")
+		fmt.Println("whole frontier exploring in parallel and the captured past stored once")
 	}
 }

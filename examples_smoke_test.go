@@ -69,3 +69,23 @@ func TestScenarioCLIRuns(t *testing.T) {
 		t.Fatalf("run: %s", out)
 	}
 }
+
+// TestSearchScenarioCLIRuns: emucheck understands the search scenario
+// type end to end — validate and replay the committed split-brain
+// fan-out, including the branch table in the report.
+func TestSearchScenarioCLIRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs subprocesses")
+	}
+	t.Parallel()
+	out := goRun(t, "./cmd/emucheck", "validate", "examples/scenarios/search.json")
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("validate: %s", out)
+	}
+	out = goRun(t, "./cmd/emucheck", "run", "examples/scenarios/search.json")
+	for _, want := range []string{"result: PASS", "fan-out", "split-brain", "distinct outcomes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("run output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -17,6 +17,9 @@ import (
 type ExpStats struct {
 	Ticks       int64 `json:"ticks"`
 	Checkpoints int   `json:"checkpoints"`
+	// Outcome is the workload's terminal verdict (racyelect: the leader
+	// elected, or "split-brain").
+	Outcome string `json:"outcome,omitempty"`
 }
 
 // Check is one evaluated assertion.
@@ -38,6 +41,37 @@ type ExpRow struct {
 	// SwapMB is the experiment's total file-server traffic (both
 	// directions) across its swap cycles, in MB.
 	SwapMB float64 `json:"swap_mb"`
+	// Outcome is the workload's terminal verdict, if it has one.
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// BranchRow is one explored branch's end-of-run summary.
+type BranchRow struct {
+	Name    string `json:"name"`
+	Seed    int64  `json:"seed"`
+	State   string `json:"state"`
+	Outcome string `json:"outcome,omitempty"`
+	Ticks   int64  `json:"ticks"`
+}
+
+// SearchResult summarizes a branch fan-out exploration.
+type SearchResult struct {
+	Parent string `json:"parent"`
+	FanOut int    `json:"fan_out"`
+	// Naive marks the per-branch full-copy baseline.
+	Naive    bool        `json:"naive,omitempty"`
+	Branches []BranchRow `json:"branches"`
+	// DistinctOutcomes counts the different terminal verdicts the
+	// branches reached — the breadth the search bought.
+	DistinctOutcomes int `json:"distinct_outcomes"`
+	// StoredMB is the chain store's unique server-side footprint;
+	// SharedMB the replay bytes branches hold by shared reference.
+	StoredMB float64 `json:"stored_mb"`
+	SharedMB float64 `json:"shared_mb"`
+	// MulticastSavedMB is what unicasting the staged prefix to every
+	// branch would have added to the control LAN.
+	MulticastSavedMB float64 `json:"multicast_saved_mb"`
+	GangAdmissions   int     `json:"gang_admissions"`
 }
 
 // Result is a completed scenario run.
@@ -55,8 +89,10 @@ type Result struct {
 	// incremental swapping).
 	PreemptedMB float64  `json:"preempted_mb"`
 	Experiments []ExpRow `json:"experiments"`
-	Checks      []Check  `json:"checks,omitempty"`
-	EventErrors []string `json:"event_errors,omitempty"`
+	// Search is the fan-out exploration summary (search scenarios only).
+	Search      *SearchResult `json:"search,omitempty"`
+	Checks      []Check       `json:"checks,omitempty"`
+	EventErrors []string      `json:"event_errors,omitempty"`
 }
 
 // Run validates and replays the scenario, returning the evaluated
@@ -114,6 +150,59 @@ func Run(f *File) (*Result, error) {
 		})
 	}
 
+	// Schedule the search fan-out: checkpoint the parent at the branch
+	// point, then fork the batch.
+	var branchStats []*ExpStats
+	var branchSeeds []int64
+	var branchSessions []*emucheck.Session
+	if s := f.Search; s != nil {
+		c.NaiveBranchCopy = s.Naive
+		sIdx := expIndex(f, s.Parent)
+		parentExp := &f.Experiments[sIdx]
+		ckAt, _ := parseDur(s.CheckpointAt)
+		brAt, _ := parseDur(s.BranchAt)
+		c.S.At(ckAt, "scenario.search-ckpt", func() {
+			sess := c.Tenant(s.Parent)
+			if sess == nil {
+				evErr("t=%v search checkpoint: %s not submitted", c.Now(), s.Parent)
+				return
+			}
+			err := sess.CheckpointAsync(core.Options{Incremental: true}, func(*core.Result) {
+				stats[sIdx].Checkpoints++
+			})
+			if err != nil {
+				evErr("t=%v search checkpoint: %v", c.Now(), err)
+			}
+		})
+		c.S.At(brAt, "scenario.search-branch", func() {
+			sess := c.Tenant(s.Parent)
+			if sess == nil || sess.Tree.Len() <= 1 {
+				evErr("t=%v search branch: no branch-point checkpoint on %s", c.Now(), s.Parent)
+				return
+			}
+			specs := make([]emucheck.BranchSpec, s.FanOut)
+			for i := range specs {
+				seed := int64(100 + i)
+				if len(s.Seeds) > 0 {
+					seed = s.Seeds[i]
+				}
+				st := &ExpStats{}
+				branchStats = append(branchStats, st)
+				branchSeeds = append(branchSeeds, seed)
+				specs[i] = emucheck.BranchSpec{
+					Perturb: emucheck.Perturbation{Kind: emucheck.SeedChange, Seed: seed},
+					Setup:   workloadSetup(c, parentExp, st),
+				}
+			}
+			bs, err := c.Branch(s.Parent, sess.Tree.Head(), specs...)
+			if err != nil {
+				evErr("t=%v search branch: %v", c.Now(), err)
+				return
+			}
+			branchSessions = bs
+		})
+	}
+
 	dur, _ := parseDur(f.RunFor)
 	c.RunFor(dur)
 	res.Ran = dur.String()
@@ -125,7 +214,8 @@ func Run(f *File) (*Result, error) {
 	res.PreemptedMB = float64(c.Sched.PreemptedBytes) / (1 << 20)
 	for i := range f.Experiments {
 		e := &f.Experiments[i]
-		row := ExpRow{Name: e.Name, State: "unsubmitted", Ticks: stats[i].Ticks, Checkpoints: stats[i].Checkpoints}
+		row := ExpRow{Name: e.Name, State: "unsubmitted", Ticks: stats[i].Ticks,
+			Checkpoints: stats[i].Checkpoints, Outcome: stats[i].Outcome}
 		if t := c.Tenant(e.Name); t != nil {
 			row.State = t.State()
 			row.Admissions = t.Admissions()
@@ -135,8 +225,34 @@ func Run(f *File) (*Result, error) {
 		}
 		res.Experiments = append(res.Experiments, row)
 	}
+	if s := f.Search; s != nil {
+		sr := &SearchResult{Parent: s.Parent, FanOut: s.FanOut, Naive: s.Naive}
+		outcomes := make(map[string]bool)
+		var shared int64
+		for i, b := range branchSessions {
+			row := BranchRow{
+				Name: b.Scenario.Spec.Name, Seed: branchSeeds[i],
+				State: b.State(), Outcome: branchStats[i].Outcome, Ticks: branchStats[i].Ticks,
+			}
+			if row.Outcome != "" {
+				outcomes[row.Outcome] = true
+			}
+			if b.Exp != nil && b.Exp.Swap != nil {
+				for _, lin := range b.Exp.Swap.Lineages() {
+					shared += lin.SharedBytes()
+				}
+			}
+			sr.Branches = append(sr.Branches, row)
+		}
+		sr.DistinctOutcomes = len(outcomes)
+		sr.StoredMB = float64(c.Chains.StoredBytes()) / (1 << 20)
+		sr.SharedMB = float64(shared) / (1 << 20)
+		sr.MulticastSavedMB = float64(c.TB.Server.MulticastSavedBytes) / (1 << 20)
+		sr.GangAdmissions = c.Sched.GangAdmissions
+		res.Search = sr
+	}
 	for _, a := range f.Assertions {
-		res.Checks = append(res.Checks, evalAssertion(c, f, stats, a))
+		res.Checks = append(res.Checks, evalAssertion(c, f, stats, res, a))
 	}
 	res.Pass = len(res.EventErrors) == 0
 	for _, ch := range res.Checks {
@@ -159,19 +275,22 @@ func expIndex(f *File, name string) int {
 // workloadSetup installs the named built-in workload. Every workload
 // reports activity to the scheduler (the IdleFirst signal) and counts
 // progress ticks for assertions. Setup reruns from scratch if the
-// cluster readmits the experiment statelessly.
+// cluster readmits the experiment statelessly. Node names are the
+// experiment's logical names and activity is reported under the
+// session's own name, so the same setup installs unchanged on a branch
+// session (where both resolve through the branch alias).
 func workloadSetup(c *emucheck.Cluster, e *Experiment, st *ExpStats) func(*emucheck.Session) {
-	name := e.Name
 	switch e.Workload {
 	case "sleeploop":
 		first := e.Nodes[0].Name
 		return func(s *emucheck.Session) {
+			self := s.Scenario.Spec.Name
 			k := s.Kernel(first)
 			var step func()
 			step = func() {
 				k.Usleep(100*sim.Millisecond, func() {
 					st.Ticks++
-					c.Touch(name)
+					c.Touch(self)
 					step()
 				})
 			}
@@ -180,24 +299,26 @@ func workloadSetup(c *emucheck.Cluster, e *Experiment, st *ExpStats) func(*emuch
 	case "pingpong":
 		a, b := e.Nodes[0].Name, e.Nodes[1].Name
 		return func(s *emucheck.Session) {
+			self := s.Scenario.Spec.Name
 			ka, kb := s.Kernel(a), s.Kernel(b)
 			kb.Handle("ping", func(simnet.Addr, *guest.Message) {
-				kb.Send(simnet.Addr(a), 200, &guest.Message{Port: "pong"})
+				kb.Send(s.Addr(a), 200, &guest.Message{Port: "pong"})
 			})
 			var send func()
 			ka.Handle("pong", func(simnet.Addr, *guest.Message) {
 				st.Ticks++
-				c.Touch(name)
+				c.Touch(self)
 				// Pace the exchange: an RPC every 50 ms, not a raw-fabric
 				// packet storm.
 				ka.Usleep(50*sim.Millisecond, send)
 			})
-			send = func() { ka.Send(simnet.Addr(b), 200, &guest.Message{Port: "ping"}) }
+			send = func() { ka.Send(s.Addr(b), 200, &guest.Message{Port: "ping"}) }
 			send()
 		}
 	case "diskchurn":
 		first := e.Nodes[0].Name
 		return func(s *emucheck.Session) {
+			self := s.Scenario.Spec.Name
 			k := s.Kernel(first)
 			var off int64
 			var step func()
@@ -205,14 +326,76 @@ func workloadSetup(c *emucheck.Cluster, e *Experiment, st *ExpStats) func(*emuch
 				k.WriteDisk(1<<30+off%(1<<30), 512<<10, func() {
 					off += 512 << 10
 					st.Ticks++
-					c.Touch(name)
+					c.Touch(self)
 					k.Usleep(sim.Second, step)
 				})
 			}
 			step()
 		}
+	case "racyelect":
+		return racyElectSetup(c, e, st)
 	}
 	return nil // idle
+}
+
+// racyElectSetup installs the split-brain leader-election race: both
+// nodes claim leadership after a backoff derived from measured timing
+// jitter mixed with the session's perturbation seed (the common sin of
+// deriving randomness from timing), so different branch seeds genuinely
+// explore different interleavings — some elect a leader, some end in
+// split-brain when the claims cross in flight.
+func racyElectSetup(c *emucheck.Cluster, e *Experiment, st *ExpStats) func(*emucheck.Session) {
+	aN, bN := e.Nodes[0].Name, e.Nodes[1].Name
+	return func(s *emucheck.Session) {
+		self := s.Scenario.Spec.Name
+		seed := s.Perturb().Seed
+		ka, kb := s.Kernel(aN), s.Kernel(bN)
+		claimed := make(map[string]bool)
+		decided := func() {
+			st.Ticks++
+			c.Touch(self)
+		}
+		decide := func(k *guest.Kernel, peerLogical string) func(simnet.Addr, *guest.Message) {
+			return func(simnet.Addr, *guest.Message) {
+				if claimed[k.Name] {
+					st.Outcome = "split-brain"
+					decided()
+					return
+				}
+				if st.Outcome == "" {
+					st.Outcome = "leader=" + peerLogical
+					decided()
+				}
+			}
+		}
+		ka.Handle("claim", decide(ka, bN))
+		kb.Handle("claim", decide(kb, aN))
+		// Each candidate journals its ballot to a small on-disk log first
+		// — the disk state branches inherit from the checkpoint prefix
+		// and then diverge on.
+		ka.WriteDisk(1<<30, 8<<20, nil)
+		kb.WriteDisk(1<<30, 8<<20, nil)
+		claim := func(k *guest.Kernel, peer simnet.Addr, mix int64) {
+			t0 := k.Monotonic()
+			k.Usleep(sim.Millisecond, func() {
+				jitterNs := (int64(k.Monotonic()-t0) + mix) % 1000
+				backoff := 60 * sim.Millisecond
+				if jitterNs%2 == 1 {
+					backoff = 140 * sim.Millisecond
+				}
+				k.Usleep(backoff, func() {
+					if st.Outcome != "" {
+						return // the peer's claim already won
+					}
+					claimed[k.Name] = true
+					k.Send(peer, 120, &guest.Message{Port: "claim"})
+				})
+			})
+		}
+		// Per-node mixes decorrelate the two backoff draws under one seed.
+		claim(ka, s.Addr(bN), seed)
+		claim(kb, s.Addr(aN), seed>>1)
+	}
 }
 
 // applyEvent executes one timed action.
@@ -249,7 +432,7 @@ func applyEvent(c *emucheck.Cluster, ev Event, st *ExpStats) error {
 }
 
 // evalAssertion checks one assertion against the finished run.
-func evalAssertion(c *emucheck.Cluster, f *File, stats []*ExpStats, a Assertion) Check {
+func evalAssertion(c *emucheck.Cluster, f *File, stats []*ExpStats, res *Result, a Assertion) Check {
 	idx := expIndex(f, a.Target)
 	var sess *emucheck.Session
 	if a.Target != "" {
@@ -277,13 +460,19 @@ func evalAssertion(c *emucheck.Cluster, f *File, stats []*ExpStats, a Assertion)
 		}
 		return mkCheck(desc, int64(got) >= a.Value, fmt.Sprintf("got %d", got))
 	case "all_admitted":
-		for _, t := range c.Tenants() {
+		// Branch tenants are counted by all_branches_admitted; this
+		// assertion covers the experiments declared in the file.
+		for i := range f.Experiments {
+			t := c.Tenant(f.Experiments[i].Name)
+			if t == nil {
+				return mkCheck("all experiments admitted", false, f.Experiments[i].Name+" never submitted")
+			}
 			if t.Admissions() == 0 {
 				return mkCheck("all experiments admitted", false, t.Scenario.Spec.Name+" never admitted")
 			}
 		}
-		return mkCheck("all experiments admitted", len(c.Tenants()) == len(f.Experiments),
-			fmt.Sprintf("%d of %d submitted", len(c.Tenants()), len(f.Experiments)))
+		return mkCheck("all experiments admitted", true,
+			fmt.Sprintf("%d experiments", len(f.Experiments)))
 	case "max_queue_wait":
 		lim, _ := parseDur(a.Dur)
 		worstName, worst := "", sim.Time(0)
@@ -314,6 +503,44 @@ func evalAssertion(c *emucheck.Cluster, f *File, stats []*ExpStats, a Assertion)
 		got := c.Utilization() * 100
 		return mkCheck(fmt.Sprintf("pool utilization >= %d%%", a.Value), got >= float64(a.Value),
 			fmt.Sprintf("got %.0f%%", got))
+	case "outcome_found":
+		desc := fmt.Sprintf("outcome %q explored", a.Want)
+		if res.Search == nil {
+			return mkCheck(desc, false, "no search ran")
+		}
+		var seen []string
+		for _, b := range res.Search.Branches {
+			if b.Outcome == a.Want {
+				return mkCheck(desc, true, "by "+b.Name)
+			}
+			if b.Outcome != "" {
+				seen = append(seen, b.Outcome)
+			}
+		}
+		return mkCheck(desc, false, fmt.Sprintf("saw %v", seen))
+	case "min_distinct_outcomes":
+		desc := fmt.Sprintf("distinct outcomes >= %d", a.Value)
+		if res.Search == nil {
+			return mkCheck(desc, false, "no search ran")
+		}
+		return mkCheck(desc, int64(res.Search.DistinctOutcomes) >= a.Value,
+			fmt.Sprintf("got %d", res.Search.DistinctOutcomes))
+	case "all_branches_admitted":
+		desc := "all branches admitted"
+		if res.Search == nil {
+			return mkCheck(desc, false, "no search ran")
+		}
+		if len(res.Search.Branches) != res.Search.FanOut {
+			return mkCheck(desc, false,
+				fmt.Sprintf("%d of %d branches forked", len(res.Search.Branches), res.Search.FanOut))
+		}
+		for _, b := range res.Search.Branches {
+			t := c.Tenant(b.Name)
+			if t == nil || t.Admissions() == 0 {
+				return mkCheck(desc, false, b.Name+" never admitted")
+			}
+		}
+		return mkCheck(desc, true, fmt.Sprintf("%d branches", len(res.Search.Branches)))
 	case "max_swap_mb":
 		var gotBytes int64
 		desc := fmt.Sprintf("swap traffic <= %d MB", a.Value)
@@ -342,6 +569,18 @@ func (r *Result) Render() string {
 	}
 	s := fmt.Sprintf("scenario %s: ran %s (%s swap), pool utilization %.0f%%, %d admissions, %d preemptions (%.1f MB preempted state)\n%s",
 		r.Name, r.Ran, r.SwapMode, r.Utilization*100, r.Admissions, r.Preemptions, r.PreemptedMB, t.String())
+	if sr := r.Search; sr != nil {
+		mode := "shared-lineage"
+		if sr.Naive {
+			mode = "naive full-copy"
+		}
+		bt := &metrics.Table{Header: []string{"branch", "seed", "state", "outcome", "ticks"}}
+		for _, b := range sr.Branches {
+			bt.AddRow(b.Name, b.Seed, b.State, b.Outcome, b.Ticks)
+		}
+		s += fmt.Sprintf("search: %d-way fan-out from %s (%s): %d distinct outcomes, store %.1f MB (%.1f MB shared by ref), multicast saved %.1f MB\n%s",
+			sr.FanOut, sr.Parent, mode, sr.DistinctOutcomes, sr.StoredMB, sr.SharedMB, sr.MulticastSavedMB, bt.String())
+	}
 	for _, e := range r.EventErrors {
 		s += "event error: " + e + "\n"
 	}

@@ -52,8 +52,32 @@ type File struct {
 	Swap        string       `json:"swap,omitempty"`
 	RunFor      string       `json:"run_for"`
 	Experiments []Experiment `json:"experiments"`
-	Events      []Event      `json:"events,omitempty"`
-	Assertions  []Assertion  `json:"assertions,omitempty"`
+	// Search, when present, turns the run into a state-search: one
+	// experiment is checkpointed and then forked into a batch of
+	// concurrently exploring branch tenants (Cluster.Branch), each
+	// under its own perturbation seed.
+	Search     *Search     `json:"search,omitempty"`
+	Events     []Event     `json:"events,omitempty"`
+	Assertions []Assertion `json:"assertions,omitempty"`
+}
+
+// Search configures a branch fan-out exploration.
+type Search struct {
+	// Parent names the experiment to branch from (every node must be
+	// swappable — branch state rides the checkpoint chains).
+	Parent string `json:"parent"`
+	// CheckpointAt is when the branch-point checkpoint is captured.
+	CheckpointAt string `json:"checkpoint_at"`
+	// BranchAt is when the fan-out forks (must be after CheckpointAt).
+	BranchAt string `json:"branch_at"`
+	// FanOut is the number of branches.
+	FanOut int `json:"fan_out"`
+	// Seeds perturbs each branch (len must equal fan_out if present;
+	// default seeds 100, 101, ...).
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Naive switches to the evaluation baseline: every branch stages
+	// its own full copy instead of sharing the checkpoint prefix.
+	Naive bool `json:"naive,omitempty"`
 }
 
 // Experiment declares one tenant: its network and its workload.
@@ -124,19 +148,23 @@ var workloads = map[string]bool{
 	"sleeploop": true,
 	"pingpong":  true,
 	"diskchurn": true,
+	"racyelect": true,
 }
 
 // Assertion types understood by the runner.
 var assertionTypes = map[string]bool{
-	"state":               true,
-	"min_ticks":           true,
-	"min_checkpoints":     true,
-	"min_preemptions":     true,
-	"all_admitted":        true,
-	"max_queue_wait":      true,
-	"virtual_elapsed_max": true,
-	"utilization_min":     true,
-	"max_swap_mb":         true,
+	"state":                 true,
+	"min_ticks":             true,
+	"min_checkpoints":       true,
+	"min_preemptions":       true,
+	"all_admitted":          true,
+	"max_queue_wait":        true,
+	"virtual_elapsed_max":   true,
+	"utilization_min":       true,
+	"max_swap_mb":           true,
+	"outcome_found":         true,
+	"min_distinct_outcomes": true,
+	"all_branches_admitted": true,
 }
 
 // swapModes understood by the runner.
@@ -241,8 +269,8 @@ func Validate(f *File) []error {
 		if !workloads[e.Workload] {
 			bad("experiment %q: unknown workload %q", e.Name, e.Workload)
 		}
-		if e.Workload == "pingpong" && len(e.Nodes) < 2 {
-			bad("experiment %q: pingpong needs two nodes", e.Name)
+		if (e.Workload == "pingpong" || e.Workload == "racyelect") && len(e.Nodes) < 2 {
+			bad("experiment %q: %s needs two nodes", e.Name, e.Workload)
 		}
 		if _, err := parseDur(e.SubmitAt); err != nil {
 			bad("experiment %q: submit_at %q does not parse", e.Name, e.SubmitAt)
@@ -270,6 +298,39 @@ func Validate(f *File) []error {
 		}
 		if need := e.Spec().NodesNeeded(); need > f.Pool {
 			bad("experiment %q needs %d nodes, pool is %d — it can never be admitted", e.Name, need, f.Pool)
+		}
+	}
+
+	if s := f.Search; s != nil {
+		parent, ok := expByName[s.Parent]
+		if !ok {
+			bad("search: unknown parent %q", s.Parent)
+		} else {
+			if !parent.Spec().Swappable() {
+				bad("search: parent %q must be fully swappable (branch state rides the checkpoint chains)", s.Parent)
+			}
+			if s.FanOut > 0 {
+				if need := parent.Spec().NodesNeeded() * s.FanOut; need > f.Pool {
+					bad("search: fan-out %d needs %d nodes for gang admission, pool is %d", s.FanOut, need, f.Pool)
+				}
+			}
+		}
+		if s.FanOut <= 0 {
+			bad("search: fan_out must be positive, got %d", s.FanOut)
+		}
+		ckAt, ckErr := parseDur(s.CheckpointAt)
+		if ckErr != nil || s.CheckpointAt == "" {
+			bad("search: checkpoint_at %q does not parse", s.CheckpointAt)
+		}
+		brAt, brErr := parseDur(s.BranchAt)
+		if brErr != nil || s.BranchAt == "" {
+			bad("search: branch_at %q does not parse", s.BranchAt)
+		}
+		if ckErr == nil && brErr == nil && brAt <= ckAt {
+			bad("search: branch_at %q must come after checkpoint_at %q", s.BranchAt, s.CheckpointAt)
+		}
+		if len(s.Seeds) > 0 && len(s.Seeds) != s.FanOut {
+			bad("search: %d seeds for fan_out %d", len(s.Seeds), s.FanOut)
 		}
 	}
 
@@ -304,6 +365,16 @@ func Validate(f *File) []error {
 		case "state":
 			if a.Target == "" || a.Want == "" {
 				bad("assertion %d: state needs target and want", i)
+			}
+		case "outcome_found", "min_distinct_outcomes", "all_branches_admitted":
+			if f.Search == nil {
+				bad("assertion %d: %s needs a search stanza", i, a.Type)
+			}
+			if a.Type == "outcome_found" && a.Want == "" {
+				bad("assertion %d: outcome_found needs want", i)
+			}
+			if a.Type == "min_distinct_outcomes" && a.Value <= 0 {
+				bad("assertion %d: min_distinct_outcomes needs a positive value", i)
 			}
 		case "min_ticks", "min_checkpoints":
 			if a.Target == "" {

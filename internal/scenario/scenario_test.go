@@ -22,10 +22,105 @@ func load(t *testing.T, name string) *File {
 }
 
 func TestExampleScenariosValidate(t *testing.T) {
-	for _, name := range []string{"timeshare.json", "swapcycle.json", "priority.json", "incremental.json"} {
+	for _, name := range []string{"timeshare.json", "swapcycle.json", "priority.json", "incremental.json", "search.json"} {
 		if errs := Validate(load(t, name)); len(errs) > 0 {
 			t.Fatalf("%s: %v", name, errs)
 		}
+	}
+}
+
+func TestValidateCatchesSearchProblems(t *testing.T) {
+	f := &File{
+		Name: "bad-search", Pool: 4, RunFor: "1m",
+		Experiments: []Experiment{
+			{Name: "e", Workload: "racyelect", Nodes: []Node{
+				{Name: "a", Swappable: true}, {Name: "b"}}},
+		},
+		Search: &Search{
+			Parent: "e", CheckpointAt: "20s", BranchAt: "10s",
+			FanOut: 3, Seeds: []int64{1, 2},
+		},
+		Assertions: []Assertion{
+			{Type: "outcome_found"},
+			{Type: "min_distinct_outcomes"},
+		},
+	}
+	errs := Validate(f)
+	joined := ""
+	for _, e := range errs {
+		joined += e.Error() + "\n"
+	}
+	for _, want := range []string{
+		"fully swappable", "gang admission", "branch_at", "seeds for fan_out",
+		"outcome_found needs want", "positive value",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+	// Search-only assertions without a search stanza.
+	f2 := &File{
+		Name: "no-search", Pool: 2, RunFor: "1m",
+		Experiments: []Experiment{{Name: "e", Workload: "idle", Nodes: []Node{{Name: "a"}}}},
+		Assertions:  []Assertion{{Type: "all_branches_admitted"}},
+	}
+	errs2 := Validate(f2)
+	joined2 := ""
+	for _, e := range errs2 {
+		joined2 += e.Error() + "\n"
+	}
+	if !strings.Contains(joined2, "needs a search stanza") {
+		t.Errorf("missing search-stanza guard in:\n%s", joined2)
+	}
+}
+
+// TestRunSearchScenario replays the committed split-brain search: the
+// fan-out must explore concurrently (gang admission), share its prefix
+// (multicast savings, refcounted store), and surface the race.
+func TestRunSearchScenario(t *testing.T) {
+	res, err := Run(load(t, "search.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("scenario failed:\n%s", res.Render())
+	}
+	sr := res.Search
+	if sr == nil || len(sr.Branches) != sr.FanOut {
+		t.Fatalf("search summary incomplete: %+v", sr)
+	}
+	if sr.GangAdmissions != 1 {
+		t.Fatalf("gang admissions = %d, want 1", sr.GangAdmissions)
+	}
+	if sr.MulticastSavedMB <= 0 {
+		t.Fatal("fan-out staged without multicast savings")
+	}
+	if sr.SharedMB <= 0 || sr.StoredMB >= sr.SharedMB {
+		t.Fatalf("prefix not shared by reference: stored %.1f MB, shared %.1f MB", sr.StoredMB, sr.SharedMB)
+	}
+	if sr.DistinctOutcomes < 2 {
+		t.Fatalf("search explored only %d outcomes", sr.DistinctOutcomes)
+	}
+}
+
+// TestRunSearchScenarioDeterministic: two runs of the same search file
+// and seed must produce byte-identical result structs — the concurrent
+// branch machinery (gang admission, multicast staging, shared chain
+// store) stays on the simulator's deterministic rails.
+func TestRunSearchScenarioDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := Run(load(t, "search.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same file+seed diverged:\n%s\n%s", a, b)
 	}
 }
 

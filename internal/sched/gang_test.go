@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+// gangRig builds a scheduler plus helpers to submit instantly-starting
+// jobs whose park/resume complete after a fixed simulated delay.
+type gangRig struct {
+	s *sim.Simulator
+	d *Scheduler
+}
+
+func newGangRig(capacity int, policy Policy) *gangRig {
+	s := sim.New(1)
+	return &gangRig{s: s, d: New(s, capacity, policy)}
+}
+
+func (r *gangRig) job(name string, need int) *Job {
+	return &Job{
+		Name: name, Need: need, Preemptible: true,
+		Hooks: Hooks{
+			Start:  func(done func()) { r.s.After(sim.Second, "start", done) },
+			Park:   func(done func()) { r.s.After(5*sim.Second, "park", done) },
+			Resume: func(done func()) { r.s.After(sim.Second, "resume", done) },
+		},
+	}
+}
+
+// TestGangAdmitsAllOrNone: a gang larger than the free pool waits as a
+// unit — no member starts until the whole batch fits — and then all
+// members enter service together.
+func TestGangAdmitsAllOrNone(t *testing.T) {
+	r := newGangRig(4, FIFO)
+	hold := r.job("hold", 2)
+	if err := r.d.Submit(hold); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunFor(11 * sim.Second) // past MinResidency
+
+	gang := []*Job{r.job("b1", 1), r.job("b2", 1), r.job("b3", 1), r.job("b4", 1)}
+	if err := r.d.SubmitGang(gang); err != nil {
+		t.Fatal(err)
+	}
+	// Only 2 nodes free: no member may start piecemeal.
+	r.s.RunFor(sim.Millisecond)
+	for _, j := range gang {
+		if j.State() != Queued {
+			t.Fatalf("gang member %s is %v before the batch fits", j.Name, j.State())
+		}
+	}
+	// The scheduler preempts the holder for the gang's total demand;
+	// check right after the park (5 s) + start (1 s) window, before the
+	// FIFO rotation starts trading members back out.
+	r.s.RunFor(7 * sim.Second)
+	for _, j := range gang {
+		if j.State() != Running {
+			t.Fatalf("gang member %s is %v, want running", j.Name, j.State())
+		}
+	}
+	if hold.Preemptions() != 1 {
+		t.Fatalf("holder preempted %d times, want 1", hold.Preemptions())
+	}
+	if r.d.GangAdmissions != 1 {
+		t.Fatalf("GangAdmissions = %d, want 1", r.d.GangAdmissions)
+	}
+	// All four admissions happened at one instant (co-scheduled).
+	at := gang[0].admittedAt
+	for _, j := range gang[1:] {
+		if j.admittedAt != at {
+			t.Fatalf("member %s admitted at %v, first at %v — not co-scheduled", j.Name, j.admittedAt, at)
+		}
+	}
+}
+
+// TestGangRejectsOversizedBatch: a gang whose combined demand exceeds
+// the pool can never be admitted and is refused at submit time.
+func TestGangRejectsOversizedBatch(t *testing.T) {
+	r := newGangRig(3, FIFO)
+	err := r.d.SubmitGang([]*Job{r.job("a", 2), r.job("b", 2)})
+	if err == nil {
+		t.Fatal("oversized gang accepted")
+	}
+	if len(r.d.Jobs()) != 0 {
+		t.Fatal("rejected gang left jobs enrolled")
+	}
+}
+
+// TestGangMemberParksIndividually: after first admission a preempted
+// gang member loses its gang tag and re-queues alone — the batch does
+// not reform, and its sibling keeps running.
+func TestGangMemberParksIndividually(t *testing.T) {
+	r := newGangRig(2, FIFO)
+	gang := []*Job{r.job("b1", 1), r.job("b2", 1)}
+	if err := r.d.SubmitGang(gang); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunFor(15 * sim.Second)
+	// A newcomer needing 1 node preempts exactly one member; freeze
+	// further rotation so the aftermath is observable.
+	if err := r.d.Submit(r.job("late", 1)); err != nil {
+		t.Fatal(err)
+	}
+	r.d.MinResidency = 10 * sim.Minute
+	r.s.RunFor(7 * sim.Second)
+
+	b1, b2 := gang[0], gang[1]
+	if b1.Preemptions() != 1 || b2.Preemptions() != 0 {
+		t.Fatalf("preemptions b1=%d b2=%d, want exactly the FIFO victim parked", b1.Preemptions(), b2.Preemptions())
+	}
+	if b2.State() != Running {
+		t.Fatalf("sibling b2 is %v, want running — all-or-none must not apply after admission", b2.State())
+	}
+	if b1.State() != Queued {
+		t.Fatalf("victim b1 is %v, want re-queued", b1.State())
+	}
+	if b1.gang != 0 {
+		t.Fatal("victim kept its gang tag; the batch would reform in the queue")
+	}
+}
+
+// TestGangFIFOOrderPreserved: a gang behind an earlier queued job must
+// not jump it.
+func TestGangFIFOOrderPreserved(t *testing.T) {
+	r := newGangRig(2, FIFO)
+	first := r.job("first", 2)
+	if err := r.d.Submit(first); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunFor(11 * sim.Second)
+	blocked := r.job("blocked", 2) // queued behind the running first
+	if err := r.d.Submit(blocked); err != nil {
+		t.Fatal(err)
+	}
+	gang := []*Job{r.job("g1", 1), r.job("g2", 1)}
+	if err := r.d.SubmitGang(gang); err != nil {
+		t.Fatal(err)
+	}
+	// Window: preempt first (5 s park) + admit blocked (1 s start),
+	// before the rotation turns over again.
+	r.s.RunFor(7 * sim.Second)
+	if blocked.State() != Running {
+		t.Fatalf("queue head is %v; the gang overtook it", blocked.State())
+	}
+	for _, j := range gang {
+		if j.State() == Running {
+			t.Fatalf("gang member %s running ahead of the earlier-queued job", j.Name)
+		}
+	}
+}

@@ -137,6 +137,7 @@ type Job struct {
 	Hooks       Hooks
 
 	state        State
+	gang         int // nonzero: co-scheduled batch id (first admission only)
 	submitted    sim.Time
 	admittedAt   sim.Time // most recent admission decision
 	runningSince sim.Time // most recent entry into service
@@ -202,6 +203,10 @@ type Scheduler struct {
 	jobs          []*Job // submit order
 	queue         []*Job // admission order
 	parksInFlight int
+	nextGang      int
+
+	// GangAdmissions counts gang batches admitted as a unit.
+	GangAdmissions int
 
 	// Admissions and Preemptions count scheduler decisions.
 	Admissions  int
@@ -303,9 +308,9 @@ func (d *Scheduler) setFree(f int) {
 	d.free = f
 }
 
-// Submit queues a job for admission. Jobs whose demand can never fit
-// are rejected outright.
-func (d *Scheduler) Submit(j *Job) error {
+// validate rejects jobs whose demand can never fit or whose name is
+// already live.
+func (d *Scheduler) validate(j *Job) error {
 	if j.Need <= 0 {
 		return fmt.Errorf("sched: job %q needs %d nodes", j.Name, j.Need)
 	}
@@ -315,6 +320,11 @@ func (d *Scheduler) Submit(j *Job) error {
 	if prev := d.Job(j.Name); prev != nil && prev.state != Done {
 		return fmt.Errorf("sched: duplicate job %q", j.Name)
 	}
+	return nil
+}
+
+// enroll registers a validated job in the queue.
+func (d *Scheduler) enroll(j *Job) {
 	now := d.S.Now()
 	j.sched = d
 	j.state = Queued
@@ -324,6 +334,52 @@ func (d *Scheduler) Submit(j *Job) error {
 	j.autoResume = true
 	d.jobs = append(d.jobs, j)
 	d.queue = append(d.queue, j)
+}
+
+// Submit queues a job for admission. Jobs whose demand can never fit
+// are rejected outright.
+func (d *Scheduler) Submit(j *Job) error {
+	if err := d.validate(j); err != nil {
+		return err
+	}
+	d.enroll(j)
+	d.kick()
+	return nil
+}
+
+// SubmitGang queues a batch of jobs for co-scheduled admission: the
+// whole gang is admitted together once (and only once) the pool can
+// hold its combined demand — preempting victims for the total, not
+// job by job — so a branch fan-out starts exploring in parallel
+// instead of trickling through the FIFO one branch per service window.
+// Co-scheduling covers the first admission; a member preempted later
+// parks and resumes individually like any tenant.
+func (d *Scheduler) SubmitGang(jobs []*Job) error {
+	if len(jobs) == 0 {
+		return fmt.Errorf("sched: empty gang")
+	}
+	total := 0
+	for _, j := range jobs {
+		if err := d.validate(j); err != nil {
+			return err
+		}
+		total += j.Need
+	}
+	if total > d.Capacity {
+		return fmt.Errorf("sched: gang needs %d nodes, pool is %d", total, d.Capacity)
+	}
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if seen[j.Name] {
+			return fmt.Errorf("sched: duplicate job %q in gang", j.Name)
+		}
+		seen[j.Name] = true
+	}
+	d.nextGang++
+	for _, j := range jobs {
+		j.gang = d.nextGang
+		d.enroll(j)
+	}
 	d.kick()
 	return nil
 }
@@ -416,18 +472,37 @@ func (d *Scheduler) enqueue(j *Job) {
 }
 
 // kick admits as much of the queue head as capacity allows, preempting
-// by policy when it does not fit.
+// by policy when it does not fit. A gang at the head is sized and
+// admitted as a unit: all members or none.
 func (d *Scheduler) kick() {
 	for len(d.queue) > 0 {
 		head := d.queue[0]
-		if d.free >= head.Need {
-			d.admit(head)
+		members, need := 1, head.Need
+		if head.gang != 0 {
+			// Gang members are enqueued contiguously and lose their gang
+			// tag if individually re-queued, so the leading run is the
+			// whole co-scheduling unit.
+			for _, q := range d.queue[1:] {
+				if q.gang != head.gang {
+					break
+				}
+				members++
+				need += q.Need
+			}
+		}
+		if d.free >= need {
+			if members > 1 {
+				d.GangAdmissions++
+			}
+			for i := 0; i < members; i++ {
+				d.admit(d.queue[0])
+			}
 			continue
 		}
 		// Head-of-line blocking is deliberate: FIFO admission order is
 		// part of the facility's fairness contract.
 		if d.parksInFlight == 0 {
-			d.tryPreempt(head)
+			d.tryPreempt(head, need)
 		}
 		return
 	}
@@ -511,8 +586,8 @@ func (d *Scheduler) victims(candidate *Job) (eligible []*Job, nextEligible sim.T
 	return pool, nextEligible
 }
 
-func (d *Scheduler) tryPreempt(head *Job) {
-	shortfall := head.Need - d.free
+func (d *Scheduler) tryPreempt(head *Job, need int) {
+	shortfall := need - d.free
 	pool, nextEligible := d.victims(head)
 	var chosen []*Job
 	freed := 0
@@ -543,6 +618,7 @@ func (d *Scheduler) tryPreempt(head *Job) {
 
 func (d *Scheduler) park(v *Job) {
 	v.state = Parking
+	v.gang = 0 // co-scheduling covers the first admission only
 	d.parksInFlight++
 	v.Hooks.Park(func() {
 		v.state = Parked

@@ -19,20 +19,31 @@ type Epoch struct {
 func (e *Epoch) DiskBytes() int64 { return int64(len(e.Blocks)) * BlockSize }
 
 // Lineage is the server-side checkpoint chain of one swappable node: a
-// merged base plus an ordered chain of incremental epochs. A swap-out
-// commits the epoch's dirty delta; a swap-in reconstructs the node's
-// state by replaying base + chain in order (later epochs win). Chains
-// deeper than MaxDepth are merged from the oldest end into the base —
-// an offline server-side step, like the paper's §5.3 delta merge — so
-// replay cost stays bounded no matter how many swap cycles accumulate.
+// merged base plus an ordered chain of incremental epochs, all held by
+// reference in a ChainStore. A swap-out commits the epoch's dirty
+// delta; a swap-in reconstructs the node's state by replaying base +
+// chain in order (later epochs win). Chains deeper than MaxDepth are
+// merged from the oldest end into the base — an offline server-side
+// step, like the paper's §5.3 delta merge — so replay cost stays
+// bounded no matter how many swap cycles accumulate.
+//
+// Branching: Fork creates a sibling lineage sharing this one's base and
+// chain by reference (no byte copies). Both sides may keep committing;
+// divergence is branch-private, and mutations of shared epochs go
+// copy-on-write inside the store. Release drops a branch's references
+// so the store can garbage-collect deltas no branch can reach.
 type Lineage struct {
 	// MaxDepth bounds the replay chain length; Commit folds the oldest
 	// epochs into the base past it. Zero means DefaultMaxDepth.
 	MaxDepth int
 
-	base   *Epoch
-	chain  []*Epoch
-	nextID int
+	store    *ChainStore
+	base     *Epoch
+	baseAddr Addr
+	chain    []*Epoch
+	addrs    []Addr // content addresses, parallel to chain
+	nextID   int
+	released bool
 
 	// MergedBytes accumulates disk bytes folded into the base by
 	// pruning, the offline server-side work the merge rate pays for.
@@ -44,22 +55,20 @@ type Lineage struct {
 // base + chain stays close to the merged-image size.
 const DefaultMaxDepth = 4
 
-// NewLineage creates an empty lineage with the given chain bound
-// (0 = DefaultMaxDepth).
+// NewLineage creates an empty lineage over a private store with the
+// given chain bound (0 = DefaultMaxDepth). Lineages that should share
+// branches' storage are created via ChainStore.NewLineage instead.
 func NewLineage(maxDepth int) *Lineage {
-	if maxDepth <= 0 {
-		maxDepth = DefaultMaxDepth
-	}
-	return &Lineage{
-		MaxDepth: maxDepth,
-		base:     &Epoch{ID: 0, Blocks: make(map[int64]int64)},
-		nextID:   1,
-	}
+	return NewChainStore().NewLineage(maxDepth)
 }
+
+// Store returns the backing chain store.
+func (l *Lineage) Store() *ChainStore { return l.store }
 
 // Commit appends one incremental checkpoint — the blocks dirtied since
 // the previous commit and the dirty memory pages saved alongside — and
-// prunes the chain back under MaxDepth. It returns the committed epoch.
+// prunes the chain back under MaxDepth. It returns the committed epoch
+// (the store's canonical copy if the content already existed).
 func (l *Lineage) Commit(blocks map[int64]int64, memPages int) *Epoch {
 	cp := make(map[int64]int64, len(blocks))
 	for vba, tag := range blocks {
@@ -67,26 +76,74 @@ func (l *Lineage) Commit(blocks map[int64]int64, memPages int) *Epoch {
 	}
 	e := &Epoch{ID: l.nextID, Blocks: cp, MemPages: memPages}
 	l.nextID++
+	e, a := l.store.retain(e)
 	l.chain = append(l.chain, e)
+	l.addrs = append(l.addrs, a)
 	l.prune()
 	return e
 }
 
 // prune folds the oldest chain epochs into the base until the chain is
 // back under MaxDepth. Overlapping blocks deduplicate (the newer epoch
-// wins), which is what keeps replay bytes bounded.
+// wins), which is what keeps replay bytes bounded. The base is taken
+// exclusive first (copy-on-write if a sibling branch shares it), so
+// pruning one branch never changes what a sibling replays.
 func (l *Lineage) prune() {
 	for len(l.chain) > l.MaxDepth {
-		oldest := l.chain[0]
-		l.chain = l.chain[1:]
+		oldest, oldestAddr := l.chain[0], l.addrs[0]
+		l.chain, l.addrs = l.chain[1:], l.addrs[1:]
+		base := l.store.exclusive(l.baseAddr)
 		for vba, tag := range oldest.Blocks {
-			l.base.Blocks[vba] = tag
+			base.Blocks[vba] = tag
 		}
-		l.base.MemPages += oldest.MemPages
-		l.base.ID = oldest.ID
+		base.MemPages += oldest.MemPages
+		base.ID = oldest.ID
 		l.MergedBytes += oldest.DiskBytes()
+		// The fold subsumed the epoch's content into this branch's base;
+		// siblings may still reference the entry, so this is a re-key,
+		// not a reclaim.
+		l.store.release(oldestAddr, false)
+		l.base, l.baseAddr = l.store.retain(base)
 	}
 }
+
+// Fork creates a branch of this lineage: the base and every chain epoch
+// are shared by reference (refcounted in the store, no byte copies).
+// Subsequent commits on either side are private to that side.
+func (l *Lineage) Fork() *Lineage {
+	nl := &Lineage{
+		MaxDepth: l.MaxDepth, store: l.store,
+		base: l.base, baseAddr: l.baseAddr,
+		nextID: l.nextID,
+		chain:  append([]*Epoch(nil), l.chain...),
+		addrs:  append([]Addr(nil), l.addrs...),
+	}
+	l.store.retainAddr(l.baseAddr)
+	for _, a := range l.addrs {
+		l.store.retainAddr(a)
+	}
+	return nl
+}
+
+// Release prunes the branch: every reference this lineage holds is
+// dropped, and epochs unreachable from any other branch are
+// garbage-collected (counted in the store's GCBytes). The lineage must
+// not be used afterwards.
+func (l *Lineage) Release() {
+	if l.released {
+		return
+	}
+	l.released = true
+	l.store.release(l.baseAddr, true)
+	for _, a := range l.addrs {
+		l.store.release(a, true)
+	}
+	l.base = &Epoch{Blocks: make(map[int64]int64)}
+	l.chain, l.addrs = nil, nil
+}
+
+// Released reports whether the branch has been pruned.
+func (l *Lineage) Released() bool { return l.released }
 
 // Depth reports the current chain length (excluding the base).
 func (l *Lineage) Depth() int { return len(l.chain) }
@@ -103,6 +160,49 @@ func (l *Lineage) ReplayBytes() int64 {
 	n := l.base.DiskBytes()
 	for _, e := range l.chain {
 		n += e.DiskBytes()
+	}
+	return n
+}
+
+// Segment is one content-addressed unit of a lineage's replay chain:
+// the base or one chain epoch, with its transfer size.
+type Segment struct {
+	Addr  Addr
+	Bytes int64
+}
+
+// Segments lists the replay chain in restore order (base first). A
+// clone-aware restore transfers only the segments whose address is not
+// already resident on the target node.
+func (l *Lineage) Segments() []Segment {
+	out := make([]Segment, 0, 1+len(l.chain))
+	out = append(out, Segment{Addr: l.baseAddr, Bytes: l.base.DiskBytes()})
+	for i, e := range l.chain {
+		out = append(out, Segment{Addr: l.addrs[i], Bytes: e.DiskBytes()})
+	}
+	return out
+}
+
+// MissingBytes reports the replay bytes not covered by the resident
+// set — what a clone-aware restore actually has to move.
+func (l *Lineage) MissingBytes(resident map[Addr]bool) int64 {
+	var n int64
+	for _, seg := range l.Segments() {
+		if !resident[seg.Addr] {
+			n += seg.Bytes
+		}
+	}
+	return n
+}
+
+// SharedBytes reports the replay bytes this lineage shares with at
+// least one other branch (store refcount > 1).
+func (l *Lineage) SharedBytes() int64 {
+	var n int64
+	for _, seg := range l.Segments() {
+		if l.store.Refs(seg.Addr) > 1 {
+			n += seg.Bytes
+		}
 	}
 	return n
 }
@@ -125,10 +225,20 @@ func (l *Lineage) Materialize() map[int64]int64 {
 
 // Drop removes blocks from every epoch (base and chain) — free-block
 // elimination applied retroactively to the server-side history, so a
-// replay does not resurrect blocks the filesystem has freed.
+// replay does not resurrect blocks the filesystem has freed. Shared
+// epochs are unshared copy-on-write first; a sibling branch's replay
+// view never changes.
 func (l *Lineage) Drop(isFree func(vba int64) bool) {
 	if isFree == nil {
 		return
+	}
+	touches := func(e *Epoch) bool {
+		for vba := range e.Blocks {
+			if isFree(vba) {
+				return true
+			}
+		}
+		return false
 	}
 	drop := func(e *Epoch) {
 		for vba := range e.Blocks {
@@ -137,14 +247,23 @@ func (l *Lineage) Drop(isFree func(vba int64) bool) {
 			}
 		}
 	}
-	drop(l.base)
-	for _, e := range l.chain {
+	if touches(l.base) {
+		base := l.store.exclusive(l.baseAddr)
+		drop(base)
+		l.base, l.baseAddr = l.store.retain(base)
+	}
+	for i := range l.chain {
+		if !touches(l.chain[i]) {
+			continue
+		}
+		e := l.store.exclusive(l.addrs[i])
 		drop(e)
+		l.chain[i], l.addrs[i] = l.store.retain(e)
 	}
 }
 
 // String summarizes the lineage for diagnostics.
 func (l *Lineage) String() string {
-	return fmt.Sprintf("lineage[base=%dMB chain=%d replay=%dMB]",
-		l.base.DiskBytes()>>20, len(l.chain), l.ReplayBytes()>>20)
+	return fmt.Sprintf("lineage[base=%dMB chain=%d replay=%dMB shared=%dMB]",
+		l.base.DiskBytes()>>20, len(l.chain), l.ReplayBytes()>>20, l.SharedBytes()>>20)
 }

@@ -80,7 +80,25 @@ type Node struct {
 	MemImageBytes    int64
 	GoldenCached     bool
 
+	// Resident tracks which content-addressed chain segments are
+	// already staged on the node's disk (by the branch fan-out's
+	// multicast, or left there by the node's own earlier cycles — the
+	// delta-image analogue of GoldenCached). A clone-aware restore
+	// transfers only the segments missing from this set.
+	Resident map[storage.Addr]bool
+
 	lazy *xfer.LazyMirror
+}
+
+// MarkResident records the lineage's current chain segments as staged
+// on the node's disk.
+func (n *Node) MarkResident(lin *storage.Lineage) {
+	if n.Resident == nil {
+		n.Resident = make(map[storage.Addr]bool)
+	}
+	for _, seg := range lin.Segments() {
+		n.Resident[seg.Addr] = true
+	}
 }
 
 // OutReport describes one swap-out.
@@ -143,6 +161,13 @@ type Options struct {
 	// and commits it to the per-node lineage; swap-in replays base +
 	// delta chain. Uploads go through bandwidth-shared parallel streams.
 	Incremental bool
+	// CloneAware (implies Incremental) makes restores consult the
+	// node's resident-segment set: swap-in downloads only the
+	// content-addressed chain segments not already staged on the node
+	// (by a branch fan-out's multicast or the node's own prior cycles),
+	// and swap cycles keep the set current. This is the branch-tenant
+	// restore path; plain tenants keep the unconditional replay.
+	CloneAware bool
 }
 
 // DefaultOptions enables pre-copy, lazy copy-in, and the paper's
@@ -157,6 +182,15 @@ func DefaultOptions() Options {
 func IncrementalOptions() Options {
 	o := DefaultOptions()
 	o.Incremental = true
+	return o
+}
+
+// BranchOptions is IncrementalOptions plus clone-aware restore — the
+// transfer mode of branch tenants, whose chains share a checkpoint
+// prefix with their siblings.
+func BranchOptions() Options {
+	o := IncrementalOptions()
+	o.CloneAware = true
 	return o
 }
 
@@ -178,6 +212,13 @@ type Manager struct {
 	// commits past it merge the oldest epochs into the base
 	// (0 = storage.DefaultMaxDepth).
 	MaxChainDepth int
+
+	// Chains, when set, is the facility-wide refcounted chain store new
+	// lineages are created in, so branches forked from this experiment's
+	// checkpoints share base and common deltas by reference (and
+	// content-identical commits across tenants deduplicate). Unset, each
+	// lineage gets a private store.
+	Chains *storage.ChainStore
 
 	// Stats, when set, accumulates delta/full byte counts per transfer
 	// class ("out.mem_bytes", "out.delta_bytes", "in.mem_bytes",
@@ -212,10 +253,39 @@ func NewManager(s *sim.Simulator, server *xfer.Server, coord *core.Coordinator, 
 func (m *Manager) Lineage(name string) *storage.Lineage {
 	l, ok := m.lineages[name]
 	if !ok {
-		l = storage.NewLineage(m.MaxChainDepth)
+		if m.Chains != nil {
+			l = m.Chains.NewLineage(m.MaxChainDepth)
+		} else {
+			l = storage.NewLineage(m.MaxChainDepth)
+		}
 		m.lineages[name] = l
 	}
 	return l
+}
+
+// AdoptLineage installs a pre-built chain as the named node's lineage —
+// the branch fork path: the hosting cluster forks the parent node's
+// lineage (sharing base + common deltas by reference) and hands the
+// fork to the branch's manager, so the branch's own swap cycles append
+// branch-private epochs.
+func (m *Manager) AdoptLineage(name string, l *storage.Lineage) {
+	m.lineages[name] = l
+}
+
+// Lineages returns the manager's live per-node chain index, keyed by
+// node name; nodes that never committed are absent. Map iteration
+// order is undefined — callers must only aggregate over it (sums,
+// lookups), never derive ordered output, and must not mutate it.
+func (m *Manager) Lineages() map[string]*storage.Lineage { return m.lineages }
+
+// ReleaseLineages prunes every node's chain: refs drop, and deltas no
+// branch can reach any more are garbage-collected by the store.
+func (m *Manager) ReleaseLineages() {
+	for _, n := range m.Nodes {
+		if l, ok := m.lineages[n.Name]; ok {
+			l.Release()
+		}
+	}
 }
 
 // stat accumulates into the optional counter set.
@@ -408,6 +478,12 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 				lin.Drop(n.IsFree)
 				rep.ChainDepth = lin.Depth()
 				serverWork = lin.MergedBytes - pruned
+				if o.CloneAware {
+					// The node's disk holds exactly the state the chain now
+					// replays to; record it so the next restore here (or a
+					// co-staged sibling's) skips the resident segments.
+					n.MarkResident(lin)
+				}
 			}
 			n.HV.K.Dirty.CutEpoch()
 			merged := n.Vol.Merge(true, n.IsFree)
@@ -467,11 +543,16 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport)) error {
 		rep := &InReport{Started: start, Lazy: o.Lazy, Incremental: o.Incremental}
 		reports[i] = rep
 		// The disk state to stage: the merged aggregated delta, or the
-		// lineage's base + delta chain replay in incremental mode.
+		// lineage's base + delta chain replay in incremental mode. A
+		// clone-aware restore narrows the replay further, to the chain
+		// segments not already resident on the node.
 		diskBytes := n.AggBytesOnServer
 		if o.Incremental {
 			lin := m.Lineage(n.Name)
 			diskBytes = lin.ReplayBytes()
+			if o.CloneAware {
+				diskBytes = lin.MissingBytes(n.Resident)
+			}
 			rep.ChainDepth = lin.Depth()
 		}
 		stage2 := func() {
@@ -482,6 +563,12 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport)) error {
 					rep.DeltaBytes = diskBytes
 					m.stat("in.mem_bytes", rep.MemoryBytes)
 					m.stat("in.disk_bytes", diskBytes)
+					if o.CloneAware {
+						// Once staging is under way the chain's segments are
+						// bound for the node's disk; record them so the next
+						// cycle here moves only fresh divergence.
+						n.MarkResident(m.Lineage(n.Name))
+					}
 					if !o.Lazy {
 						// Eager: the whole disk state lands before the
 						// node may resume.

@@ -1,0 +1,61 @@
+package xfer
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+// TestMulticastChargesBytesOnce: staging n bytes to k receivers must
+// cost the shared pipe one pass of n bytes, with the unicast surplus
+// tallied as saved.
+func TestMulticastChargesBytesOnce(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 10<<20) // 10 MB/s
+	const n = int64(50 << 20)
+
+	var doneAt sim.Time
+	sv.Multicast("batch", n, 5, func() { doneAt = s.Now() })
+	s.Run()
+
+	if doneAt == 0 {
+		t.Fatal("multicast never completed")
+	}
+	want := sim.Time(float64(n) / float64(sv.Rate) * float64(sim.Second))
+	if doneAt < want || doneAt > want+sim.Second {
+		t.Fatalf("multicast of %d bytes took %v, want ~%v (one pass, not five)", n, doneAt, want)
+	}
+	if sv.Served != uint64(n) {
+		t.Fatalf("server served %d bytes, want %d — receivers must not multiply pipe bytes", sv.Served, n)
+	}
+	if sv.MulticastSavedBytes != 4*n {
+		t.Fatalf("saved %d bytes, want %d", sv.MulticastSavedBytes, 4*n)
+	}
+	if sv.ByTag["batch"] != n {
+		t.Fatalf("tag charged %d, want %d", sv.ByTag["batch"], n)
+	}
+}
+
+// TestMulticastSharesThePipe: a multicast contends fairly with a
+// concurrent unicast stream — both finish in the time the summed bytes
+// need, not earlier.
+func TestMulticastSharesThePipe(t *testing.T) {
+	s := sim.New(2)
+	sv := NewServer(s, 10<<20)
+	const n = int64(20 << 20)
+
+	var mcast, ucast sim.Time
+	sv.Multicast("a", n, 8, func() { mcast = s.Now() })
+	sv.StreamDownload("b", n, func() { ucast = s.Now() })
+	s.Run()
+
+	total := sim.Time(float64(2*n) / float64(sv.Rate) * float64(sim.Second))
+	for name, at := range map[string]sim.Time{"multicast": mcast, "unicast": ucast} {
+		if at < total-sim.Second || at > total+sim.Second {
+			t.Fatalf("%s finished at %v, want ~%v (fair share of the pipe)", name, at, total)
+		}
+	}
+	if sv.Served != uint64(2*n) {
+		t.Fatalf("served %d, want %d", sv.Served, 2*n)
+	}
+}

@@ -41,6 +41,10 @@ type Server struct {
 	// streams and its neighbors'; ByTag apportions the bytes when the
 	// cross-experiment share matters.
 	Queued sim.Time
+	// MulticastSavedBytes accumulates the extra bytes unicast staging
+	// would have moved: for every Multicast of n bytes to k receivers,
+	// (k-1)*n bytes never crossed the control LAN.
+	MulticastSavedBytes int64
 	// MaxBacklog is the worst backlog observed at enqueue time.
 	MaxBacklog sim.Time
 	// ByTag attributes bytes moved (both directions) per experiment.
@@ -136,6 +140,21 @@ func (sv *Server) StreamUpload(tag string, n int64, done func()) { sv.stream(tag
 
 // StreamDownload moves n bytes server->node through the fair-share pipe.
 func (sv *Server) StreamDownload(tag string, n int64, done func()) { sv.stream(tag, n, false, done) }
+
+// Multicast moves n bytes server->nodes once for all receivers —
+// Frisbee-style multicast imaging over the control LAN (the same
+// mechanism §7.2's golden-image distribution uses): the shared pipe
+// carries the bytes a single time no matter how many nodes join the
+// session, so staging one checkpoint prefix to a branch fan-out costs
+// what staging it to one node costs. The transfer shares the pipe
+// fairly with concurrent streams; done fires when the bytes have
+// drained (every receiver has them).
+func (sv *Server) Multicast(tag string, n int64, receivers int, done func()) {
+	if receivers > 1 && n > 0 {
+		sv.MulticastSavedBytes += int64(receivers-1) * n
+	}
+	sv.stream(tag, n, false, done)
+}
 
 // ActiveStreams reports how many fair-share transfers are in flight.
 func (sv *Server) ActiveStreams() int { return len(sv.streams) }

@@ -289,6 +289,42 @@ func BenchmarkBranch(b *testing.B) {
 	}
 }
 
+var (
+	recOnce sync.Once
+	recRes  *evalrun.RecoveryResult
+)
+
+// BenchmarkRecovery regenerates the crash-recovery table: a two-node
+// tenant fail-stopped mid-run, revived from its last committed
+// checkpoint epoch (across epoch periods) versus restarted from
+// scratch. At the default epoch period, checkpoint recovery must
+// strictly beat restart on both MTTR (time back to pre-crash progress)
+// and lost work — the acceptance bar for making checkpoints durable.
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		recOnce.Do(func() { recRes = evalrun.Recovery(benchSeed, false) })
+	}
+	rec := recRes.Row("recover@15s")
+	rst := recRes.Row("restart")
+	if rec == nil || rst == nil {
+		b.Fatalf("missing rows: %+v", recRes.Rows)
+	}
+	b.ReportMetric(rec.MTTRS, "s-mttr-recover")
+	b.ReportMetric(rst.MTTRS, "s-mttr-restart")
+	b.ReportMetric(rec.LostWorkS, "s-lost-recover")
+	b.ReportMetric(rst.LostWorkS, "s-lost-restart")
+	b.ReportMetric(rec.BackInServiceS, "s-back-in-service")
+	if !rec.Recovered {
+		b.Fatalf("checkpoint recovery never restored pre-crash progress: %+v", rec)
+	}
+	if rec.MTTRS >= rst.MTTRS {
+		b.Fatalf("recovery MTTR %.0f s, restart %.0f s — no repair-time win", rec.MTTRS, rst.MTTRS)
+	}
+	if rec.LostWorkS >= rst.LostWorkS {
+		b.Fatalf("recovery lost %.1f s of work, restart %.1f s — no lost-work win", rec.LostWorkS, rst.LostWorkS)
+	}
+}
+
 // BenchmarkCheckpointLatency measures the raw cost of one incremental
 // distributed checkpoint on an idle 2-node experiment — an ablation for
 // the downtime the firewall conceals.

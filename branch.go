@@ -233,9 +233,9 @@ func (c *Cluster) Branch(parent string, ckpt TreeNodeID, specs ...BranchSpec) ([
 			Name: names[i], Need: branchSpecs[i].NodesNeeded(), Priority: bs.Priority,
 			Preemptible: true,
 			Hooks: sched.Hooks{
-				Start:    func(done func()) { c.startBranch(sess, staging, naiveBytes, done) },
-				Park:     func(done func()) { c.parkTenant(sess, done) },
-				Resume:   func(done func()) { c.resumeTenant(sess, done) },
+				Start:    func(done func(error)) { c.startBranch(sess, staging, naiveBytes, done) },
+				Park:     func(done func(error)) { c.parkTenant(sess, done) },
+				Resume:   func(done func(error)) { c.resumeTenant(sess, done) },
 				ParkCost: func() int64 { return c.parkCost(sess) },
 			},
 		}
@@ -263,7 +263,7 @@ func (c *Cluster) Branch(parent string, ckpt TreeNodeID, specs ...BranchSpec) ([
 // stage the parent's checkpoint state (shared multicast or naive
 // unicast), adopt the forked chains, and install the workload under
 // the branch's perturbation.
-func (c *Cluster) startBranch(sess *Session, staging *branchStaging, naiveBytes int64, done func()) {
+func (c *Cluster) startBranch(sess *Session, staging *branchStaging, naiveBytes int64, done func(error)) {
 	stage := func(fn func()) {
 		if c.NaiveBranchCopy {
 			// The baseline: this branch's own full copy of prefix + memory,
@@ -277,17 +277,18 @@ func (c *Cluster) startBranch(sess *Session, staging *branchStaging, naiveBytes 
 		stage(func() {
 			exp, err := c.TB.SwapIn(sess.Scenario.Spec)
 			if err != nil {
-				panic("emucheck: branch " + sess.Scenario.Spec.Name + ": " + err.Error())
+				sess.LastErr = fmt.Errorf("emucheck: branch %s: %v", sess.Scenario.Spec.Name, err)
+				done(sess.LastErr)
+				return
 			}
-			sess.Exp = exp
+			c.wireTenant(sess, exp)
 			if exp.Swap != nil {
-				exp.Swap.Stats = c.SwapStats
-				if !c.NaiveBranchCopy {
+				if c.NaiveBranchCopy {
 					// Content-addressed sharing is the point of the shared
 					// path; the naive baseline keeps private per-node chains
 					// (full server-side copies), as a no-sharing facility
 					// would.
-					exp.Swap.Chains = c.Chains
+					exp.Swap.Chains = nil
 				}
 				for _, n := range exp.Swap.Nodes {
 					if lin := sess.branchLineages[n.Name]; lin != nil {
@@ -301,7 +302,7 @@ func (c *Cluster) startBranch(sess *Session, staging *branchStaging, naiveBytes 
 			if sess.Scenario.Setup != nil {
 				sess.Scenario.Setup(sess)
 			}
-			done()
+			done(nil)
 		})
 	})
 }

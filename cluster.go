@@ -3,13 +3,16 @@ package emucheck
 import (
 	"fmt"
 
+	"emucheck/internal/core"
 	"emucheck/internal/emulab"
+	"emucheck/internal/fault"
 	"emucheck/internal/metrics"
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
 	"emucheck/internal/storage"
 	"emucheck/internal/swap"
 	"emucheck/internal/timetravel"
+	"emucheck/internal/xen"
 )
 
 // Policy re-exports the scheduler's victim-selection policies.
@@ -70,23 +73,36 @@ type Cluster struct {
 	// be measured against per-branch full copies.
 	NaiveBranchCopy bool
 
+	// SaveDeadline bounds the save phase of every tenant's checkpoint
+	// epochs and swap-out freezes: a member that cannot barrier in time
+	// (crashed, or its notification was lost) aborts the epoch cleanly
+	// instead of hanging it. Zero disables straggler detection. Set it
+	// before submitting tenants; fault-injected runs should always set
+	// it, or a crash mid-epoch leaves the epoch in flight forever.
+	SaveDeadline sim.Time
+
 	tenants   []*Session
 	byName    map[string]*Session
 	nodeOwner map[string]string
+
+	// phaseWatch fans a tenant's epoch FSM transitions out to
+	// observers (fault injection's "crash during save" trigger).
+	phaseWatch map[string][]func(core.Phase)
 }
 
 // NewCluster creates a cluster over a hardware pool of the given size.
 func NewCluster(pool int, seed int64, policy Policy) *Cluster {
 	s := sim.New(seed)
 	return &Cluster{
-		Seed:      seed,
-		S:         s,
-		TB:        emulab.NewTestbed(s, pool),
-		Sched:     sched.New(s, pool, policy),
-		SwapStats: metrics.NewCounters(),
-		Chains:    storage.NewChainStore(),
-		byName:    make(map[string]*Session),
-		nodeOwner: make(map[string]string),
+		Seed:       seed,
+		S:          s,
+		TB:         emulab.NewTestbed(s, pool),
+		Sched:      sched.New(s, pool, policy),
+		SwapStats:  metrics.NewCounters(),
+		Chains:     storage.NewChainStore(),
+		byName:     make(map[string]*Session),
+		nodeOwner:  make(map[string]string),
+		phaseWatch: make(map[string][]func(core.Phase)),
 	}
 }
 
@@ -161,7 +177,7 @@ func (c *Cluster) Submit(sc Scenario, priority int) (*Session, error) {
 		Name: name, Need: sc.Spec.NodesNeeded(), Priority: priority,
 		Preemptible: sc.Spec.Swappable() || c.Stateless,
 		Hooks: sched.Hooks{
-			Start: func(done func()) { c.startTenant(sess, done) },
+			Start: func(done func(error)) { c.startTenant(sess, done) },
 		},
 	}
 	// Only a fully swappable experiment can be parked statefully: with a
@@ -170,8 +186,8 @@ func (c *Cluster) Submit(sc Scenario, priority int) (*Session, error) {
 	// can always park (state is discarded anyway). Leaving the hooks nil
 	// turns park attempts into clean scheduler errors.
 	if job.Preemptible {
-		job.Hooks.Park = func(done func()) { c.parkTenant(sess, done) }
-		job.Hooks.Resume = func(done func()) { c.resumeTenant(sess, done) }
+		job.Hooks.Park = func(done func(error)) { c.parkTenant(sess, done) }
+		job.Hooks.Resume = func(done func(error)) { c.resumeTenant(sess, done) }
 		if !c.Stateless {
 			job.Hooks.ParkCost = func() int64 { return c.parkCost(sess) }
 		}
@@ -184,75 +200,149 @@ func (c *Cluster) Submit(sc Scenario, priority int) (*Session, error) {
 	return sess, nil
 }
 
+// watchPhase registers an observer of a tenant's epoch FSM
+// transitions (the fault layer's crash-during-save trigger).
+func (c *Cluster) watchPhase(name string, fn func(core.Phase)) {
+	c.phaseWatch[name] = append(c.phaseWatch[name], fn)
+}
+
+// wireTenant attaches cluster-wide services to a freshly instantiated
+// experiment: shared swap accounting, the chain store, the save
+// deadline, and the epoch phase fan-out.
+func (c *Cluster) wireTenant(sess *Session, exp *emulab.Experiment) {
+	sess.Exp = exp
+	if exp.Swap != nil {
+		exp.Swap.Stats = c.SwapStats
+		exp.Swap.Chains = c.Chains
+		exp.Swap.SaveDeadline = c.SaveDeadline
+	}
+	name := sess.Scenario.Spec.Name
+	exp.Coord.OnPhase = func(_ int, ph core.Phase) {
+		for _, fn := range c.phaseWatch[name] {
+			fn(ph)
+		}
+	}
+}
+
 // startTenant is the scheduler's first-admission hook: allocate, load
 // images, boot, install the workload. Admission plumbing costs the
-// paper's fixed eight seconds (§7.2).
-func (c *Cluster) startTenant(sess *Session, done func()) {
+// paper's fixed eight seconds (§7.2). A spec that cannot instantiate
+// fails the admission (the scheduler retires the job) instead of
+// taking the testbed down.
+func (c *Cluster) startTenant(sess *Session, done func(error)) {
 	c.S.After(swap.NodeSetupTime, "cluster.provision", func() {
 		exp, err := c.TB.SwapIn(sess.Scenario.Spec)
 		if err != nil {
-			panic("emucheck: admit " + sess.Scenario.Spec.Name + ": " + err.Error())
+			sess.LastErr = fmt.Errorf("emucheck: admit %s: %v", sess.Scenario.Spec.Name, err)
+			done(sess.LastErr)
+			return
 		}
-		sess.Exp = exp
-		if exp.Swap != nil {
-			exp.Swap.Stats = c.SwapStats
-			exp.Swap.Chains = c.Chains
-		}
+		c.wireTenant(sess, exp)
 		if sess.Scenario.Setup != nil {
 			sess.Scenario.Setup(sess)
 		}
-		done()
+		done(nil)
 	})
 }
 
 // parkTenant swaps a tenant out to free its hardware. Stateful parking
 // preserves run-time state on the file server; the stateless baseline
-// discards it (keeping only the definition).
-func (c *Cluster) parkTenant(sess *Session, done func()) {
+// discards it (keeping only the definition). A swap-out whose freeze
+// epoch aborts reports the error upward — the tenant was thawed and
+// keeps running on its hardware.
+func (c *Cluster) parkTenant(sess *Session, done func(error)) {
 	if c.Stateless {
 		c.TB.SwapOutStateless(sess.Exp)
 		sess.Exp = nil
-		c.S.After(0, "cluster.stateless-out", done)
+		c.S.After(0, "cluster.stateless-out", func() { done(nil) })
 		return
 	}
-	err := sess.Exp.Swap.SwapOut(c.swapOptions(sess), func([]*swap.OutReport) {
+	err := sess.Exp.Swap.SwapOut(c.swapOptions(sess), func(_ []*swap.OutReport, serr error) {
+		if serr != nil {
+			sess.LastErr = serr
+			done(serr)
+			return
+		}
 		c.TB.ReleaseHardware(sess.Exp)
-		done()
+		done(nil)
 	})
 	if err != nil {
-		panic("emucheck: park " + sess.Scenario.Spec.Name + ": " + err.Error())
+		sess.LastErr = err
+		done(err)
 	}
 }
 
 // resumeTenant is the re-admission hook. Stateful: re-acquire hardware
 // and swap the preserved state back in (the interruption stays hidden
-// behind the temporal firewall). Stateless: reboot from the golden
-// image — node setup plus a Frisbee fetch — and rerun Setup, losing
-// all prior progress.
-func (c *Cluster) resumeTenant(sess *Session, done func()) {
-	if c.Stateless {
+// behind the temporal firewall). Crash recovery: re-acquire hardware
+// and restore from the last committed epoch. Stateless (or after
+// Restart discarded the instance): reboot from the golden image — node
+// setup plus a Frisbee fetch — and rerun Setup, losing all prior
+// progress.
+func (c *Cluster) resumeTenant(sess *Session, done func(error)) {
+	if c.Stateless || sess.Exp == nil {
 		c.S.After(swap.NodeSetupTime+swap.GoldenFetchTime, "cluster.stateless-in", func() {
 			exp, err := c.TB.SwapInByName(sess.Scenario.Spec.Name)
 			if err != nil {
-				panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
+				sess.LastErr = fmt.Errorf("emucheck: readmit %s: %v", sess.Scenario.Spec.Name, err)
+				done(sess.LastErr)
+				return
 			}
-			sess.Exp = exp
-			if exp.Swap != nil {
-				exp.Swap.Stats = c.SwapStats
-			}
+			c.wireTenant(sess, exp)
 			if sess.Scenario.Setup != nil {
 				sess.Scenario.Setup(sess)
 			}
-			done()
+			done(nil)
 		})
 		return
 	}
 	if err := c.TB.AcquireHardware(sess.Exp); err != nil {
-		panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
+		sess.LastErr = fmt.Errorf("emucheck: readmit %s: %v", sess.Scenario.Spec.Name, err)
+		done(sess.LastErr)
+		return
 	}
-	err := sess.Exp.Swap.SwapIn(c.swapOptions(sess), func([]*swap.InReport) { done() })
+	fail := func(err error) {
+		sess.LastErr = err
+		c.TB.ReleaseHardware(sess.Exp)
+		done(err)
+	}
+	if sess.recoverPending {
+		sess.recoverPending = false
+		err := sess.Exp.Swap.Recover(c.swapOptions(sess), func(_ []*swap.InReport, rerr error) {
+			if rerr != nil {
+				fail(rerr)
+				return
+			}
+			// The network core restarts alongside the endpoints, and the
+			// genealogy notes the recovery: work since the restored epoch
+			// is the incarnation's lost work.
+			sess.Exp.Coord.ThawDelayNodes()
+			sess.recoveries++
+			sess.lostWork += sess.pendingLost
+			sess.pendingLost = 0
+			sess.recoveredAt = c.S.Now()
+			if sess.epochInterval > 0 {
+				// The crash stopped the committed-epoch pipeline; the
+				// recovered incarnation needs its restore point to keep
+				// refreshing, or a second crash loses unbounded work.
+				sess.Exp.Swap.StartEpochs(sess.epochInterval)
+			}
+			done(nil)
+		})
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
+	err := sess.Exp.Swap.SwapIn(c.swapOptions(sess), func(_ []*swap.InReport, serr error) {
+		if serr != nil {
+			fail(serr)
+			return
+		}
+		done(nil)
+	})
 	if err != nil {
-		panic("emucheck: readmit " + sess.Scenario.Spec.Name + ": " + err.Error())
+		fail(err)
 	}
 }
 
@@ -276,7 +366,7 @@ func (c *Cluster) Finish(name string) error {
 	}
 	if sess.job != nil {
 		switch sess.job.State() {
-		case sched.Running, sched.Parked, sched.Queued:
+		case sched.Running, sched.Parked, sched.Queued, sched.Crashed:
 		default:
 			return fmt.Errorf("emucheck: %q is %s, cannot finish", name, sess.State())
 		}
@@ -289,6 +379,7 @@ func (c *Cluster) Finish(name string) error {
 	freed := 0
 	if sess.Exp != nil {
 		if sess.Exp.Swap != nil {
+			sess.Exp.Swap.StopEpochs()
 			// Prune the tenant's checkpoint chains: its references drop,
 			// and the store garbage-collects deltas no surviving branch
 			// shares. A parent's release leaves forked prefixes alive for
@@ -348,3 +439,210 @@ func (c *Cluster) Now() sim.Time { return c.S.Now() }
 
 // Utilization reports the time-averaged fraction of the pool allocated.
 func (c *Cluster) Utilization() float64 { return c.Sched.Utilization() }
+
+// Crash fail-stops a tenant: every node dies where it stands (a save
+// in flight aborts its epoch; the temporal firewalls engage and never
+// disengage on this incarnation), the tenant's hardware returns to the
+// pool, and the job leaves service until Recover restores it from its
+// last committed checkpoint epoch — or Restart re-runs it from
+// scratch. Crashing a parked (swapped-out) tenant is survivable by
+// construction: its state already lives on the file server and it
+// holds no hardware, so only un-committed progress is at stake.
+func (c *Cluster) Crash(name string) error {
+	sess, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("emucheck: no experiment %q", name)
+	}
+	if sess.job == nil {
+		return fmt.Errorf("emucheck: %q is standalone; crash/recover needs a scheduler-managed tenant", name)
+	}
+	// Lost work is fixed at crash time: the gap between the crash and
+	// the last committed restore point, floored at the current service
+	// entry — a tenant crashed while parked (or queued) loses nothing,
+	// since its park committed everything and nothing ran since.
+	wasInService := sess.job.State() == sched.Running || sess.job.State() == sched.Parking
+	if err := c.Sched.Fail(name); err != nil {
+		return fmt.Errorf("emucheck: crash %s: %v", name, err)
+	}
+	sess.crashedAt = c.S.Now()
+	sess.pendingLost = 0
+	if wasInService && sess.Exp != nil && sess.Exp.Swap != nil {
+		if lc := sess.Exp.Swap.LastCommitAt(); lc > 0 {
+			base := lc
+			if rs := sess.job.RunningSince(); rs > base {
+				base = rs
+			}
+			if sess.crashedAt > base {
+				sess.pendingLost = sess.crashedAt - base
+			}
+		}
+	}
+	if sess.Exp != nil {
+		// Kill the machines first so the epoch abort's thaw fan-out
+		// skips them, then abort whatever epoch was in flight (a held
+		// epoch already committed and is left alone — it is exactly the
+		// restore point a recovery will use).
+		for _, ns := range sess.Exp.Spec.Nodes {
+			sess.Exp.Nodes[ns.Name].HV.Crash()
+		}
+		sess.Exp.Coord.AbortInFlight("node crash")
+		for _, dn := range sess.Exp.DelayNodes {
+			dn.Freeze()
+		}
+		if sess.Exp.Swap != nil {
+			sess.Exp.Swap.StopEpochs()
+		}
+		c.TB.ReleaseHardware(sess.Exp)
+	}
+	return nil
+}
+
+// Recover re-admits a crashed tenant and restores it from its last
+// committed checkpoint epoch: hardware is re-acquired through the
+// scheduler (queueing and preempting like any admission), the file
+// server streams each node's memory image and chain replay back, and
+// the guests resume from the restored epoch. Work since that epoch is
+// lost and accounted in Session.LostWork; the genealogy notes the
+// recovery in Session.Recoveries.
+func (c *Cluster) Recover(name string) error {
+	sess, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("emucheck: no experiment %q", name)
+	}
+	if sess.job == nil {
+		return fmt.Errorf("emucheck: %q is standalone; crash/recover needs a scheduler-managed tenant", name)
+	}
+	if sess.job.State() != sched.Crashed {
+		return fmt.Errorf("emucheck: %q is %s, not crashed", name, sess.State())
+	}
+	if sess.Exp == nil {
+		// Crashed before first admission: nothing was lost; a plain
+		// re-queue instantiates it fresh.
+		return c.Sched.Recover(name)
+	}
+	if sess.Exp.Swap == nil {
+		return fmt.Errorf("emucheck: %q has no swappable nodes; only Restart can revive it", name)
+	}
+	if sess.Exp.Swap.LastCommitAt() == 0 {
+		return fmt.Errorf("emucheck: %q has no committed epoch to recover from; use Restart (or run StartEpochs before the crash)", name)
+	}
+	sess.recoverPending = true
+	return c.Sched.Recover(name)
+}
+
+// Restart revives a crashed tenant from scratch — the classic
+// stateless answer to a crash, and the recovery benchmark's baseline:
+// the dead instance is discarded (its chains released for GC), and
+// re-admission reboots from the golden image and re-runs Setup, losing
+// all prior progress.
+func (c *Cluster) Restart(name string) error {
+	sess, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("emucheck: no experiment %q", name)
+	}
+	if sess.job == nil {
+		return fmt.Errorf("emucheck: %q is standalone; crash/recover needs a scheduler-managed tenant", name)
+	}
+	if sess.job.State() != sched.Crashed {
+		return fmt.Errorf("emucheck: %q is %s, not crashed", name, sess.State())
+	}
+	if sess.Exp != nil {
+		if sess.Exp.Swap != nil {
+			sess.Exp.Swap.StopEpochs()
+			sess.Exp.Swap.ReleaseLineages()
+		}
+		c.TB.SwapOutStateless(sess.Exp)
+		sess.Exp = nil
+	}
+	return c.Sched.Recover(name)
+}
+
+// InjectFaults arms a seeded fault plan against the cluster: crashes
+// route through Crash (with during-save crashes triggered off the
+// target's epoch FSM), control-LAN drop/delay perturbations install on
+// the testbed bus, and slow-disk / slow-save perturbations reach into
+// the named node. The plan is deterministic under its seed, so two
+// same-seed faulty runs replay identically.
+func (c *Cluster) InjectFaults(p *fault.Plan) {
+	slowDisks := make(map[*emulab.ExpNode]int)
+	slowSaves := make(map[*xen.Hypervisor]*savedRates)
+	p.Arm(c.S, c.TB.Bus, fault.Hooks{
+		Crash: func(target, node string) error {
+			return c.Crash(target)
+		},
+		WhenSaving: func(target string, fn func()) {
+			fired := false
+			c.watchPhase(target, func(ph core.Phase) {
+				if fired || ph != core.PhaseSaving {
+					return
+				}
+				fired = true
+				fn()
+			})
+		},
+		SlowDisk: func(target, node string, factor float64, d sim.Time) error {
+			n, err := c.faultNode(target, node)
+			if err != nil {
+				return err
+			}
+			// Divert (1 - 1/factor) of the spindle: factor 4 leaves the
+			// request stream a quarter of the bandwidth. Overlapping
+			// windows nest: the throttle only clears when the last
+			// active window ends.
+			slowDisks[n]++
+			n.M.Disk.SetThrottle(1 - 1/factor)
+			c.S.After(d, "fault.slow-disk-end", func() {
+				slowDisks[n]--
+				if slowDisks[n] == 0 {
+					n.M.Disk.SetThrottle(0)
+				}
+			})
+			return nil
+		},
+		SlowSave: func(target, node string, factor float64, d sim.Time) error {
+			n, err := c.faultNode(target, node)
+			if err != nil {
+				return err
+			}
+			hv := n.HV
+			// Overlapping windows nest against the rates captured by the
+			// first window, so the last window's end restores the true
+			// originals — never a degraded intermediate.
+			if slowSaves[hv] == nil {
+				slowSaves[hv] = &savedRates{mem: hv.CopyRateMem, net: hv.CopyRateNet}
+			}
+			sr := slowSaves[hv]
+			sr.count++
+			hv.CopyRateMem = int64(float64(hv.CopyRateMem) / factor)
+			hv.CopyRateNet = int64(float64(hv.CopyRateNet) / factor)
+			c.S.After(d, "fault.slow-save-end", func() {
+				sr.count--
+				if sr.count == 0 {
+					hv.CopyRateMem, hv.CopyRateNet = sr.mem, sr.net
+					delete(slowSaves, hv)
+				}
+			})
+			return nil
+		},
+	})
+}
+
+// savedRates remembers a hypervisor's un-degraded copy rates across
+// nested slow_save windows.
+type savedRates struct {
+	mem, net int64
+	count    int
+}
+
+// faultNode resolves a fault injection's target node.
+func (c *Cluster) faultNode(target, node string) (*emulab.ExpNode, error) {
+	sess := c.byName[target]
+	if sess == nil || sess.Exp == nil {
+		return nil, fmt.Errorf("emucheck: %q not in service", target)
+	}
+	n := sess.Exp.Node(node)
+	if n == nil {
+		return nil, fmt.Errorf("emucheck: no node %q in %q", node, target)
+	}
+	return n, nil
+}

@@ -33,6 +33,7 @@ var benchSchema = map[string]any{
 	"ablation":  &evalrun.AblationResult{},
 	"timeshare": &evalrun.TimeshareResult{},
 	"branch":    &evalrun.BranchResult{},
+	"recovery":  &evalrun.RecoveryResult{},
 }
 
 // fieldPaths flattens a type into "path: kind" lines, honoring json

@@ -101,6 +101,21 @@ type Session struct {
 	// paths return such errors directly.
 	RecordErr error
 
+	// LastErr surfaces the most recent control-plane failure on this
+	// session: an aborted checkpoint epoch, a failed park or restore, a
+	// provisioning error. The control plane never panics on these — it
+	// records them here (and in scenario results) and keeps running.
+	LastErr error
+
+	// Crash / recovery bookkeeping (scheduler-managed tenants).
+	crashedAt      sim.Time
+	recoveredAt    sim.Time
+	recoveries     int
+	lostWork       sim.Time
+	pendingLost    sim.Time // lost work of the current crash, fixed at crash time
+	recoverPending bool
+	epochInterval  sim.Time // committed-epoch period (0: pipeline off)
+
 	job     *sched.Job
 	done    bool // finished standalone session (job-managed ones track state in job)
 	perturb Perturbation
@@ -141,7 +156,7 @@ func newSession(sc Scenario, seed int64, p Perturbation, branch TreeNodeID) *Ses
 	if err != nil {
 		panic("emucheck: " + err.Error())
 	}
-	sess.Exp = exp
+	c.wireTenant(sess, exp)
 	// Charge the scheduler's ledger too, so a later Submit on this
 	// cluster cannot over-admit against hardware the session holds.
 	if err := c.Sched.Reserve(exp.Allocated()); err != nil {
@@ -193,6 +208,56 @@ func (s *Session) Admissions() int {
 		return 1
 	}
 	return s.job.Admissions()
+}
+
+// Recoveries reports how often the session was restored from a
+// committed checkpoint epoch after a crash — the genealogy's record
+// that this incarnation is not the first.
+func (s *Session) Recoveries() int { return s.recoveries }
+
+// LostWork reports the cumulative work discarded by crash recoveries:
+// for each crash, the gap between the crash and the last committed
+// epoch the recovery restored, floored at the incarnation's entry
+// into service — a tenant crashed while parked loses nothing (its
+// park committed everything and nothing ran since). Restarts from
+// scratch are not counted here — they lose everything, which the
+// caller can see from Admissions and its own progress counters.
+func (s *Session) LostWork() sim.Time { return s.lostWork }
+
+// CrashedAt reports when the session last crashed (zero: never).
+func (s *Session) CrashedAt() sim.Time { return s.crashedAt }
+
+// RecoveredAt reports when the session last finished a recovery
+// (zero: never).
+func (s *Session) RecoveredAt() sim.Time { return s.recoveredAt }
+
+// EpochsAborted reports checkpoint epochs that aborted on this
+// session's current coordinator (save failures, stragglers past the
+// save deadline, crash-forced aborts). Zero before instantiation; a
+// Restart replaces the coordinator and resets the count.
+func (s *Session) EpochsAborted() int {
+	if s.Exp == nil {
+		return 0
+	}
+	return s.Exp.Coord.Aborted
+}
+
+// StartEpochs begins the committed-epoch pipeline on a swappable
+// session: a transparent checkpoint every interval whose dirty state
+// commits to the file-server lineages, keeping Cluster.Recover's
+// restore point at most ~interval stale.
+func (s *Session) StartEpochs(interval sim.Time) error {
+	if s.Exp == nil {
+		return fmt.Errorf("emucheck: experiment %q is %s, not instantiated", s.Scenario.Spec.Name, s.State())
+	}
+	if s.Exp.Swap == nil {
+		return fmt.Errorf("emucheck: no swappable nodes in %q", s.Scenario.Spec.Name)
+	}
+	// Remembered so a crash recovery restarts the pipeline: the restore
+	// point must keep refreshing on the recovered incarnation too.
+	s.epochInterval = interval
+	s.Exp.Swap.StartEpochs(interval)
+	return nil
 }
 
 // applyPerturbation adjusts environment knobs before construction.
@@ -285,24 +350,32 @@ func (s *Session) Checkpoint() (*CheckpointResult, error) {
 }
 
 // CheckpointAsync initiates one transparent distributed checkpoint and
-// returns immediately; done (optional) receives the result once every
-// node has resumed, and the checkpoint is recorded in the time-travel
-// tree. Use this from inside simulation events (e.g. scripted scenario
-// actions), where the synchronous Checkpoint would re-enter the event
-// loop.
-func (s *Session) CheckpointAsync(o CheckpointOptions, done func(*CheckpointResult)) error {
+// returns immediately; done (optional) receives the committed result
+// once every node has resumed — or the typed core.EpochError if the
+// epoch aborted — and committed checkpoints are recorded in the
+// time-travel tree. Use this from inside simulation events (e.g.
+// scripted scenario actions), where the synchronous Checkpoint would
+// re-enter the event loop.
+func (s *Session) CheckpointAsync(o CheckpointOptions, done func(*CheckpointResult, error)) error {
 	// A stateful-parked tenant keeps its Exp (state preserved on the
 	// file server), so check scheduler state, not just instantiation.
 	if s.Exp == nil || s.job != nil && s.job.State() != sched.Running {
 		return fmt.Errorf("emucheck: experiment %q is %s", s.Scenario.Spec.Name, s.State())
 	}
 	first := s.Exp.Spec.Nodes[0].Name
-	return s.Exp.Coord.Checkpoint(o, func(r *CheckpointResult) {
+	return s.Exp.Coord.Checkpoint(o, func(r *CheckpointResult, cerr error) {
+		if cerr != nil {
+			s.LastErr = cerr
+			if done != nil {
+				done(nil, cerr)
+			}
+			return
+		}
 		if _, err := s.Tree.Record(r, s.VirtualNow(first)); err != nil {
 			s.RecordErr = err
 		}
 		if done != nil {
-			done(r)
+			done(r, nil)
 		}
 	})
 }
@@ -316,14 +389,19 @@ func (s *Session) CheckpointOpts(o CheckpointOptions) (*CheckpointResult, error)
 		return nil, fmt.Errorf("emucheck: experiment %q is %s", s.Scenario.Spec.Name, s.State())
 	}
 	var res *CheckpointResult
-	if err := s.Exp.Coord.Checkpoint(o, func(r *CheckpointResult) { res = r }); err != nil {
+	var cerr error
+	if err := s.Exp.Coord.Checkpoint(o, func(r *CheckpointResult, e error) { res, cerr = r, e }); err != nil {
 		return nil, err
 	}
 	deadline := s.S.Now() + 10*sim.Minute
-	for res == nil && s.S.Now() < deadline {
+	for res == nil && cerr == nil && s.S.Now() < deadline {
 		if !s.S.Step() {
 			s.S.RunFor(sim.Millisecond)
 		}
+	}
+	if cerr != nil {
+		s.LastErr = cerr
+		return nil, cerr
 	}
 	if res == nil {
 		return nil, fmt.Errorf("emucheck: checkpoint did not complete")
@@ -366,14 +444,19 @@ func (s *Session) SwapOut() ([]*swap.OutReport, error) {
 		return nil, fmt.Errorf("emucheck: no swappable nodes in %q", s.Scenario.Spec.Name)
 	}
 	var reps []*swap.OutReport
-	if err := s.Exp.Swap.SwapOut(swap.DefaultOptions(), func(r []*swap.OutReport) { reps = r }); err != nil {
+	var serr error
+	if err := s.Exp.Swap.SwapOut(swap.DefaultOptions(), func(r []*swap.OutReport, e error) { reps, serr = r, e }); err != nil {
 		return nil, err
 	}
 	deadline := s.S.Now() + 2*sim.Hour
-	for reps == nil && s.S.Now() < deadline {
+	for reps == nil && serr == nil && s.S.Now() < deadline {
 		if !s.S.Step() {
 			s.S.RunFor(sim.Second)
 		}
+	}
+	if serr != nil {
+		s.LastErr = serr
+		return nil, serr
 	}
 	if reps == nil {
 		return nil, fmt.Errorf("emucheck: swap-out did not complete")
@@ -392,14 +475,19 @@ func (s *Session) SwapIn(lazy bool) ([]*swap.InReport, error) {
 	o := swap.DefaultOptions()
 	o.Lazy = lazy
 	var reps []*swap.InReport
-	if err := s.Exp.Swap.SwapIn(o, func(r []*swap.InReport) { reps = r }); err != nil {
+	var serr error
+	if err := s.Exp.Swap.SwapIn(o, func(r []*swap.InReport, e error) { reps, serr = r, e }); err != nil {
 		return nil, err
 	}
 	deadline := s.S.Now() + 2*sim.Hour
-	for reps == nil && s.S.Now() < deadline {
+	for reps == nil && serr == nil && s.S.Now() < deadline {
 		if !s.S.Step() {
 			s.S.RunFor(sim.Second)
 		}
+	}
+	if serr != nil {
+		s.LastErr = serr
+		return nil, serr
 	}
 	if reps == nil {
 		return nil, fmt.Errorf("emucheck: swap-in did not complete")

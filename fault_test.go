@@ -1,0 +1,328 @@
+package emucheck
+
+import (
+	"encoding/json"
+	"testing"
+
+	"emucheck/internal/fault"
+	"emucheck/internal/sched"
+	"emucheck/internal/sim"
+)
+
+// TestCrashRecoverFromCommittedEpoch: a running tenant with the
+// committed-epoch pipeline crashes mid-run; Recover re-admits it, the
+// guests resume, lost work is bounded by the epoch period, and the
+// genealogy notes the recovery.
+func TestCrashRecoverFromCommittedEpoch(t *testing.T) {
+	c := NewCluster(2, 11, FIFO)
+	c.Incremental = true
+	c.SaveDeadline = 20 * sim.Second
+	ticks := 0
+	sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(12 * sim.Second) // admitted and running
+	if err := sess.StartEpochs(15 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(100 * sim.Second)
+	if sess.EpochsAborted() != 0 {
+		t.Fatalf("clean run aborted %d epochs", sess.EpochsAborted())
+	}
+	commit := sess.Exp.Swap.LastCommitAt()
+	if commit == 0 {
+		t.Fatal("epoch pipeline never committed")
+	}
+
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.State(); got != "crashed" {
+		t.Fatalf("state %q after crash, want crashed", got)
+	}
+	if c.Sched.Free() != 2 || c.TB.FreeNodes != 2 {
+		t.Fatalf("crash leaked hardware: sched free %d, testbed free %d", c.Sched.Free(), c.TB.FreeNodes)
+	}
+	preCrash := ticks
+	c.RunFor(30 * sim.Second)
+	if ticks != preCrash {
+		t.Fatalf("crashed tenant kept ticking: %d -> %d", preCrash, ticks)
+	}
+
+	if err := c.Recover("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Minute)
+	if got := sess.State(); got != "running" {
+		t.Fatalf("state %q after recovery, want running", got)
+	}
+	if sess.Recoveries() != 1 {
+		t.Fatalf("recoveries %d, want 1", sess.Recoveries())
+	}
+	if ticks <= preCrash {
+		t.Fatalf("recovered tenant never resumed work: %d ticks", ticks)
+	}
+	// Lost work is the crash-to-last-commit gap, bounded by the period
+	// plus the commit upload.
+	if lost := sess.LostWork(); lost <= 0 || lost > 25*sim.Second {
+		t.Fatalf("lost work %v, want (0, 25s]", lost)
+	}
+	if sess.CrashedAt() == 0 || sess.RecoveredAt() <= sess.CrashedAt() {
+		t.Fatalf("recovery bookkeeping: crashed %v, recovered %v", sess.CrashedAt(), sess.RecoveredAt())
+	}
+	_ = commit
+}
+
+// TestCrashDuringParkReleasesHardware: a tenant crashed in the middle
+// of a HoldResume swap-out (state Parking) must leave the pool whole —
+// the scheduler's ledger, the testbed's free count, and parksInFlight
+// all settle, and the queue keeps moving.
+func TestCrashDuringParkReleasesHardware(t *testing.T) {
+	c := NewCluster(2, 12, FIFO)
+	c.Incremental = true
+	c.SaveDeadline = 20 * sim.Second
+	ticks := 0
+	sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * sim.Second)
+	if err := c.Park("e1"); err != nil {
+		t.Fatal(err)
+	}
+	// Let the park reach its freeze (pre-copy is quick for an idle
+	// tenant, the frozen memory stream is not), then kill the nodes.
+	c.RunFor(3 * sim.Second)
+	if got := sess.job.State(); got != sched.Parking {
+		t.Fatalf("tenant is %v, want parking mid-swap-out", got)
+	}
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * sim.Second)
+	if got := sess.State(); got != "crashed" {
+		t.Fatalf("state %q, want crashed", got)
+	}
+	if c.Sched.Free() != 2 {
+		t.Fatalf("scheduler leaked hardware: free %d, want 2", c.Sched.Free())
+	}
+	if c.TB.FreeNodes != 2 {
+		t.Fatalf("testbed leaked hardware: free %d, want 2", c.TB.FreeNodes)
+	}
+	// The freed pool must still admit new work.
+	other := 0
+	if _, err := c.Submit(tenantScenario("e2", &other), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * sim.Second)
+	if got := c.Tenant("e2").State(); got != "running" {
+		t.Fatalf("successor tenant is %q, want running", got)
+	}
+	if other == 0 {
+		t.Fatalf("successor tenant never ticked")
+	}
+}
+
+// TestCrashParkedTenantSurvivable: crashing a parked (swapped-out)
+// tenant endangers nothing — its state is on the file server — and
+// Recover restores it.
+func TestCrashParkedTenantSurvivable(t *testing.T) {
+	c := NewCluster(2, 13, FIFO)
+	c.Incremental = true
+	c.SaveDeadline = 20 * sim.Second
+	ticks := 0
+	sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * sim.Second)
+	if err := c.Park("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Minute)
+	if got := sess.State(); got != "parked" {
+		t.Fatalf("state %q, want parked", got)
+	}
+	preCrash := ticks
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Minute)
+	if got := sess.State(); got != "running" {
+		t.Fatalf("state %q after recovery, want running", got)
+	}
+	if ticks <= preCrash {
+		t.Fatalf("tenant never resumed work after parked-crash recovery")
+	}
+	// The park's swap-out is the committed restore point; the tenant
+	// was idle off-hardware afterwards, so recovery lost nothing —
+	// parked wall-clock time is not lost work.
+	if sess.Recoveries() != 1 {
+		t.Fatalf("recoveries %d, want 1", sess.Recoveries())
+	}
+	if lost := sess.LostWork(); lost != 0 {
+		t.Fatalf("parked-crash recovery reported %v lost work, want 0", lost)
+	}
+}
+
+// TestRecoverWithoutEpochFails: a crashed tenant with no committed
+// epoch cannot Recover (only Restart), and says so.
+func TestRecoverWithoutEpochFails(t *testing.T) {
+	c := NewCluster(2, 14, FIFO)
+	c.Incremental = true
+	ticks := 0
+	if _, err := c.Submit(tenantScenario("e1", &ticks), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * sim.Second)
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover("e1"); err == nil {
+		t.Fatal("Recover succeeded with no committed epoch")
+	}
+	if err := c.Restart("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Minute)
+	if got := c.Tenant("e1").State(); got != "running" {
+		t.Fatalf("state %q after restart, want running", got)
+	}
+}
+
+// TestFaultPlanDeterministic: two same-seed runs with an identical
+// injection plan (a dropped notification and a crash+recovery) are
+// byte-identical.
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func() string {
+		c := NewCluster(2, 99, FIFO)
+		c.Incremental = true
+		c.SaveDeadline = 15 * sim.Second
+		ticks := 0
+		sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.S.At(12*sim.Second, "test.epochs", func() {
+			if err := sess.StartEpochs(10 * sim.Second); err != nil {
+				t.Error(err)
+			}
+		})
+		plan := &fault.Plan{Seed: 5, Injections: []fault.Injection{
+			{Kind: fault.Drop, At: 20 * sim.Second, Target: "e1", Count: 1},
+			{Kind: fault.Crash, At: 90 * sim.Second, Target: "e1"},
+		}}
+		c.InjectFaults(plan)
+		c.S.At(100*sim.Second, "test.recover", func() {
+			if err := c.Recover("e1"); err != nil {
+				t.Error(err)
+			}
+		})
+		c.RunFor(5 * sim.Minute)
+		digest := clusterDigest(c, []int{ticks})
+		stats, _ := json.Marshal(map[string]any{
+			"aborted": sess.EpochsAborted(), "recov": sess.Recoveries(),
+			"lost": sess.LostWork(), "dropped": c.TB.Bus.Dropped,
+			"topics": c.TB.Bus.Topics(), "plan": plan.Dropped + plan.Crashes,
+		})
+		return digest + string(stats)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("faulty runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestRecoveredParkedTenantCanParkAgain: recovery of a crashed-while-
+// parked tenant must clear the held swap-out epoch, so the recovered
+// incarnation can checkpoint and park again (regression: the held
+// epoch wedged the coordinator forever).
+func TestRecoveredParkedTenantCanParkAgain(t *testing.T) {
+	c := NewCluster(2, 21, FIFO)
+	c.Incremental = true
+	c.SaveDeadline = 20 * sim.Second
+	ticks := 0
+	sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * sim.Second)
+	if err := c.Park("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Minute)
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Minute)
+	if got := sess.State(); got != "running" {
+		t.Fatalf("state %q after recovery, want running", got)
+	}
+	if sess.Exp.Coord.Busy() || sess.Exp.Coord.Held() {
+		t.Fatalf("coordinator wedged after recovery: busy=%v held=%v",
+			sess.Exp.Coord.Busy(), sess.Exp.Coord.Held())
+	}
+	// A fresh checkpoint and a fresh park must both work.
+	if _, err := sess.CheckpointOpts(CheckpointOptions{Incremental: true}); err != nil {
+		t.Fatalf("checkpoint on recovered tenant: %v", err)
+	}
+	if err := c.Park("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Minute)
+	if got := sess.State(); got != "parked" {
+		t.Fatalf("state %q after re-park, want parked (LastErr %v)", got, sess.LastErr)
+	}
+}
+
+// TestEpochPipelineRestartsAfterRecovery: the committed-epoch pipeline
+// the crash stopped must resume on the recovered incarnation, so the
+// restore point keeps refreshing and a second crash stays cheap
+// (regression: LastCommitAt froze at its pre-crash value).
+func TestEpochPipelineRestartsAfterRecovery(t *testing.T) {
+	c := NewCluster(2, 22, FIFO)
+	c.Incremental = true
+	c.SaveDeadline = 20 * sim.Second
+	ticks := 0
+	sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(12 * sim.Second)
+	if err := sess.StartEpochs(15 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(60 * sim.Second)
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	preCrashCommit := sess.Exp.Swap.LastCommitAt()
+	if err := c.Recover("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(3 * sim.Minute)
+	if got := sess.State(); got != "running" {
+		t.Fatalf("state %q, want running", got)
+	}
+	if after := sess.Exp.Swap.LastCommitAt(); after <= preCrashCommit {
+		t.Fatalf("restore point frozen after recovery: %v (pre-crash %v)", after, preCrashCommit)
+	}
+	// And a second crash recovers with bounded lost work again.
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Minute)
+	if sess.Recoveries() != 2 || sess.State() != "running" {
+		t.Fatalf("second recovery: recoveries=%d state=%s", sess.Recoveries(), sess.State())
+	}
+}

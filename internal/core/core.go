@@ -21,10 +21,22 @@
 // A barrier collects completions, then a scheduled "resume at R" brings
 // the whole experiment back near-simultaneously so that resume skew is
 // also sync-bounded (§3.2's observation that restart skew matters too).
+//
+// Epochs are two-phase and abortable. An epoch moves through an
+// explicit state machine — announced → saving → committed | aborted —
+// and only a fully-barriered epoch commits (to History, and from there
+// to any lineage the caller maintains). A member whose local save
+// fails, a delay node that cannot serialize, or a straggler that misses
+// Options.SaveDeadline aborts the whole epoch instead: the abort is
+// published on the bus, every member and delay node the epoch froze is
+// thawed, and the caller receives a typed *EpochError. Nothing
+// half-saved ever commits, and an abort never takes the process down —
+// the caller retries with a fresh epoch number.
 package core
 
 import (
 	"fmt"
+	"strings"
 
 	"emucheck/internal/dummynet"
 	"emucheck/internal/notify"
@@ -49,6 +61,78 @@ func (m Mode) String() string {
 	return "event-driven"
 }
 
+// Phase is an epoch's position in the checkpoint state machine.
+type Phase int
+
+// Epoch phases. The legal transitions are
+// announced → saving → committed | aborted (either pre-commit phase may
+// abort; a committed epoch is final).
+const (
+	// PhaseIdle: no epoch in flight.
+	PhaseIdle Phase = iota
+	// PhaseAnnounced: the checkpoint notification is published; no
+	// member has started its local save yet.
+	PhaseAnnounced
+	// PhaseSaving: at least one member's local save has begun.
+	PhaseSaving
+	// PhaseCommitted: every party barriered; the epoch's images are
+	// complete and durable (for HoldResume epochs this happens at the
+	// barrier; otherwise once every member has resumed).
+	PhaseCommitted
+	// PhaseAborted: the epoch failed; whatever it froze was thawed and
+	// its images were discarded.
+	PhaseAborted
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseAnnounced:
+		return "announced"
+	case PhaseSaving:
+		return "saving"
+	case PhaseCommitted:
+		return "committed"
+	case PhaseAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// EpochError is the typed failure of one checkpoint epoch: which epoch
+// aborted, in which phase, and which member (or stragglers) sank it.
+// An aborted epoch never commits; retrying gets a fresh epoch number.
+type EpochError struct {
+	Epoch int
+	// Phase names the protocol step that failed: "save" (a member's
+	// local save or a delay-node serialize errored), "barrier" (the
+	// save deadline expired with stragglers outstanding), "resume" (a
+	// member could not be restarted), or the crash layer's free-form
+	// label for externally forced aborts.
+	Phase string
+	// Node is the offending member, when one member is to blame.
+	Node string
+	// Stragglers lists the parties missing at the barrier when the save
+	// deadline expired.
+	Stragglers []string
+	Reason     string
+}
+
+func (e *EpochError) Error() string {
+	s := fmt.Sprintf("core: epoch %d aborted in %s phase", e.Epoch, e.Phase)
+	if e.Node != "" {
+		s += " on " + e.Node
+	}
+	if len(e.Stragglers) > 0 {
+		s += " (stragglers: " + strings.Join(e.Stragglers, ", ") + ")"
+	}
+	if e.Reason != "" {
+		s += ": " + e.Reason
+	}
+	return s
+}
+
 // Options tunes one distributed checkpoint.
 type Options struct {
 	Mode Mode
@@ -57,6 +141,13 @@ type Options struct {
 	Lead sim.Time
 	// ResumeLead is the scheduling margin for the coordinated resume.
 	ResumeLead sim.Time
+	// SaveDeadline bounds the save phase: if the barrier has not
+	// collected every party this long after the suspend target (or
+	// after the announcement, for event-driven epochs), the epoch
+	// aborts, thawing already-frozen members. This is how a crashed
+	// node or a lost checkpoint notification surfaces as a clean abort
+	// instead of a hang. Zero disables straggler detection.
+	SaveDeadline sim.Time
 	// Incremental saves only pages dirtied since the last checkpoint.
 	Incremental bool
 	// Target selects the image destination (scratch disk by default).
@@ -134,22 +225,39 @@ type Coordinator struct {
 	// experiments — several coordinators can share one control LAN.
 	Scope string
 
-	epoch   int
-	current *run
-	cancels []func()
-	dead    bool
+	// OnPhase, if set, observes every epoch phase transition — the
+	// hook fault injection uses to act "during save", and tests use to
+	// trace the state machine.
+	OnPhase func(epoch int, ph Phase)
 
-	// History holds every completed checkpoint, newest last — the
-	// linear spine that time travel branches from.
+	// Aborted counts epochs that ended in abort; LastAbort is the most
+	// recent abort's typed error.
+	Aborted   int
+	LastAbort *EpochError
+
+	epochSeq int
+	current  *epoch
+	cancels  []func()
+	dead     bool
+
+	// History holds every committed checkpoint, newest last — the
+	// linear spine that time travel branches from. Aborted epochs never
+	// appear here.
 	History []*Result
 }
 
-type run struct {
+// epoch is one checkpoint epoch moving through the state machine.
+type epoch struct {
+	n       int
+	phase   Phase
 	opts    Options
 	result  *Result
 	barrier *notify.Barrier
 	resumed *notify.Barrier
-	done    func(*Result)
+	done    func(*Result, error)
+
+	deadline  *sim.Event
+	frozenDNs []*dummynet.DelayNode
 
 	suspendTimes []sim.Time
 	resumeTimes  []sim.Time
@@ -162,14 +270,14 @@ func NewCoordinator(s *sim.Simulator, bus *notify.Bus, y *ntpsim.Sync, members [
 	for _, m := range members {
 		m := m
 		c.cancels = append(c.cancels,
-			bus.Subscribe(notify.TopicCheckpoint, func(msg *notify.Msg) { c.onCheckpoint(m, msg) }),
-			bus.Subscribe(notify.TopicResume, func(msg *notify.Msg) { c.onResume(m, msg) }))
+			bus.SubscribeOwned(notify.TopicCheckpoint, m.Name, func(msg *notify.Msg) { c.onCheckpoint(m, msg) }),
+			bus.SubscribeOwned(notify.TopicResume, m.Name, func(msg *notify.Msg) { c.onResume(m, msg) }))
 	}
 	for _, d := range delayNodes {
 		d := d
 		c.cancels = append(c.cancels,
-			bus.Subscribe(notify.TopicCheckpoint, func(msg *notify.Msg) { c.onCheckpointDelay(d, msg) }),
-			bus.Subscribe(notify.TopicResume, func(msg *notify.Msg) { c.onResumeDelay(d, msg) }))
+			bus.SubscribeOwned(notify.TopicCheckpoint, d.Name, func(msg *notify.Msg) { c.onCheckpointDelay(d, msg) }),
+			bus.SubscribeOwned(notify.TopicResume, d.Name, func(msg *notify.Msg) { c.onResumeDelay(d, msg) }))
 	}
 	return c
 }
@@ -185,14 +293,43 @@ func (c *Coordinator) Shutdown() {
 		cancel()
 	}
 	c.cancels = nil
+	if c.current != nil && c.current.deadline != nil {
+		c.s.Cancel(c.current.deadline)
+	}
 	c.current = nil
 }
 
 // Epoch reports the number of checkpoints initiated.
-func (c *Coordinator) Epoch() int { return c.epoch }
+func (c *Coordinator) Epoch() int { return c.epochSeq }
 
 // Busy reports whether a checkpoint epoch is still in flight.
 func (c *Coordinator) Busy() bool { return c.current != nil }
+
+// Phase reports the in-flight epoch's FSM position (PhaseIdle if none).
+func (c *Coordinator) Phase() Phase {
+	if c.current == nil {
+		return PhaseIdle
+	}
+	return c.current.phase
+}
+
+// setPhase advances the epoch's FSM position and fires the observation
+// hook.
+func (c *Coordinator) setPhase(ep *epoch, p Phase) {
+	if ep.phase == p {
+		return
+	}
+	ep.phase = p
+	if c.OnPhase != nil {
+		c.OnPhase(ep.n, p)
+	}
+}
+
+// busHop draws one control-LAN delivery delay for coordinator-driven
+// daemon signalling outside the publish path.
+func (c *Coordinator) busHop() sim.Time {
+	return c.bus.BaseLatency + c.s.Jitter(c.bus.JitterMax)
+}
 
 // TriggerFromNode initiates an event-driven checkpoint *from a member
 // node* — the §4.3 use case where a break- or watch-point inside the
@@ -201,7 +338,7 @@ func (c *Coordinator) Busy() bool { return c.current != nil }
 // dom0 daemon publishes "checkpoint now" on the bus; the notification
 // reaches the coordinator and every peer with control-network latency,
 // so the resulting skew is jitter-bound, as the paper cautions.
-func (c *Coordinator) TriggerFromNode(nodeName string, done func(*Result)) error {
+func (c *Coordinator) TriggerFromNode(nodeName string, done func(*Result, error)) error {
 	found := false
 	for _, m := range c.nodes {
 		if m.Name == nodeName {
@@ -213,7 +350,7 @@ func (c *Coordinator) TriggerFromNode(nodeName string, done func(*Result)) error
 		return fmt.Errorf("core: no member %q", nodeName)
 	}
 	if c.current != nil {
-		return fmt.Errorf("core: checkpoint %d still in flight", c.epoch)
+		return fmt.Errorf("core: checkpoint %d still in flight", c.epochSeq)
 	}
 	// One bus hop from the triggering node to the coordinator daemon,
 	// then the normal event-driven fan-out.
@@ -222,46 +359,167 @@ func (c *Coordinator) TriggerFromNode(nodeName string, done func(*Result)) error
 		if c.current != nil {
 			return // someone else got there first; their epoch covers us
 		}
-		if err := c.Checkpoint(Options{Mode: EventDriven, Incremental: true}, done); err != nil {
-			panic("core: " + err.Error())
+		if err := c.Checkpoint(Options{Mode: EventDriven, Incremental: true}, done); err != nil && done != nil {
+			done(nil, err)
 		}
 	})
 	return nil
 }
 
-// Checkpoint initiates one distributed checkpoint. done receives the
-// result after every member has resumed. Only one checkpoint may be in
-// flight at a time.
-func (c *Coordinator) Checkpoint(opts Options, done func(*Result)) error {
+// Checkpoint initiates one distributed checkpoint epoch. done receives
+// the committed result once every member has resumed (or, for
+// HoldResume, once the barrier completes) — or a *EpochError if the
+// epoch aborted. Only one epoch may be in flight at a time.
+func (c *Coordinator) Checkpoint(opts Options, done func(*Result, error)) error {
 	if c.dead {
 		return fmt.Errorf("core: coordinator is shut down")
 	}
 	if c.current != nil {
-		return fmt.Errorf("core: checkpoint %d still in flight", c.epoch)
+		return fmt.Errorf("core: checkpoint %d still in flight", c.epochSeq)
 	}
 	opts.defaults()
-	c.epoch++
+	c.epochSeq++
 	parties := len(c.nodes) + len(c.dns)
-	r := &Result{Epoch: c.epoch, Mode: opts.Mode}
-	cr := &run{opts: opts, result: r, done: done}
-	cr.barrier = notify.NewBarrier(parties, func() { c.allSaved(cr) })
-	cr.resumed = notify.NewBarrier(len(c.nodes), func() { c.allResumed(cr) })
-	c.current = cr
+	r := &Result{Epoch: c.epochSeq, Mode: opts.Mode}
+	ep := &epoch{n: c.epochSeq, phase: PhaseIdle, opts: opts, result: r, done: done}
+	ep.barrier = notify.NewBarrier(parties, func() { c.allSaved(ep) })
+	ep.resumed = notify.NewBarrier(len(c.nodes), func() { c.allResumed(ep) })
+	c.current = ep
 
-	var at sim.Time
+	var at, lead sim.Time
 	if opts.Mode == Scheduled {
-		at = c.s.Now() + opts.Lead
+		lead = opts.Lead
+		at = c.s.Now() + lead
 		r.ScheduledAt = at
 	}
-	c.bus.Publish(&notify.Msg{Topic: notify.TopicCheckpoint, From: "coordinator", Scope: c.Scope, At: at, Epoch: c.epoch})
+	if opts.SaveDeadline > 0 {
+		// The save barrier must complete within SaveDeadline of the
+		// suspend target; past it, stragglers abort the epoch.
+		ep.deadline = c.s.After(lead+opts.SaveDeadline, "core.save-deadline", func() {
+			c.onDeadline(ep)
+		})
+	}
+	c.setPhase(ep, PhaseAnnounced)
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicCheckpoint, From: "coordinator", Scope: c.Scope, At: at, Epoch: ep.n})
 	return nil
+}
+
+// onDeadline fires when the save deadline expires: if any party is
+// still missing at the barrier, the epoch aborts with the stragglers
+// named.
+func (c *Coordinator) onDeadline(ep *epoch) {
+	if c.dead || ep.phase == PhaseCommitted || ep.phase == PhaseAborted || ep.barrier.Done() {
+		return
+	}
+	var stragglers []string
+	for _, m := range c.nodes {
+		if !ep.barrier.Has(m.Name) {
+			stragglers = append(stragglers, m.Name)
+		}
+	}
+	for _, d := range c.dns {
+		if !ep.barrier.Has(d.Name) {
+			stragglers = append(stragglers, d.Name)
+		}
+	}
+	c.abort(ep, &EpochError{
+		Epoch: ep.n, Phase: "barrier", Stragglers: stragglers,
+		Reason: fmt.Sprintf("save deadline expired with %d/%d arrived",
+			ep.barrier.Arrived(), len(c.nodes)+len(c.dns)),
+	})
+}
+
+// abort fails the epoch: the deadline is cancelled, the typed error is
+// recorded, the abort is published on the bus, everything the epoch
+// froze is thawed (each daemon one control-LAN hop away), and the
+// caller receives the error. The thaw fan-out is modeled as reliable —
+// the coordinator re-sends aborts until acked — so the model delivers
+// the end state directly rather than risking a permanently frozen
+// member on a lossy LAN. Crashed members are skipped: the crash is the
+// abort's likely cause, and recovery owns them now.
+func (c *Coordinator) abort(ep *epoch, err *EpochError) {
+	if ep.phase == PhaseCommitted || ep.phase == PhaseAborted {
+		return
+	}
+	c.setPhase(ep, PhaseAborted)
+	c.Aborted++
+	c.LastAbort = err
+	if ep.deadline != nil {
+		c.s.Cancel(ep.deadline)
+	}
+	if c.current == ep {
+		c.current = nil
+	}
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicAbort, From: "coordinator", Scope: c.Scope, Epoch: ep.n, Data: err})
+	for _, m := range c.nodes {
+		hv := m.HV
+		c.s.After(c.busHop(), "core.abort-thaw", func() { thawMember(hv) })
+	}
+	for _, d := range ep.frozenDNs {
+		d := d
+		c.s.After(c.busHop(), "core.abort-thaw-dn", func() {
+			if c.allCrashed() {
+				// The whole tenant died (the crash is what aborted this
+				// epoch): its network core stays frozen for recovery.
+				return
+			}
+			d.Thaw()
+		})
+	}
+	if ep.done != nil {
+		ep.done(nil, err)
+	}
+}
+
+// allCrashed reports whether every member has fail-stopped — the
+// tenant-is-dead test the abort thaw consults so a crashed
+// experiment's delay nodes stay frozen for recovery.
+func (c *Coordinator) allCrashed() bool {
+	if len(c.nodes) == 0 {
+		return false
+	}
+	for _, m := range c.nodes {
+		if !m.HV.Crashed() {
+			return false
+		}
+	}
+	return true
+}
+
+// thawMember returns one member to service after an abort: a save in
+// flight is cancelled (resuming the guest if it had already frozen); a
+// completed save left the guest suspended and is resumed directly.
+func thawMember(hv *xen.Hypervisor) {
+	if hv.Crashed() {
+		return
+	}
+	if hv.Saving() {
+		hv.CancelSave()
+		return
+	}
+	if hv.K.Suspended() {
+		_ = hv.Resume(nil)
+	}
+}
+
+// AbortInFlight aborts the epoch currently in flight, if any — the
+// testbed's crash path uses it when a member fail-stops mid-epoch. A
+// held epoch has already committed (its barrier completed) and is not
+// aborted. Reports whether an epoch was aborted.
+func (c *Coordinator) AbortInFlight(reason string) bool {
+	ep := c.current
+	if ep == nil || ep.phase == PhaseCommitted || ep.phase == PhaseAborted {
+		return false
+	}
+	c.abort(ep, &EpochError{Epoch: ep.n, Phase: ep.phase.String(), Reason: reason})
+	return true
 }
 
 // onCheckpoint runs on a member's dom0 daemon when the notification
 // arrives. It starts the live save with the proper suspend deadline.
 func (c *Coordinator) onCheckpoint(m *Member, msg *notify.Msg) {
-	cr := c.current
-	if cr == nil || msg.Scope != c.Scope || msg.Epoch != c.epoch {
+	ep := c.current
+	if ep == nil || msg.Scope != c.Scope || msg.Epoch != ep.n || ep.phase == PhaseAborted {
 		return
 	}
 	var suspendAt sim.Time
@@ -270,33 +528,47 @@ func (c *Coordinator) onCheckpoint(m *Member, msg *notify.Msg) {
 	} else {
 		suspendAt = c.s.Now() + sim.Microsecond // "checkpoint now"
 	}
+	c.setPhase(ep, PhaseSaving)
 	err := m.HV.Save(xen.SaveOptions{
-		Target:      cr.opts.Target,
+		Target:      ep.opts.Target,
 		SuspendAt:   suspendAt,
-		Incremental: cr.opts.Incremental,
+		Incremental: ep.opts.Incremental,
+		OnError: func(serr error) {
+			// The save died after acceptance (the suspend raced a
+			// concurrent freeze): abort rather than hang the barrier.
+			if ep.phase != PhaseAborted && ep.phase != PhaseCommitted {
+				c.abort(ep, &EpochError{Epoch: ep.n, Phase: "save", Node: m.Name, Reason: serr.Error()})
+			}
+		},
 	}, func(img *xen.Image) {
-		cr.result.Images = append(cr.result.Images, img)
-		cr.suspendTimes = append(cr.suspendTimes, img.SuspendedAt)
-		cr.result.TotalBytes += img.MemoryBytes + img.DeviceBytes
+		if ep.phase == PhaseAborted {
+			// The epoch died while this save was finishing: discard the
+			// image and thaw the member right away.
+			thawMember(m.HV)
+			return
+		}
+		ep.result.Images = append(ep.result.Images, img)
+		ep.suspendTimes = append(ep.suspendTimes, img.SuspendedAt)
+		ep.result.TotalBytes += img.MemoryBytes + img.DeviceBytes
 		// Report completion on the bus (daemon -> coordinator).
-		cr.barrier.Arrive(m.Name)
+		ep.barrier.Arrive(m.Name)
 	})
 	if err != nil {
-		panic(fmt.Sprintf("core: save on %s: %v", m.Name, err))
+		c.abort(ep, &EpochError{Epoch: ep.n, Phase: "save", Node: m.Name, Reason: err.Error()})
 	}
 }
 
 // onCheckpointDelay freezes and serializes a delay node at its local
 // trigger time.
 func (c *Coordinator) onCheckpointDelay(d *dummynet.DelayNode, msg *notify.Msg) {
-	cr := c.current
-	if cr == nil || msg.Scope != c.Scope || msg.Epoch != c.epoch {
+	ep := c.current
+	if ep == nil || msg.Scope != c.Scope || msg.Epoch != ep.n || ep.phase == PhaseAborted {
 		return
 	}
-	if cr.opts.SkipDelayNodes {
+	if ep.opts.SkipDelayNodes {
 		// Ablation mode: the network core keeps running; its in-flight
 		// packets drain into frozen endpoints' replay logs.
-		cr.barrier.Arrive(d.Name)
+		ep.barrier.Arrive(d.Name)
 		return
 	}
 	var at sim.Time
@@ -307,36 +579,48 @@ func (c *Coordinator) onCheckpointDelay(d *dummynet.DelayNode, msg *notify.Msg) 
 	}
 	delay := at - c.s.Now()
 	c.s.After(delay, "core.freeze-delaynode", func() {
+		if ep.phase == PhaseAborted {
+			return // the epoch died before the local trigger
+		}
 		d.Freeze()
+		ep.frozenDNs = append(ep.frozenDNs, d)
 		st, err := d.Serialize()
 		if err != nil {
-			panic("core: " + err.Error())
+			c.abort(ep, &EpochError{Epoch: ep.n, Phase: "save", Node: d.Name, Reason: err.Error()})
+			return
 		}
-		cr.result.DelayStates = append(cr.result.DelayStates, st)
-		cr.result.TotalBytes += int64(st.Bytes())
-		cr.barrier.Arrive(d.Name)
+		ep.result.DelayStates = append(ep.result.DelayStates, st)
+		ep.result.TotalBytes += int64(st.Bytes())
+		ep.barrier.Arrive(d.Name)
 	})
 }
 
-// allSaved fires when the barrier completes: publish the scheduled
-// resume, or park the frozen experiment if the caller asked to hold.
-func (c *Coordinator) allSaved(cr *run) {
-	if c.dead {
+// allSaved fires when the barrier completes: the epoch is now fully
+// barriered and will commit. Publish the scheduled resume, or park the
+// frozen experiment if the caller asked to hold.
+func (c *Coordinator) allSaved(ep *epoch) {
+	if c.dead || ep.phase == PhaseAborted {
 		// A save completing after teardown must not publish a resume:
 		// the successor coordinator reuses this scope and epoch 1.
 		return
 	}
-	if cr.opts.HoldResume {
-		cr.result.SuspendSkew = spread(cr.suspendTimes)
-		cr.result.CompletedAt = c.s.Now()
-		c.History = append(c.History, cr.result)
-		if cr.done != nil {
-			cr.done(cr.result)
+	if ep.deadline != nil {
+		c.s.Cancel(ep.deadline)
+	}
+	if ep.opts.HoldResume {
+		// A held epoch commits at the barrier: its images are complete
+		// and durable; the resume happens at the next swap-in.
+		ep.result.SuspendSkew = spread(ep.suspendTimes)
+		ep.result.CompletedAt = c.s.Now()
+		c.setPhase(ep, PhaseCommitted)
+		c.History = append(c.History, ep.result)
+		if ep.done != nil {
+			ep.done(ep.result, nil)
 		}
 		return
 	}
-	at := c.s.Now() + cr.opts.ResumeLead
-	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", Scope: c.Scope, At: at, Epoch: cr.result.Epoch})
+	at := c.s.Now() + ep.opts.ResumeLead
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", Scope: c.Scope, At: at, Epoch: ep.n})
 }
 
 // Held reports whether a checkpoint is parked awaiting ResumeHeld.
@@ -344,61 +628,94 @@ func (c *Coordinator) Held() bool {
 	return c.current != nil && c.current.opts.HoldResume && c.current.barrier.Done()
 }
 
+// DropHeld discards a held epoch without resuming through it — the
+// crash-recovery path, where the guests restart from restored images
+// rather than via the coordinated ResumeHeld. The epoch itself stays
+// committed (its images are exactly the restore point); only the
+// coordinator's in-flight slot clears, so new epochs and swap-outs can
+// run on the recovered incarnation. Reports whether an epoch was held.
+func (c *Coordinator) DropHeld() bool {
+	if !c.Held() {
+		return false
+	}
+	c.current = nil
+	return true
+}
+
 // ResumeHeld resumes an experiment parked by a HoldResume checkpoint.
-// after fires once every node is live again.
-func (c *Coordinator) ResumeHeld(after func(*Result)) error {
-	cr := c.current
-	if cr == nil || !cr.opts.HoldResume || !cr.barrier.Done() {
+// after fires once every node is live again (or with an error if the
+// coordinated resume failed).
+func (c *Coordinator) ResumeHeld(after func(*Result, error)) error {
+	ep := c.current
+	if ep == nil || !ep.opts.HoldResume || !ep.barrier.Done() {
 		return fmt.Errorf("core: nothing held")
 	}
-	cr.done = after
-	at := c.s.Now() + cr.opts.ResumeLead
-	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", Scope: c.Scope, At: at, Epoch: cr.result.Epoch})
+	ep.done = after
+	at := c.s.Now() + ep.opts.ResumeLead
+	c.bus.Publish(&notify.Msg{Topic: notify.TopicResume, From: "coordinator", Scope: c.Scope, At: at, Epoch: ep.n})
 	return nil
 }
 
 func (c *Coordinator) onResume(m *Member, msg *notify.Msg) {
-	cr := c.current
-	if cr == nil || msg.Scope != c.Scope || msg.Epoch != c.epoch {
+	ep := c.current
+	if ep == nil || msg.Scope != c.Scope || msg.Epoch != ep.n || ep.phase == PhaseAborted {
 		return
 	}
 	at := c.ntp.LocalTrigger(m.Name, msg.At)
 	c.s.After(at-c.s.Now(), "core.resume", func() {
+		if ep.phase == PhaseAborted {
+			return // the abort path already thawed this member
+		}
 		err := m.HV.Resume(func() {
-			cr.resumeTimes = append(cr.resumeTimes, c.s.Now())
-			cr.resumed.Arrive(m.Name)
+			ep.resumeTimes = append(ep.resumeTimes, c.s.Now())
+			ep.resumed.Arrive(m.Name)
 		})
 		if err != nil {
-			panic(fmt.Sprintf("core: resume on %s: %v", m.Name, err))
+			c.abort(ep, &EpochError{Epoch: ep.n, Phase: "resume", Node: m.Name, Reason: err.Error()})
 		}
 	})
 }
 
 func (c *Coordinator) onResumeDelay(d *dummynet.DelayNode, msg *notify.Msg) {
-	if c.current == nil || msg.Scope != c.Scope || msg.Epoch != c.epoch {
+	ep := c.current
+	if ep == nil || msg.Scope != c.Scope || msg.Epoch != ep.n || ep.phase == PhaseAborted {
 		return
 	}
-	if c.current.opts.SkipDelayNodes {
+	if ep.opts.SkipDelayNodes {
 		return // never frozen
 	}
 	at := c.ntp.LocalTrigger(d.Name, msg.At)
-	c.s.After(at-c.s.Now(), "core.thaw-delaynode", func() { d.Thaw() })
+	c.s.After(at-c.s.Now(), "core.thaw-delaynode", func() {
+		if ep.phase != PhaseAborted {
+			d.Thaw()
+		}
+	})
 }
 
-func (c *Coordinator) allResumed(cr *run) {
-	if c.dead {
+func (c *Coordinator) allResumed(ep *epoch) {
+	if c.dead || ep.phase == PhaseAborted {
 		return
 	}
-	cr.result.ResumeSkew = spread(cr.resumeTimes)
-	cr.result.CompletedAt = c.s.Now()
-	if !cr.opts.HoldResume {
-		// Held runs were finalized and recorded at the barrier.
-		cr.result.SuspendSkew = spread(cr.suspendTimes)
-		c.History = append(c.History, cr.result)
+	ep.result.ResumeSkew = spread(ep.resumeTimes)
+	ep.result.CompletedAt = c.s.Now()
+	if !ep.opts.HoldResume {
+		// Held epochs were committed and recorded at the barrier.
+		ep.result.SuspendSkew = spread(ep.suspendTimes)
+		c.setPhase(ep, PhaseCommitted)
+		c.History = append(c.History, ep.result)
 	}
 	c.current = nil
-	if cr.done != nil {
-		cr.done(cr.result)
+	if ep.done != nil {
+		ep.done(ep.result, nil)
+	}
+}
+
+// ThawDelayNodes unfreezes every delay node — the crash-recovery path
+// uses it after re-staging a crashed experiment's state, outside any
+// epoch's resume protocol.
+func (c *Coordinator) ThawDelayNodes() {
+	for _, d := range c.dns {
+		d.Thaw()
 	}
 }
 
@@ -421,15 +738,19 @@ func spread(ts []sim.Time) sim.Time {
 // PeriodicCheckpointer repeatedly checkpoints an experiment at a fixed
 // interval — the capture loop of the time-travel system (§6) and the
 // driver for the paper's transparency experiments, which checkpoint
-// every 5 seconds.
+// every 5 seconds. An aborted epoch commits nothing; the loop retries
+// at the next interval with a fresh epoch number.
 type PeriodicCheckpointer struct {
 	C        *Coordinator
 	Interval sim.Time
 	Opts     Options
 	OnResult func(*Result)
+	// OnAbort observes epochs that failed under the loop.
+	OnAbort func(error)
 
 	stopped bool
 	count   int
+	aborts  int
 	limit   int
 }
 
@@ -444,10 +765,18 @@ func (p *PeriodicCheckpointer) Start(limit int) {
 
 func (p *PeriodicCheckpointer) schedule() {
 	p.C.s.After(p.Interval, "periodic.ckpt", func() {
-		if p.stopped {
+		if p.stopped || p.C.dead {
 			return
 		}
-		err := p.C.Checkpoint(p.Opts, func(r *Result) {
+		err := p.C.Checkpoint(p.Opts, func(r *Result, cerr error) {
+			if cerr != nil {
+				p.aborts++
+				if p.OnAbort != nil {
+					p.OnAbort(cerr)
+				}
+				p.schedule()
+				return
+			}
 			p.count++
 			if p.OnResult != nil {
 				p.OnResult(r)
@@ -470,3 +799,6 @@ func (p *PeriodicCheckpointer) Stop() { p.stopped = true }
 
 // Count reports completed checkpoints.
 func (p *PeriodicCheckpointer) Count() int { return p.count }
+
+// Aborts reports epochs that aborted under the loop.
+func (p *PeriodicCheckpointer) Aborts() int { return p.aborts }

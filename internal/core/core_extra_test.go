@@ -77,7 +77,7 @@ func TestStarTopologyCheckpoint(t *testing.T) {
 	s.RunFor(10 * sim.Second)
 	base := echoes
 	var res *Result
-	if err := coord.Checkpoint(Options{Incremental: true}, func(r *Result) { res = r }); err != nil {
+	if err := coord.Checkpoint(Options{Incremental: true}, func(r *Result, _ error) { res = r }); err != nil {
 		t.Fatal(err)
 	}
 	s.RunFor(30 * sim.Second)
@@ -126,7 +126,7 @@ func TestSkipDelayNodesPushesStateToEndpoints(t *testing.T) {
 			s.After(100*sim.Microsecond, "watch", watch)
 		}
 		watch()
-		coord.Checkpoint(Options{Incremental: true, SkipDelayNodes: skip}, func(r *Result) { res = r })
+		coord.Checkpoint(Options{Incremental: true, SkipDelayNodes: skip}, func(r *Result, _ error) { res = r })
 		s.RunFor(20 * sim.Second)
 		stop = true
 		s.RunFor(sim.Second)
@@ -151,7 +151,7 @@ func TestHistoryAccumulates(t *testing.T) {
 	s.RunFor(sim.Second)
 	for i := 0; i < 3; i++ {
 		done := false
-		coord.Checkpoint(Options{Incremental: i > 0}, func(*Result) { done = true })
+		coord.Checkpoint(Options{Incremental: i > 0}, func(*Result, error) { done = true })
 		s.RunFor(30 * sim.Second)
 		if !done {
 			t.Fatalf("checkpoint %d incomplete", i+1)
@@ -174,7 +174,7 @@ func TestResumeHeldErrors(t *testing.T) {
 	}
 	s.RunFor(sim.Second)
 	held := false
-	coord.Checkpoint(Options{HoldResume: true}, func(*Result) { held = true })
+	coord.Checkpoint(Options{HoldResume: true}, func(*Result, error) { held = true })
 	s.RunFor(30 * sim.Second)
 	if !held {
 		t.Fatal("hold checkpoint incomplete")
@@ -183,7 +183,7 @@ func TestResumeHeldErrors(t *testing.T) {
 		t.Fatal("not held")
 	}
 	resumed := false
-	if err := coord.ResumeHeld(func(*Result) { resumed = true }); err != nil {
+	if err := coord.ResumeHeld(func(*Result, error) { resumed = true }); err != nil {
 		t.Fatal(err)
 	}
 	s.RunFor(10 * sim.Second)
@@ -200,7 +200,7 @@ func TestTriggerFromNode(t *testing.T) {
 	s.RunFor(sim.Second)
 	// Node "a" hits a watchpoint and triggers a checkpoint itself.
 	var res *Result
-	if err := coord.TriggerFromNode("a", func(r *Result) { res = r }); err != nil {
+	if err := coord.TriggerFromNode("a", func(r *Result, _ error) { res = r }); err != nil {
 		t.Fatal(err)
 	}
 	s.RunFor(30 * sim.Second)
@@ -228,8 +228,8 @@ func TestConcurrentNodeTriggersCoalesce(t *testing.T) {
 	s.RunFor(sim.Second)
 	results := 0
 	// Both leaves hit watchpoints nearly simultaneously; one epoch runs.
-	coord.TriggerFromNode("a", func(*Result) { results++ })
-	coord.TriggerFromNode("b", func(*Result) { results++ })
+	coord.TriggerFromNode("a", func(*Result, error) { results++ })
+	coord.TriggerFromNode("b", func(*Result, error) { results++ })
 	s.RunFor(30 * sim.Second)
 	if results != 1 {
 		t.Fatalf("results = %d, want exactly one epoch", results)

@@ -55,7 +55,7 @@ func TestScheduledCheckpointCompletes(t *testing.T) {
 	r := newRig(1)
 	r.s.RunFor(sim.Second)
 	var res *Result
-	if err := r.coord.Checkpoint(Options{}, func(x *Result) { res = x }); err != nil {
+	if err := r.coord.Checkpoint(Options{}, func(x *Result, _ error) { res = x }); err != nil {
 		t.Fatal(err)
 	}
 	r.s.RunFor(30 * sim.Second)
@@ -81,7 +81,7 @@ func TestScheduledSkewBoundedByClockSync(t *testing.T) {
 	// Let NTP converge well past the initial transient.
 	r.s.RunFor(60 * sim.Second)
 	var res *Result
-	r.coord.Checkpoint(Options{Incremental: true}, func(x *Result) { res = x })
+	r.coord.Checkpoint(Options{Incremental: true}, func(x *Result, _ error) { res = x })
 	r.s.RunFor(30 * sim.Second)
 	if res == nil {
 		t.Fatal("no result")
@@ -101,13 +101,13 @@ func TestEventDrivenSkewIsWorse(t *testing.T) {
 	sched := newRig(3)
 	sched.s.RunFor(60 * sim.Second)
 	var rs *Result
-	sched.coord.Checkpoint(Options{Mode: Scheduled, Incremental: true}, func(x *Result) { rs = x })
+	sched.coord.Checkpoint(Options{Mode: Scheduled, Incremental: true}, func(x *Result, _ error) { rs = x })
 	sched.s.RunFor(30 * sim.Second)
 
 	ev := newRig(3)
 	ev.s.RunFor(60 * sim.Second)
 	var re *Result
-	ev.coord.Checkpoint(Options{Mode: EventDriven, Incremental: true}, func(x *Result) { re = x })
+	ev.coord.Checkpoint(Options{Mode: EventDriven, Incremental: true}, func(x *Result, _ error) { re = x })
 	ev.s.RunFor(30 * sim.Second)
 
 	if rs == nil || re == nil {
@@ -205,7 +205,7 @@ func TestInFlightPacketsSurviveCheckpoint(t *testing.T) {
 		r.ka.Send("b", 1500, &guest.Message{Port: "data"})
 	}
 	var res *Result
-	r.coord.Checkpoint(Options{Incremental: true, Lead: 2 * sim.Millisecond}, func(x *Result) { res = x })
+	r.coord.Checkpoint(Options{Incremental: true, Lead: 2 * sim.Millisecond}, func(x *Result, _ error) { res = x })
 	r.s.RunFor(30 * sim.Second)
 	if res == nil {
 		t.Fatal("no checkpoint")

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"emucheck/internal/notify"
+	"emucheck/internal/sim"
+)
+
+// dropFirstFor suppresses the first checkpoint delivery addressed to
+// the named daemon — the lost-notification fault.
+func dropFirstFor(bus *notify.Bus, owner string) {
+	dropped := false
+	bus.Inject = func(m *notify.Msg, o string) (bool, sim.Time) {
+		if !dropped && m.Topic == notify.TopicCheckpoint && o == owner {
+			dropped = true
+			return true, 0
+		}
+		return false, 0
+	}
+}
+
+// TestStragglerTimeoutAbortsEpoch: node b never hears the checkpoint
+// notification; the save deadline expires, the epoch aborts with b
+// named as the straggler, and node a (which saved and froze) thaws
+// back to service.
+func TestStragglerTimeoutAbortsEpoch(t *testing.T) {
+	r := newRig(1)
+	r.s.RunFor(sim.Second)
+	dropFirstFor(r.bus, "b")
+
+	var res *Result
+	var cerr error
+	err := r.coord.Checkpoint(Options{SaveDeadline: 10 * sim.Second}, func(x *Result, e error) { res, cerr = x, e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunFor(30 * sim.Second)
+
+	if res != nil {
+		t.Fatalf("epoch committed despite a deaf member: %+v", res)
+	}
+	var ee *EpochError
+	if !errors.As(cerr, &ee) {
+		t.Fatalf("want *EpochError, got %v", cerr)
+	}
+	if ee.Phase != "barrier" || len(ee.Stragglers) != 1 || ee.Stragglers[0] != "b" {
+		t.Fatalf("wrong abort: %+v", ee)
+	}
+	if r.coord.Aborted != 1 || r.coord.LastAbort != ee {
+		t.Fatalf("abort not recorded: aborted=%d", r.coord.Aborted)
+	}
+	if len(r.coord.History) != 0 {
+		t.Fatalf("aborted epoch leaked into History")
+	}
+	// The member that saved must be back in service, and the delay node
+	// thawed.
+	if r.ka.Suspended() || r.kb.Suspended() {
+		t.Fatalf("members still frozen after abort: a=%v b=%v", r.ka.Suspended(), r.kb.Suspended())
+	}
+	if r.dn.Forward.Frozen() || r.dn.Reverse.Frozen() {
+		t.Fatalf("delay node still frozen after abort")
+	}
+	if r.coord.Busy() {
+		t.Fatalf("coordinator still busy after abort")
+	}
+}
+
+// TestAbortThenRetryFreshEpoch: after an aborted epoch, a retry runs
+// under a fresh epoch number and commits normally.
+func TestAbortThenRetryFreshEpoch(t *testing.T) {
+	r := newRig(2)
+	r.s.RunFor(sim.Second)
+	dropFirstFor(r.bus, "b")
+
+	var firstErr error
+	if err := r.coord.Checkpoint(Options{SaveDeadline: 10 * sim.Second}, func(_ *Result, e error) { firstErr = e }); err != nil {
+		t.Fatal(err)
+	}
+	first := r.coord.Epoch()
+	r.s.RunFor(30 * sim.Second)
+	if firstErr == nil {
+		t.Fatal("first epoch should have aborted")
+	}
+
+	// The injector's budget is spent: the retry's notifications all
+	// deliver, and the epoch must commit under a new number.
+	var res *Result
+	if err := r.coord.Checkpoint(Options{SaveDeadline: 10 * sim.Second}, func(x *Result, e error) {
+		if e != nil {
+			t.Errorf("retry aborted: %v", e)
+		}
+		res = x
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunFor(30 * sim.Second)
+	if res == nil {
+		t.Fatal("retry never committed")
+	}
+	if res.Epoch != first+1 {
+		t.Fatalf("retry epoch %d, want %d", res.Epoch, first+1)
+	}
+	if len(r.coord.History) != 1 || r.coord.History[0] != res {
+		t.Fatalf("committed epoch missing from History")
+	}
+	if r.ka.Suspended() || r.kb.Suspended() {
+		t.Fatalf("members frozen after committed epoch")
+	}
+}
+
+// TestSaveErrorAbortsEpoch: a member whose hypervisor refuses the save
+// (crashed) aborts the epoch in the save phase instead of panicking.
+func TestSaveErrorAbortsEpoch(t *testing.T) {
+	r := newRig(3)
+	r.s.RunFor(sim.Second)
+	r.coord.nodes[1].HV.Crash()
+
+	var cerr error
+	if err := r.coord.Checkpoint(Options{}, func(_ *Result, e error) { cerr = e }); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunFor(10 * sim.Second)
+	var ee *EpochError
+	if !errors.As(cerr, &ee) {
+		t.Fatalf("want *EpochError, got %v", cerr)
+	}
+	if ee.Phase != "save" || ee.Node != "b" {
+		t.Fatalf("wrong abort: %+v", ee)
+	}
+	if r.ka.Suspended() {
+		t.Fatalf("surviving member left frozen")
+	}
+	if r.kb.Crashed() != true {
+		t.Fatalf("crashed member lost its crash mark")
+	}
+}
+
+// TestPhaseHookObservesFSM traces announced -> saving -> committed on
+// a clean epoch and ... -> aborted on a straggled one.
+func TestPhaseHookObservesFSM(t *testing.T) {
+	r := newRig(4)
+	r.s.RunFor(sim.Second)
+	var phases []Phase
+	r.coord.OnPhase = func(_ int, ph Phase) { phases = append(phases, ph) }
+
+	if err := r.coord.Checkpoint(Options{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunFor(30 * sim.Second)
+	want := []Phase{PhaseAnnounced, PhaseSaving, PhaseCommitted}
+	if len(phases) != len(want) {
+		t.Fatalf("phases %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases %v, want %v", phases, want)
+		}
+	}
+
+	phases = nil
+	dropFirstFor(r.bus, "a")
+	if err := r.coord.Checkpoint(Options{SaveDeadline: 5 * sim.Second}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunFor(30 * sim.Second)
+	if len(phases) == 0 || phases[len(phases)-1] != PhaseAborted {
+		t.Fatalf("straggled epoch phases %v, want trailing aborted", phases)
+	}
+}
+
+// TestPeriodicCheckpointerRetriesPastAbort: the capture loop counts
+// the abort and keeps checkpointing with fresh epochs.
+func TestPeriodicCheckpointerRetriesPastAbort(t *testing.T) {
+	r := newRig(5)
+	r.s.RunFor(sim.Second)
+	dropFirstFor(r.bus, "b")
+	var abortSeen error
+	pc := &PeriodicCheckpointer{
+		C: r.coord, Interval: 5 * sim.Second,
+		Opts:    Options{Incremental: true, SaveDeadline: 3 * sim.Second},
+		OnAbort: func(e error) { abortSeen = e },
+	}
+	pc.Start(3)
+	r.s.RunFor(2 * sim.Minute)
+	if pc.Aborts() != 1 || abortSeen == nil {
+		t.Fatalf("aborts=%d, err=%v; want exactly the dropped epoch", pc.Aborts(), abortSeen)
+	}
+	if pc.Count() != 3 {
+		t.Fatalf("completed %d checkpoints, want 3", pc.Count())
+	}
+	if got := len(r.coord.History); got != 3 {
+		t.Fatalf("History has %d epochs, want 3 (no aborted commits)", got)
+	}
+}
+
+// TestSuspendRaceAbortsEpochWithoutDeadline: a save whose suspend
+// races an external freeze must abort the epoch even with no save
+// deadline armed (regression: the failure was swallowed and the
+// barrier hung forever).
+func TestSuspendRaceAbortsEpochWithoutDeadline(t *testing.T) {
+	r := newRig(6)
+	r.s.RunFor(sim.Second)
+	var cerr error
+	committed := false
+	if err := r.coord.Checkpoint(Options{}, func(res *Result, e error) { cerr, committed = e, res != nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze member b out-of-band before its scheduled suspend fires:
+	// the save's own suspend will then error.
+	if err := r.kb.Suspend(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunFor(30 * sim.Second)
+	if committed {
+		t.Fatal("epoch committed despite the suspend race")
+	}
+	var ee *EpochError
+	if !errors.As(cerr, &ee) {
+		t.Fatalf("want *EpochError, got %v (coordinator busy=%v)", cerr, r.coord.Busy())
+	}
+	if ee.Phase != "save" || ee.Node != "b" {
+		t.Fatalf("wrong abort: %+v", ee)
+	}
+	if r.coord.Busy() {
+		t.Fatal("coordinator still busy — the epoch hung")
+	}
+	if r.ka.Suspended() {
+		t.Fatal("member a left frozen")
+	}
+}

@@ -145,10 +145,10 @@ func TestSharedBusScopesCheckpoints(t *testing.T) {
 	ea, eb := mk("expA"), mk("expB")
 	s.RunFor(sim.Second)
 	doneA, doneB := 0, 0
-	if err := ea.Coord.Checkpoint(core.Options{Incremental: true}, func(*core.Result) { doneA++ }); err != nil {
+	if err := ea.Coord.Checkpoint(core.Options{Incremental: true}, func(*core.Result, error) { doneA++ }); err != nil {
 		t.Fatal(err)
 	}
-	if err := eb.Coord.Checkpoint(core.Options{Incremental: true}, func(*core.Result) { doneB++ }); err != nil {
+	if err := eb.Coord.Checkpoint(core.Options{Incremental: true}, func(*core.Result, error) { doneB++ }); err != nil {
 		t.Fatal(err)
 	}
 	s.RunFor(sim.Minute)

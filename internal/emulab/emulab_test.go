@@ -200,7 +200,7 @@ func TestDistributedCheckpointViaExperiment(t *testing.T) {
 	e, _ := tb.SwapIn(twoNodeSpec(true))
 	s.RunFor(sim.Second)
 	var res *core.Result
-	if err := e.Coord.Checkpoint(core.Options{}, func(r *core.Result) { res = r }); err != nil {
+	if err := e.Coord.Checkpoint(core.Options{}, func(r *core.Result, _ error) { res = r }); err != nil {
 		t.Fatal(err)
 	}
 	s.RunFor(sim.Minute)

@@ -55,7 +55,7 @@ func ablationRun(seed int64, skip bool) (endpointLog, inCore, rtx int, burst flo
 	sample()
 
 	var res *core.Result
-	err := e.Coord.Checkpoint(core.Options{Incremental: true, SkipDelayNodes: skip}, func(r *core.Result) { res = r })
+	err := e.Coord.Checkpoint(core.Options{Incremental: true, SkipDelayNodes: skip}, func(r *core.Result, _ error) { res = r })
 	if err != nil {
 		panic(err)
 	}

@@ -270,7 +270,7 @@ func (r *swapRig) session(busy bool) {
 
 func (r *swapRig) swapOut(o swap.Options) sim.Time {
 	var reps []*swap.OutReport
-	if err := r.mgr.SwapOut(o, func(x []*swap.OutReport) { reps = x }); err != nil {
+	if err := r.mgr.SwapOut(o, func(x []*swap.OutReport, _ error) { reps = x }); err != nil {
 		panic(err)
 	}
 	r.s.RunFor(30 * sim.Minute)
@@ -282,7 +282,7 @@ func (r *swapRig) swapOut(o swap.Options) sim.Time {
 
 func (r *swapRig) swapIn(o swap.Options) (sim.Time, int64) {
 	var reps []*swap.InReport
-	if err := r.mgr.SwapIn(o, func(x []*swap.InReport) { reps = x }); err != nil {
+	if err := r.mgr.SwapIn(o, func(x []*swap.InReport, _ error) { reps = x }); err != nil {
 		panic(err)
 	}
 	r.s.RunFor(60 * sim.Minute)
@@ -416,7 +416,7 @@ func SyncTable(seed int64) *SyncResult {
 		st := e.TB.S
 		st.RunFor(60 * sim.Second)
 		var r *core.Result
-		e.Coord.Checkpoint(core.Options{Mode: m, Incremental: true}, func(x *core.Result) { r = x })
+		e.Coord.Checkpoint(core.Options{Mode: m, Incremental: true}, func(x *core.Result, _ error) { r = x })
 		st.RunFor(sim.Minute)
 		if r == nil {
 			panic("sync: checkpoint incomplete")

@@ -1,0 +1,203 @@
+package evalrun
+
+import (
+	"fmt"
+
+	"emucheck"
+	"emucheck/internal/emulab"
+	"emucheck/internal/metrics"
+	"emucheck/internal/sim"
+)
+
+// RecoveryRow is one crash-handling mode's outcome.
+type RecoveryRow struct {
+	// Mode is "recover@Ns" (checkpoint recovery at an N-second epoch
+	// period) or "restart" (re-run from scratch, the classic stateless
+	// answer to a crash).
+	Mode    string  `json:"mode"`
+	PeriodS float64 `json:"period_s"` // committed-epoch period (0 = restart)
+	// BackInServiceS is crash -> guests running again (provisioning +
+	// state transfer).
+	BackInServiceS float64 `json:"back_in_service_s"`
+	// MTTRS is crash -> the tenant's pre-crash progress restored: back
+	// in service plus re-executing whatever the restore point had not
+	// banked. This is the metric that matters — a restart is "in
+	// service" quickly but owes the whole run again.
+	MTTRS float64 `json:"mttr_s"`
+	// LostWorkS is the work the restore point did not cover (recovery:
+	// crash minus last committed epoch; restart: everything banked).
+	LostWorkS float64 `json:"lost_work_s"`
+	// MovedMB is the file-server traffic the mode generated (epoch
+	// commits plus the recovery transfer).
+	MovedMB float64 `json:"moved_mb"`
+	// Recovered reports the tenant reached its pre-crash progress
+	// within the horizon.
+	Recovered bool `json:"recovered"`
+}
+
+// RecoveryResult is the crash-recovery benchmark: one two-node tenant
+// owing steady tick work, fail-stopped mid-run, then revived either by
+// checkpoint recovery (restored from its last committed epoch, across
+// several epoch periods) or by restart-from-scratch. Checkpoint
+// recovery must strictly beat restart on both MTTR and lost work at
+// the default period — that is the whole point of making checkpoints
+// durable.
+type RecoveryResult struct {
+	Pool     int     `json:"pool"`
+	Nodes    int     `json:"nodes"`
+	CrashAtS float64 `json:"crash_at_s"`
+	HorizonS float64 `json:"horizon_s"`
+
+	Rows []RecoveryRow `json:"rows"`
+}
+
+// DefaultEpochPeriod is the committed-epoch period the acceptance
+// comparison (recover vs restart) is made at.
+const DefaultEpochPeriod = 15 * sim.Second
+
+// runRecoveryMode crashes one tenant at crashAt and revives it the
+// given way, measuring time back to service and back to pre-crash
+// progress. period == 0 selects the restart baseline.
+func runRecoveryMode(seed int64, period, crashAt, horizon sim.Time) RecoveryRow {
+	const name = "t1"
+	restart := period == 0
+	c := emucheck.NewCluster(2, seed, emucheck.FIFO)
+	c.Incremental = true
+	c.SaveDeadline = 20 * sim.Second
+
+	var ticks, committed, lastRec int64
+	a, b := name+"a", name+"b"
+	sc := emucheck.Scenario{
+		Spec: emulab.Spec{
+			Name:  name,
+			Nodes: []emulab.NodeSpec{{Name: a, Swappable: true}, {Name: b, Swappable: true}},
+			Links: []emulab.LinkSpec{{A: a, B: b}},
+		},
+		Setup: func(s *emucheck.Session) {
+			// A restart reboots from the golden image: the previous
+			// incarnation's progress is gone.
+			ticks = 0
+			if !restart {
+				s.Exp.Swap.OnCommit = func() { committed = ticks }
+				if err := s.StartEpochs(period); err != nil {
+					panic("recovery: " + err.Error())
+				}
+			}
+			k := s.Kernel(a)
+			var step func()
+			step = func() {
+				k.Usleep(100*sim.Millisecond, func() {
+					if recs := int64(s.Recoveries()); recs != lastRec {
+						// Just restored: the recovered state is the last
+						// committed epoch's, so progress rolls back to it.
+						lastRec = recs
+						ticks = committed
+					}
+					ticks++
+					c.Touch(name)
+					step()
+				})
+			}
+			step()
+		},
+	}
+	if _, err := c.Submit(sc, 0); err != nil {
+		panic("recovery: " + err.Error())
+	}
+
+	c.RunFor(crashAt)
+	if err := c.Crash(name); err != nil {
+		panic("recovery: " + err.Error())
+	}
+	preCrash := ticks
+	// The facility's monitor reacts within a second of the node-down
+	// report and begins the revival.
+	c.S.After(sim.Second, "recovery.revive", func() {
+		var err error
+		if restart {
+			err = c.Restart(name)
+		} else {
+			err = c.Recover(name)
+		}
+		if err != nil {
+			panic("recovery: " + err.Error())
+		}
+	})
+
+	sess := c.Tenant(name)
+	row := RecoveryRow{PeriodS: period.Seconds(), Mode: fmt.Sprintf("recover@%.0fs", period.Seconds())}
+	if restart {
+		row.Mode = "restart"
+	}
+	var backAt, restoredAt sim.Time
+	for c.Now() < horizon {
+		c.RunFor(sim.Second)
+		if backAt == 0 && sess.State() == "running" {
+			backAt = c.Now()
+		}
+		if backAt != 0 && ticks >= preCrash {
+			restoredAt = c.Now()
+			break
+		}
+	}
+	if backAt > 0 {
+		row.BackInServiceS = (backAt - crashAt).Seconds()
+	}
+	if restoredAt > 0 {
+		row.Recovered = true
+		row.MTTRS = (restoredAt - crashAt).Seconds()
+	} else {
+		row.MTTRS = (horizon - crashAt).Seconds() // censored at the horizon
+	}
+	if restart {
+		// Everything the first incarnation banked is owed again.
+		row.LostWorkS = float64(preCrash) / 10
+	} else {
+		row.LostWorkS = sess.LostWork().Seconds()
+	}
+	row.MovedMB = float64(c.TB.Server.ByTag[name]) / (1 << 20)
+	return row
+}
+
+// Recovery runs the benchmark: checkpoint recovery across epoch
+// periods against restart-from-scratch. quick shrinks the run for CI.
+func Recovery(seed int64, quick bool) *RecoveryResult {
+	crashAt := 180 * sim.Second
+	horizon := 15 * sim.Minute
+	periods := []sim.Time{5 * sim.Second, DefaultEpochPeriod, 60 * sim.Second}
+	if quick {
+		crashAt = 90 * sim.Second
+		horizon = 8 * sim.Minute
+		periods = []sim.Time{DefaultEpochPeriod}
+	}
+	r := &RecoveryResult{
+		Pool: 2, Nodes: 2,
+		CrashAtS: crashAt.Seconds(), HorizonS: horizon.Seconds(),
+	}
+	for _, p := range periods {
+		r.Rows = append(r.Rows, runRecoveryMode(seed, p, crashAt, horizon))
+	}
+	r.Rows = append(r.Rows, runRecoveryMode(seed, 0, crashAt, horizon))
+	return r
+}
+
+// Row returns the named mode's row (nil if absent).
+func (r *RecoveryResult) Row(mode string) *RecoveryRow {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == mode {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render prints the comparison.
+func (r *RecoveryResult) Render() string {
+	t := &metrics.Table{Header: []string{"mode", "back in service (s)", "MTTR (s)", "lost work (s)", "moved MB", "recovered"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode, fmt.Sprintf("%.0f", row.BackInServiceS), fmt.Sprintf("%.0f", row.MTTRS),
+			fmt.Sprintf("%.1f", row.LostWorkS), fmt.Sprintf("%.0f", row.MovedMB), row.Recovered)
+	}
+	s := fmt.Sprintf("%d-node tenant crashed at t=%.0fs; MTTR is time back to pre-crash progress\n", r.Nodes, r.CrashAtS)
+	return s + t.String()
+}

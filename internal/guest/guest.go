@@ -195,6 +195,8 @@ type Kernel struct {
 	ioWaiters  []func()
 
 	suspended        bool
+	resuming         bool
+	crashed          bool
 	lastDirtyAccrual sim.Time
 
 	// Statistics.
@@ -431,14 +433,50 @@ func (k *Kernel) Suspend(done func()) error {
 	return nil
 }
 
+// Crash fail-stops the kernel: the temporal firewall engages on the
+// spot and nothing on this incarnation ever disengages it, the NIC
+// freezes, and in-flight I/O and timers are simply abandoned — the
+// un-graceful sibling of Suspend, with no drain and no device quiesce.
+// A kernel that is already checkpoint-suspended stays as it is: the
+// crashed state is whatever the freeze captured.
+func (k *Kernel) Crash() {
+	k.crashed = true
+	if k.suspended {
+		return
+	}
+	k.suspended = true
+	k.FW.Engage(0)
+	k.M.ExpNIC.Freeze()
+	k.Clock.SetRunstate(vclock.Offline)
+}
+
+// Revive clears the crash flag ahead of a recovery resume; the caller
+// (xen.Hypervisor.Restore) has re-staged the kernel's state first.
+func (k *Kernel) Revive() { k.crashed = false }
+
+// Crashed reports whether the kernel has fail-stopped.
+func (k *Kernel) Crashed() bool { return k.crashed }
+
 // Resume reconnects devices and disengages the firewall. fn, if non-nil,
 // runs after the guest is live again.
 func (k *Kernel) Resume(fn func()) error {
 	if !k.suspended {
 		return fmt.Errorf("guest %s: resume while running", k.Name)
 	}
+	if k.resuming {
+		// An epoch abort can race a second thaw at the same member; the
+		// reconnect already under way covers both.
+		return fmt.Errorf("guest %s: resume already in progress", k.Name)
+	}
+	k.resuming = true
 	_, disengageLeak := k.leakSplit()
 	k.M.Sim.After(k.P.DeviceReconnect, k.Name+".reconnect", func() {
+		k.resuming = false
+		if k.crashed {
+			// The machine died while devices were reconnecting: the guest
+			// stays frozen for recovery.
+			return
+		}
 		k.suspended = false
 		k.M.ExpNIC.Thaw()
 		k.FW.Disengage(disengageLeak)

@@ -8,6 +8,11 @@
 // with jitter — precisely the variability that makes purely
 // notification-driven ("checkpoint now") synchronization inferior to
 // clock-scheduled checkpoints, as §4.3 argues and our tests show.
+//
+// The bus is also the control plane's fault surface: an Inject hook
+// lets the fault layer drop or delay individual deliveries, and
+// per-topic delivery stats (published/delivered/dropped) make lost
+// notifications observable in run results instead of silent.
 package notify
 
 import (
@@ -19,6 +24,10 @@ const (
 	TopicCheckpoint = "checkpoint"
 	TopicResume     = "resume"
 	TopicBarrier    = "barrier"
+	// TopicAbort announces a failed checkpoint epoch: a save error or a
+	// straggler timeout sank the barrier, and the epoch's state must be
+	// discarded (it will never be committed).
+	TopicAbort = "abort"
 )
 
 // Msg is one bus notification.
@@ -38,6 +47,15 @@ type Msg struct {
 	Data  any
 }
 
+// TopicStats counts one topic's control-LAN traffic. Published counts
+// messages; Delivered and Dropped count per-subscriber deliveries (one
+// message fans out to many daemons).
+type TopicStats struct {
+	Published uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
 // Bus is the control-network notification service.
 type Bus struct {
 	s *sim.Simulator
@@ -47,14 +65,26 @@ type Bus struct {
 	BaseLatency sim.Time
 	JitterMax   sim.Time
 
+	// Inject, when set, is consulted once per subscriber delivery and
+	// may suppress it or add latency — the fault layer's hook for
+	// control-LAN message loss and delay. owner is the subscribing
+	// daemon's identity ("" for anonymous subscriptions).
+	Inject func(m *Msg, owner string) (drop bool, extra sim.Time)
+
 	subs map[string][]*subscriber // topic -> subscribers
 
 	Published uint64
 	Delivered uint64
+	// Dropped counts deliveries suppressed by the Inject hook — the
+	// observable record of lost notifications.
+	Dropped uint64
+
+	perTopic map[string]*TopicStats
 }
 
 type subscriber struct {
 	h       func(*Msg)
+	owner   string
 	removed bool
 }
 
@@ -66,7 +96,34 @@ func NewBus(s *sim.Simulator) *Bus {
 		BaseLatency: 180 * sim.Microsecond,
 		JitterMax:   1200 * sim.Microsecond,
 		subs:        make(map[string][]*subscriber),
+		perTopic:    make(map[string]*TopicStats),
 	}
+}
+
+// Topic reports one topic's delivery stats.
+func (b *Bus) Topic(topic string) TopicStats {
+	if st := b.perTopic[topic]; st != nil {
+		return *st
+	}
+	return TopicStats{}
+}
+
+// Topics reports every topic's delivery stats, copied for reporting.
+func (b *Bus) Topics() map[string]TopicStats {
+	out := make(map[string]TopicStats, len(b.perTopic))
+	for t, st := range b.perTopic {
+		out[t] = *st
+	}
+	return out
+}
+
+func (b *Bus) topicStats(topic string) *TopicStats {
+	st := b.perTopic[topic]
+	if st == nil {
+		st = &TopicStats{}
+		b.perTopic[topic] = st
+	}
+	return st
 }
 
 // Subscribe registers a handler for a topic and returns a cancel
@@ -76,7 +133,14 @@ func NewBus(s *sim.Simulator) *Bus {
 // daemon, outside any guest firewall — checkpoint control must keep
 // working while guests are frozen.
 func (b *Bus) Subscribe(topic string, h func(*Msg)) func() {
-	sub := &subscriber{h: h}
+	return b.SubscribeOwned(topic, "", h)
+}
+
+// SubscribeOwned is Subscribe with the subscribing daemon's identity
+// attached (a node name), so fault injection can target one daemon's
+// copy of a fan-out ("drop node X's checkpoint notification").
+func (b *Bus) SubscribeOwned(topic, owner string, h func(*Msg)) func() {
+	sub := &subscriber{h: h, owner: owner}
 	b.subs[topic] = append(b.subs[topic], sub)
 	return func() { sub.removed = true }
 }
@@ -85,6 +149,8 @@ func (b *Bus) Subscribe(topic string, h func(*Msg)) func() {
 // per-subscriber delivery delays, compacting out cancelled ones.
 func (b *Bus) Publish(m *Msg) {
 	b.Published++
+	ts := b.topicStats(m.Topic)
+	ts.Published++
 	live := b.subs[m.Topic][:0]
 	for _, sub := range b.subs[m.Topic] {
 		if sub.removed {
@@ -93,8 +159,18 @@ func (b *Bus) Publish(m *Msg) {
 		live = append(live, sub)
 		h := sub.h
 		d := b.BaseLatency + b.s.Jitter(b.JitterMax)
+		if b.Inject != nil {
+			drop, extra := b.Inject(m, sub.owner)
+			if drop {
+				b.Dropped++
+				ts.Dropped++
+				continue
+			}
+			d += extra
+		}
 		b.s.After(d, "bus."+m.Topic, func() {
 			b.Delivered++
+			ts.Delivered++
 			h(m)
 		})
 	}
@@ -134,3 +210,7 @@ func (b *Barrier) Done() bool { return b.done }
 
 // Arrived reports how many distinct parties have arrived.
 func (b *Barrier) Arrived() int { return len(b.arrived) }
+
+// Has reports whether the named party has arrived — the straggler test
+// when a save deadline expires.
+func (b *Barrier) Has(who string) bool { return b.arrived[who] }

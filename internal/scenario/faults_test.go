@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunFaultsScenario replays the committed faults example: the
+// dropped notification aborts exactly one epoch, the crash is
+// recovered from the last committed epoch, and every assertion in the
+// file holds.
+func TestRunFaultsScenario(t *testing.T) {
+	res, err := Run(load(t, "faults.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("faults scenario failed:\n%s", res.Render())
+	}
+	row := res.Experiments[0]
+	if row.EpochsAborted < 1 || row.Recoveries != 1 {
+		t.Fatalf("aborted=%d recoveries=%d", row.EpochsAborted, row.Recoveries)
+	}
+	if res.Faults == nil || res.Faults.Crashes != 1 || res.Faults.Dropped != 1 {
+		t.Fatalf("fault summary %+v", res.Faults)
+	}
+	if res.Bus == nil || res.Bus.Dropped != 1 {
+		t.Fatalf("bus stats %+v", res.Bus)
+	}
+	if st, ok := res.Bus.Topics["checkpoint"]; !ok || st.Dropped != 1 {
+		t.Fatalf("per-topic drop not recorded: %+v", res.Bus.Topics)
+	}
+}
+
+// TestRunFaultsScenarioDeterministic: two runs of the same faulty file
+// and seed are byte-identical — injection lives on the simulator's
+// deterministic rails.
+func TestRunFaultsScenarioDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := Run(load(t, "faults.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same faulty file+seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestValidateCatchesFaultProblems exercises the stanza's validation
+// surface.
+func TestValidateCatchesFaultProblems(t *testing.T) {
+	mk := func(mut func(*File)) []error {
+		f := load(t, "faults.json")
+		mut(f)
+		return Validate(f)
+	}
+	cases := []struct {
+		name string
+		mut  func(*File)
+		want string
+	}{
+		{"unknown kind", func(f *File) { f.Faults[0].Kind = "meteor" }, "unknown kind"},
+		{"bad at", func(f *File) { f.Faults[0].At = "sideways" }, "does not parse"},
+		{"unknown target", func(f *File) { f.Faults[1].Target = "ghost" }, "unknown target"},
+		{"slow needs node", func(f *File) {
+			f.Faults = append(f.Faults, Fault{Kind: "slow_disk", At: "10s", Target: "e1"})
+		}, "needs a node"},
+		{"bad save_deadline", func(f *File) { f.SaveDeadline = "yes" }, "save_deadline"},
+		{"epochs unswappable", func(f *File) {
+			f.Experiments[0].Nodes[0].Swappable = false
+		}, "swappable"},
+		{"recovered needs target", func(f *File) {
+			f.Assertions = append(f.Assertions, Assertion{Type: "recovered"})
+		}, "needs a target"},
+		{"epochs_aborted needs value", func(f *File) {
+			f.Assertions = append(f.Assertions, Assertion{Type: "epochs_aborted"})
+		}, "positive value"},
+	}
+	for _, tc := range cases {
+		errs := mk(tc.mut)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: wanted error containing %q, got %v", tc.name, tc.want, errs)
+		}
+	}
+}

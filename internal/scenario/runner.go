@@ -6,8 +6,10 @@ import (
 
 	"emucheck"
 	"emucheck/internal/core"
+	"emucheck/internal/fault"
 	"emucheck/internal/guest"
 	"emucheck/internal/metrics"
+	"emucheck/internal/notify"
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
 	"emucheck/internal/simnet"
@@ -43,6 +45,27 @@ type ExpRow struct {
 	SwapMB float64 `json:"swap_mb"`
 	// Outcome is the workload's terminal verdict, if it has one.
 	Outcome string `json:"outcome,omitempty"`
+	// EpochsAborted counts checkpoint epochs that aborted (save
+	// failures, stragglers, crash-forced aborts) on the experiment's
+	// current coordinator.
+	EpochsAborted int `json:"epochs_aborted,omitempty"`
+	// Recoveries counts restorations from a committed epoch after a
+	// crash; LostWorkMs is the work those recoveries discarded.
+	Recoveries int     `json:"recoveries,omitempty"`
+	LostWorkMs float64 `json:"lost_work_ms,omitempty"`
+	// LastError surfaces the experiment's most recent control-plane
+	// failure (aborted epoch, failed park, ...).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// BusStats is the control LAN's delivery ledger for the run — how many
+// notifications were published, delivered, and lost to injected
+// faults, per topic.
+type BusStats struct {
+	Published uint64                       `json:"published"`
+	Delivered uint64                       `json:"delivered"`
+	Dropped   uint64                       `json:"dropped"`
+	Topics    map[string]notify.TopicStats `json:"topics,omitempty"`
 }
 
 // BranchRow is one explored branch's end-of-run summary.
@@ -90,9 +113,24 @@ type Result struct {
 	PreemptedMB float64  `json:"preempted_mb"`
 	Experiments []ExpRow `json:"experiments"`
 	// Search is the fan-out exploration summary (search scenarios only).
-	Search      *SearchResult `json:"search,omitempty"`
+	Search *SearchResult `json:"search,omitempty"`
+	// Bus reports control-LAN delivery stats (always present when the
+	// scenario injected faults, so lost notifications are observable).
+	Bus *BusStats `json:"bus,omitempty"`
+	// Faults summarizes the injection plan's effect.
+	Faults      *FaultSummary `json:"faults,omitempty"`
 	Checks      []Check       `json:"checks,omitempty"`
 	EventErrors []string      `json:"event_errors,omitempty"`
+}
+
+// FaultSummary reports what the injection plan actually did.
+type FaultSummary struct {
+	Planned int      `json:"planned"`
+	Crashes int      `json:"crashes"`
+	Dropped int      `json:"dropped"`
+	Delayed int      `json:"delayed"`
+	Slowed  int      `json:"slowed"`
+	Errors  []string `json:"errors,omitempty"`
 }
 
 // Run validates and replays the scenario, returning the evaluated
@@ -108,6 +146,14 @@ func Run(f *File) (*Result, error) {
 	pol, _ := sched.ParsePolicy(f.Policy)
 	c := emucheck.NewCluster(f.Pool, f.Seed, pol)
 	c.Incremental = f.Swap == "incremental"
+	// Straggler detection: explicit save_deadline wins; otherwise any
+	// fault-injected run gets a default so a crashed or deafened member
+	// aborts its epoch instead of hanging it.
+	if sd, _ := parseDur(f.SaveDeadline); sd > 0 {
+		c.SaveDeadline = sd
+	} else if len(f.Faults) > 0 {
+		c.SaveDeadline = 30 * sim.Second
+	}
 
 	stats := make([]*ExpStats, len(f.Experiments))
 	mode := f.Swap
@@ -124,8 +170,23 @@ func Run(f *File) (*Result, error) {
 		e := &f.Experiments[i]
 		st := &ExpStats{}
 		stats[i] = st
+		setup := workloadSetup(c, e, st)
+		if e.Epochs != "" {
+			// The committed-epoch pipeline restarts with every (re-)
+			// instantiation, keeping the recovery restore point fresh.
+			period, _ := parseDur(e.Epochs)
+			inner := setup
+			setup = func(s *emucheck.Session) {
+				if inner != nil {
+					inner(s)
+				}
+				if err := s.StartEpochs(period); err != nil {
+					evErr("epochs %s: %v", s.Scenario.Spec.Name, err)
+				}
+			}
+		}
 		submit := func() {
-			sc := emucheck.Scenario{Spec: e.Spec(), Setup: workloadSetup(c, e, st)}
+			sc := emucheck.Scenario{Spec: e.Spec(), Setup: setup}
 			if _, err := c.Submit(sc, e.Priority); err != nil {
 				evErr("submit %s: %v", e.Name, err)
 			}
@@ -150,6 +211,29 @@ func Run(f *File) (*Result, error) {
 		})
 	}
 
+	// Arm the fault plan: crashes, control-LAN loss/delay, slow disks
+	// and slow saves, all deterministic under the plan seed.
+	var plan *fault.Plan
+	if len(f.Faults) > 0 {
+		plan = &fault.Plan{Seed: f.Seed}
+		for _, ft := range f.Faults {
+			at, _ := parseDur(ft.At)
+			window, _ := parseDur(ft.For)
+			kind := fault.Kind(ft.Kind)
+			during := false
+			if ft.Kind == "crash_during_save" {
+				kind, during = fault.Crash, true
+			}
+			plan.Injections = append(plan.Injections, fault.Injection{
+				Kind: kind, At: at, Target: ft.Target, Node: ft.Node,
+				DuringSave: during, Topic: ft.Topic, Count: ft.Count,
+				Extra:  sim.Time(ft.ExtraMs * float64(sim.Millisecond)),
+				Factor: ft.Factor, Window: window, Seed: ft.Seed,
+			})
+		}
+		c.InjectFaults(plan)
+	}
+
 	// Schedule the search fan-out: checkpoint the parent at the branch
 	// point, then fork the batch.
 	var branchStats []*ExpStats
@@ -167,8 +251,10 @@ func Run(f *File) (*Result, error) {
 				evErr("t=%v search checkpoint: %s not submitted", c.Now(), s.Parent)
 				return
 			}
-			err := sess.CheckpointAsync(core.Options{Incremental: true}, func(*core.Result) {
-				stats[sIdx].Checkpoints++
+			err := sess.CheckpointAsync(core.Options{Incremental: true}, func(_ *core.Result, cerr error) {
+				if cerr == nil {
+					stats[sIdx].Checkpoints++
+				}
 			})
 			if err != nil {
 				evErr("t=%v search checkpoint: %v", c.Now(), err)
@@ -222,8 +308,27 @@ func Run(f *File) (*Result, error) {
 			row.Preemptions = t.Preemptions()
 			row.QueueWaitS = t.QueueWait().Seconds()
 			row.SwapMB = float64(c.TB.Server.ByTag[e.Name]) / (1 << 20)
+			row.EpochsAborted = t.EpochsAborted()
+			row.Recoveries = t.Recoveries()
+			row.LostWorkMs = t.LostWork().Millis()
+			if t.LastErr != nil {
+				row.LastError = t.LastErr.Error()
+			}
 		}
 		res.Experiments = append(res.Experiments, row)
+	}
+	if plan != nil {
+		res.Faults = &FaultSummary{
+			Planned: len(plan.Injections), Crashes: plan.Crashes,
+			Dropped: plan.Dropped, Delayed: plan.Delayed, Slowed: plan.Slowed,
+			Errors: plan.Errors,
+		}
+		res.Bus = &BusStats{
+			Published: c.TB.Bus.Published,
+			Delivered: c.TB.Bus.Delivered,
+			Dropped:   c.TB.Bus.Dropped,
+			Topics:    c.TB.Bus.Topics(),
+		}
 	}
 	if s := f.Search; s != nil {
 		sr := &SearchResult{Parent: s.Parent, FanOut: s.FanOut, Naive: s.Naive}
@@ -410,8 +515,10 @@ func applyEvent(c *emucheck.Cluster, ev Event, st *ExpStats) error {
 	case "swap_in":
 		return c.Unpark(ev.Target)
 	case "checkpoint":
-		return sess.CheckpointAsync(core.Options{Incremental: true}, func(*core.Result) {
-			st.Checkpoints++
+		return sess.CheckpointAsync(core.Options{Incremental: true, SaveDeadline: c.SaveDeadline}, func(_ *core.Result, cerr error) {
+			if cerr == nil {
+				st.Checkpoints++
+			}
 		})
 	case "inject":
 		// A burst of fresh guest activity: dirty a few MB of disk and
@@ -427,6 +534,10 @@ func applyEvent(c *emucheck.Cluster, ev Event, st *ExpStats) error {
 		return nil
 	case "finish":
 		return c.Finish(ev.Target)
+	case "recover":
+		return c.Recover(ev.Target)
+	case "restart":
+		return c.Restart(ev.Target)
 	}
 	return fmt.Errorf("unknown action %q", ev.Action)
 }
@@ -541,6 +652,38 @@ func evalAssertion(c *emucheck.Cluster, f *File, stats []*ExpStats, res *Result,
 			}
 		}
 		return mkCheck(desc, true, fmt.Sprintf("%d branches", len(res.Search.Branches)))
+	case "recovered":
+		want := a.Value
+		if want <= 0 {
+			want = 1
+		}
+		desc := fmt.Sprintf("%s recovered >= %d times", a.Target, want)
+		if sess == nil {
+			return mkCheck(desc, false, "never submitted")
+		}
+		return mkCheck(desc, int64(sess.Recoveries()) >= want,
+			fmt.Sprintf("got %d (state %s)", sess.Recoveries(), sess.State()))
+	case "max_lost_work_ms":
+		desc := fmt.Sprintf("%s lost work <= %d ms", a.Target, a.Value)
+		if sess == nil {
+			return mkCheck(desc, false, "never submitted")
+		}
+		got := sess.LostWork().Millis()
+		return mkCheck(desc, got <= float64(a.Value), fmt.Sprintf("got %.0f ms", got))
+	case "epochs_aborted":
+		got := 0
+		desc := fmt.Sprintf("epochs aborted >= %d", a.Value)
+		if a.Target != "" {
+			desc = fmt.Sprintf("%s epochs aborted >= %d", a.Target, a.Value)
+			if sess != nil {
+				got = sess.EpochsAborted()
+			}
+		} else {
+			for _, t := range c.Tenants() {
+				got += t.EpochsAborted()
+			}
+		}
+		return mkCheck(desc, int64(got) >= a.Value, fmt.Sprintf("got %d", got))
 	case "max_swap_mb":
 		var gotBytes int64
 		desc := fmt.Sprintf("swap traffic <= %d MB", a.Value)
@@ -562,10 +705,11 @@ func mkCheck(desc string, ok bool, detail string) Check {
 
 // Render prints the run as a human-readable report.
 func (r *Result) Render() string {
-	t := &metrics.Table{Header: []string{"experiment", "state", "ticks", "ckpts", "admissions", "preemptions", "queue wait (s)", "swap MB"}}
+	t := &metrics.Table{Header: []string{"experiment", "state", "ticks", "ckpts", "admissions", "preemptions", "queue wait (s)", "swap MB", "aborted", "recoveries"}}
 	for _, row := range r.Experiments {
 		t.AddRow(row.Name, row.State, row.Ticks, row.Checkpoints, row.Admissions, row.Preemptions,
-			fmt.Sprintf("%.1f", row.QueueWaitS), fmt.Sprintf("%.1f", row.SwapMB))
+			fmt.Sprintf("%.1f", row.QueueWaitS), fmt.Sprintf("%.1f", row.SwapMB),
+			row.EpochsAborted, row.Recoveries)
 	}
 	s := fmt.Sprintf("scenario %s: ran %s (%s swap), pool utilization %.0f%%, %d admissions, %d preemptions (%.1f MB preempted state)\n%s",
 		r.Name, r.Ran, r.SwapMode, r.Utilization*100, r.Admissions, r.Preemptions, r.PreemptedMB, t.String())
@@ -580,6 +724,18 @@ func (r *Result) Render() string {
 		}
 		s += fmt.Sprintf("search: %d-way fan-out from %s (%s): %d distinct outcomes, store %.1f MB (%.1f MB shared by ref), multicast saved %.1f MB\n%s",
 			sr.FanOut, sr.Parent, mode, sr.DistinctOutcomes, sr.StoredMB, sr.SharedMB, sr.MulticastSavedMB, bt.String())
+	}
+	if fs := r.Faults; fs != nil {
+		s += fmt.Sprintf("faults: %d planned — %d crashes, %d notifications dropped, %d delayed, %d slowdowns",
+			fs.Planned, fs.Crashes, fs.Dropped, fs.Delayed, fs.Slowed)
+		if r.Bus != nil {
+			s += fmt.Sprintf("; control LAN %d published / %d delivered / %d dropped",
+				r.Bus.Published, r.Bus.Delivered, r.Bus.Dropped)
+		}
+		s += "\n"
+		for _, e := range fs.Errors {
+			s += "fault error: " + e + "\n"
+		}
 	}
 	for _, e := range r.EventErrors {
 		s += "event error: " + e + "\n"

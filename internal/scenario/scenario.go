@@ -49,16 +49,51 @@ type File struct {
 	// Swap selects the stateful transfer mode for parks and resumes:
 	// "full" (default) moves whole images, "incremental" moves only
 	// dirty deltas against the checkpoint lineage.
-	Swap        string       `json:"swap,omitempty"`
-	RunFor      string       `json:"run_for"`
-	Experiments []Experiment `json:"experiments"`
+	Swap string `json:"swap,omitempty"`
+	// SaveDeadline bounds every checkpoint epoch's save phase: a
+	// member that cannot barrier in time aborts the epoch cleanly
+	// (straggler detection). Defaults to 30s when a faults stanza is
+	// present, otherwise off.
+	SaveDeadline string       `json:"save_deadline,omitempty"`
+	RunFor       string       `json:"run_for"`
+	Experiments  []Experiment `json:"experiments"`
 	// Search, when present, turns the run into a state-search: one
 	// experiment is checkpointed and then forked into a batch of
 	// concurrently exploring branch tenants (Cluster.Branch), each
 	// under its own perturbation seed.
-	Search     *Search     `json:"search,omitempty"`
+	Search *Search `json:"search,omitempty"`
+	// Faults is the seeded injection plan replayed against the run:
+	// node crashes, control-LAN message loss and delay, slow disks and
+	// slow saves. Same file + same seed = byte-identical faulty run.
+	Faults     []Fault     `json:"faults,omitempty"`
 	Events     []Event     `json:"events,omitempty"`
 	Assertions []Assertion `json:"assertions,omitempty"`
+}
+
+// Fault is one planned injection against a named experiment.
+type Fault struct {
+	// Kind is one of: crash, crash_during_save, drop, delay,
+	// slow_disk, slow_save.
+	Kind   string `json:"kind"`
+	At     string `json:"at"`
+	Target string `json:"target"`
+	// Node scopes the fault to one node (required for slow_disk /
+	// slow_save; optional delivery filter for drop/delay).
+	Node string `json:"node,omitempty"`
+	// Topic filters drop/delay to one bus topic (default "checkpoint").
+	Topic string `json:"topic,omitempty"`
+	// Count is the deliveries a drop fault suppresses (default 1).
+	Count int `json:"count,omitempty"`
+	// ExtraMs is the added latency per delivery for delay faults
+	// (0 = seeded jitter up to 20 ms).
+	ExtraMs float64 `json:"extra_ms,omitempty"`
+	// Factor divides the perturbed rate for slow faults (default 4).
+	Factor float64 `json:"factor,omitempty"`
+	// For bounds the injection window (drop/delay/slow; default 30s).
+	For string `json:"for,omitempty"`
+	// Seed perturbs this fault's own jittered choices (0: derived from
+	// the file's seed and the fault's position in the list).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Search configures a branch fan-out exploration.
@@ -87,6 +122,11 @@ type Experiment struct {
 	// Workload is one of the built-ins: idle, sleeploop, pingpong,
 	// diskchurn.
 	Workload string `json:"workload"`
+	// Epochs, when set, runs the committed-epoch pipeline at this
+	// period: periodic transparent checkpoints whose state commits to
+	// the file-server lineages, so a crash recovers from an epoch at
+	// most this stale. Requires every node swappable.
+	Epochs string `json:"epochs,omitempty"`
 	// SubmitAt delays submission (default: submitted at the start).
 	SubmitAt string `json:"submit_at,omitempty"`
 	Nodes    []Node `json:"nodes"`
@@ -140,6 +180,20 @@ var actions = map[string]bool{
 	"checkpoint": true,
 	"inject":     true,
 	"finish":     true,
+	// recover restores a crashed tenant from its last committed epoch;
+	// restart re-runs it from scratch (the stateless baseline).
+	"recover": true,
+	"restart": true,
+}
+
+// faultKinds understood by the runner.
+var faultKinds = map[string]bool{
+	"crash":             true,
+	"crash_during_save": true,
+	"drop":              true,
+	"delay":             true,
+	"slow_disk":         true,
+	"slow_save":         true,
 }
 
 // Workloads understood by the runner.
@@ -165,6 +219,12 @@ var assertionTypes = map[string]bool{
 	"outcome_found":         true,
 	"min_distinct_outcomes": true,
 	"all_branches_admitted": true,
+	// Fault-tolerance assertions: the tenant recovered from its crash,
+	// lost at most this much work to the recovery, and at least this
+	// many epochs aborted (proof the injected fault actually bit).
+	"recovered":        true,
+	"max_lost_work_ms": true,
+	"epochs_aborted":   true,
 }
 
 // swapModes understood by the runner.
@@ -246,6 +306,9 @@ func Validate(f *File) []error {
 	if !swapModes[f.Swap] {
 		bad("unknown swap mode %q (want full or incremental)", f.Swap)
 	}
+	if _, err := parseDur(f.SaveDeadline); err != nil {
+		bad("save_deadline %q does not parse", f.SaveDeadline)
+	}
 	if len(f.Experiments) == 0 {
 		bad("no experiments")
 	}
@@ -274,6 +337,14 @@ func Validate(f *File) []error {
 		}
 		if _, err := parseDur(e.SubmitAt); err != nil {
 			bad("experiment %q: submit_at %q does not parse", e.Name, e.SubmitAt)
+		}
+		if e.Epochs != "" {
+			if d, err := parseDur(e.Epochs); err != nil || d <= 0 {
+				bad("experiment %q: epochs %q does not parse", e.Name, e.Epochs)
+			}
+			if !e.Spec().Swappable() {
+				bad("experiment %q: epochs needs every node swappable (commits ride the checkpoint chains)", e.Name)
+			}
 		}
 		local := make(map[string]bool)
 		for _, n := range e.Nodes {
@@ -334,6 +405,45 @@ func Validate(f *File) []error {
 		}
 	}
 
+	for i, ft := range f.Faults {
+		if !faultKinds[ft.Kind] {
+			bad("fault %d: unknown kind %q", i, ft.Kind)
+			continue
+		}
+		if _, err := parseDur(ft.At); err != nil || ft.At == "" {
+			bad("fault %d: at %q does not parse", i, ft.At)
+		}
+		if _, err := parseDur(ft.For); err != nil {
+			bad("fault %d: for %q does not parse", i, ft.For)
+		}
+		target, ok := expByName[ft.Target]
+		if !ok {
+			bad("fault %d: unknown target %q", i, ft.Target)
+			continue
+		}
+		nodeKnown := func(name string) bool {
+			for _, n := range target.Nodes {
+				if n.Name == name {
+					return true
+				}
+			}
+			return false
+		}
+		switch ft.Kind {
+		case "slow_disk", "slow_save":
+			if ft.Node == "" || !nodeKnown(ft.Node) {
+				bad("fault %d: %s needs a node of %q, got %q", i, ft.Kind, ft.Target, ft.Node)
+			}
+		case "drop", "delay":
+			if ft.Node != "" && !nodeKnown(ft.Node) {
+				bad("fault %d: node %q is not in experiment %q", i, ft.Node, ft.Target)
+			}
+		}
+		if ft.Factor < 0 || ft.Count < 0 || ft.ExtraMs < 0 {
+			bad("fault %d: negative knob", i)
+		}
+	}
+
 	for i, ev := range f.Events {
 		if _, err := parseDur(ev.At); err != nil || ev.At == "" {
 			bad("event %d: at %q does not parse", i, ev.At)
@@ -379,6 +489,18 @@ func Validate(f *File) []error {
 		case "min_ticks", "min_checkpoints":
 			if a.Target == "" {
 				bad("assertion %d: %s needs a target", i, a.Type)
+			}
+		case "recovered":
+			if a.Target == "" {
+				bad("assertion %d: recovered needs a target", i)
+			}
+		case "max_lost_work_ms":
+			if a.Target == "" || a.Value <= 0 {
+				bad("assertion %d: max_lost_work_ms needs target and a positive value (ms)", i)
+			}
+		case "epochs_aborted":
+			if a.Value <= 0 {
+				bad("assertion %d: epochs_aborted needs a positive value", i)
 			}
 		case "max_swap_mb":
 			if a.Value <= 0 {

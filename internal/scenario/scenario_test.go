@@ -22,7 +22,7 @@ func load(t *testing.T, name string) *File {
 }
 
 func TestExampleScenariosValidate(t *testing.T) {
-	for _, name := range []string{"timeshare.json", "swapcycle.json", "priority.json", "incremental.json", "search.json"} {
+	for _, name := range []string{"timeshare.json", "swapcycle.json", "priority.json", "incremental.json", "search.json", "faults.json"} {
 		if errs := Validate(load(t, name)); len(errs) > 0 {
 			t.Fatalf("%s: %v", name, errs)
 		}

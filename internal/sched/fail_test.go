@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+func TestFailRunningJobReleasesHardware(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	a := fakeJob(s, "a", 3, 0, sim.Second, sim.Second, sim.Second)
+	if err := d.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * sim.Second)
+	if err := d.Fail("a"); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != Crashed || d.Free() != 4 || d.Failures != 1 {
+		t.Fatalf("state %v free %d failures %d", a.State(), d.Free(), d.Failures)
+	}
+	// A crashed job is not a preemption victim and not queued.
+	if d.QueueLen() != 0 {
+		t.Fatalf("crashed job sits in queue")
+	}
+}
+
+func TestFailParkingJobSettlesLedger(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	// A park that would take a minute; the crash lands mid-park.
+	a := fakeJob(s, "a", 4, 0, sim.Second, sim.Minute, sim.Second)
+	if err := d.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * sim.Second)
+	if err := d.Park("a"); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != Parking {
+		t.Fatalf("state %v, want parking", a.State())
+	}
+	if err := d.Fail("a"); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != Crashed || d.Free() != 4 || d.parksInFlight != 0 {
+		t.Fatalf("state %v free %d parksInFlight %d", a.State(), d.Free(), d.parksInFlight)
+	}
+	// The stale park completion must not resurrect or double-free.
+	s.RunFor(2 * sim.Minute)
+	if a.State() != Crashed || d.Free() != 4 {
+		t.Fatalf("stale park completion corrupted state: %v free %d", a.State(), d.Free())
+	}
+	// The freed capacity admits the next job.
+	b := fakeJob(s, "b", 4, 0, sim.Second, sim.Second, sim.Second)
+	if err := d.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * sim.Second)
+	if b.State() != Running {
+		t.Fatalf("successor %v, want running", b.State())
+	}
+}
+
+func TestRecoverRequeuesCrashedJob(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	a := fakeJob(s, "a", 2, 0, sim.Second, sim.Second, sim.Second)
+	if err := d.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * sim.Second)
+	if err := d.Recover("a"); err == nil {
+		t.Fatal("Recover of a running job must fail")
+	}
+	if err := d.Fail("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Recover("a"); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * sim.Second)
+	if a.State() != Running || d.Recoveries != 1 {
+		t.Fatalf("state %v recoveries %d", a.State(), d.Recoveries)
+	}
+	if a.Admissions() != 2 {
+		t.Fatalf("admissions %d, want 2 (resume path)", a.Admissions())
+	}
+}
+
+func TestParkFailureReturnsJobToRunning(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	a := fakeJob(s, "a", 4, 0, sim.Second, 0, sim.Second)
+	failPark := true
+	a.Hooks.Park = func(done func(error)) {
+		s.After(2*sim.Second, "fake.park", func() {
+			if failPark {
+				done(fmt.Errorf("epoch aborted"))
+				return
+			}
+			done(nil)
+		})
+	}
+	if err := d.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * sim.Second)
+	if err := d.Park("a"); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * sim.Second)
+	// The aborted swap-out left the job running on its hardware.
+	if a.State() != Running || d.Free() != 0 || d.parksInFlight != 0 {
+		t.Fatalf("state %v free %d parks %d", a.State(), d.Free(), d.parksInFlight)
+	}
+	// A later park succeeds normally.
+	failPark = false
+	if err := d.Park("a"); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * sim.Second)
+	if a.State() != Parked || d.Free() != 4 {
+		t.Fatalf("state %v free %d after clean park", a.State(), d.Free())
+	}
+}
+
+func TestFailQueuedJobLeavesQueue(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 2, FIFO)
+	a := fakeJob(s, "a", 2, 0, sim.Second, sim.Second, sim.Second)
+	a.Preemptible = false
+	b := fakeJob(s, "b", 2, 0, sim.Second, sim.Second, sim.Second)
+	if err := d.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * sim.Second)
+	if b.State() != Queued {
+		t.Fatalf("b is %v, want queued behind a", b.State())
+	}
+	if err := d.Fail("b"); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != Crashed || d.QueueLen() != 0 {
+		t.Fatalf("b %v queue %d", b.State(), d.QueueLen())
+	}
+}

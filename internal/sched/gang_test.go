@@ -22,9 +22,9 @@ func (r *gangRig) job(name string, need int) *Job {
 	return &Job{
 		Name: name, Need: need, Preemptible: true,
 		Hooks: Hooks{
-			Start:  func(done func()) { r.s.After(sim.Second, "start", done) },
-			Park:   func(done func()) { r.s.After(5*sim.Second, "park", done) },
-			Resume: func(done func()) { r.s.After(sim.Second, "resume", done) },
+			Start:  func(done func(error)) { r.s.After(sim.Second, "start", func() { done(nil) }) },
+			Park:   func(done func(error)) { r.s.After(5*sim.Second, "park", func() { done(nil) }) },
+			Resume: func(done func(error)) { r.s.After(sim.Second, "resume", func() { done(nil) }) },
 		},
 	}
 }

@@ -78,6 +78,9 @@ const (
 	Parked
 	Resuming
 	Done
+	// Crashed jobs fail-stopped (Fail): they hold no hardware and sit
+	// out of the queue until Recover re-queues them.
+	Crashed
 )
 
 // String names the state as reports and assertions spell it.
@@ -97,23 +100,30 @@ func (s State) String() string {
 		return "resuming"
 	case Done:
 		return "done"
+	case Crashed:
+		return "crashed"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
 // Hooks are the mechanism callbacks the hosting layer supplies. Each is
 // asynchronous: it begins the operation and must call done when the
-// operation completes (possibly much later in simulated time).
+// operation completes (possibly much later in simulated time), passing
+// nil on success or the failure that stopped it — hook failures are
+// scheduler events (a park that aborts returns the job to service; a
+// start that cannot instantiate retires the job), never panics.
 type Hooks struct {
 	// Start instantiates the experiment on freshly allocated hardware
 	// (first admission: testbed swap-in, boot, workload setup).
-	Start func(done func())
+	Start func(done func(err error))
 	// Park statefully swaps the experiment out and releases its
-	// hardware; done fires once the pool has the nodes back.
-	Park func(done func())
+	// hardware; done fires once the pool has the nodes back — or with
+	// the error that aborted the swap-out, in which case the job keeps
+	// its hardware and returns to Running.
+	Park func(done func(err error))
 	// Resume re-acquires hardware and statefully swaps the experiment
 	// back in; done fires when the experiment is running again.
-	Resume func(done func())
+	Resume func(done func(err error))
 	// ParkCost, if set, estimates the bytes a stateful park would move
 	// right now — proportional to state dirtied since the last resident
 	// checkpoint under incremental swapping. The scheduler uses it to
@@ -171,6 +181,11 @@ func (j *Job) QueueWait() sim.Time {
 // Preemptions reports how often the job was involuntarily parked.
 func (j *Job) Preemptions() int { return j.preemptions }
 
+// RunningSince reports the job's most recent entry into service — the
+// floor for lost-work accounting: nothing computed before it can be
+// lost to a crash, because the preceding park committed everything.
+func (j *Job) RunningSince() sim.Time { return j.runningSince }
+
 // LastParkCost reports the estimated bytes moved by the job's most
 // recent park (0 if never parked or no ParkCost hook).
 func (j *Job) LastParkCost() int64 { return j.lastParkCost }
@@ -207,6 +222,11 @@ type Scheduler struct {
 
 	// GangAdmissions counts gang batches admitted as a unit.
 	GangAdmissions int
+
+	// Failures counts jobs that fail-stopped (Fail); Recoveries counts
+	// crashed jobs re-queued for restoration.
+	Failures   int
+	Recoveries int
 
 	// Admissions and Preemptions count scheduler decisions.
 	Admissions  int
@@ -428,6 +448,62 @@ func (d *Scheduler) Unpark(name string) error {
 	return nil
 }
 
+// Fail records a job's crash: whatever hardware it holds returns to
+// the pool and the job leaves service until Recover re-queues it (or
+// Finish retires it). A job crashed mid-park (a HoldResume swap-out
+// whose epoch will never complete) releases its hardware here too — a
+// crash must never leak pool nodes.
+func (d *Scheduler) Fail(name string) error {
+	j := d.Job(name)
+	if j == nil {
+		return fmt.Errorf("sched: no job %q", name)
+	}
+	switch j.state {
+	case Running:
+		d.setFree(d.free + j.Need)
+	case Parking:
+		// The in-flight park will never call done; settle its ledger.
+		d.parksInFlight--
+		d.setFree(d.free + j.Need)
+	case Parked:
+		// No hardware held; the crash only loses un-committed progress.
+	case Queued:
+		for i, q := range d.queue {
+			if q == j {
+				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				break
+			}
+		}
+		j.queuedWait += d.S.Now() - j.queuedSince
+	default:
+		return fmt.Errorf("sched: job %q is %v, cannot fail", name, j.state)
+	}
+	j.state = Crashed
+	j.gang = 0
+	d.Failures++
+	d.kick()
+	return nil
+}
+
+// Recover re-queues a crashed job for admission; its Resume hook runs
+// on re-admission, where the hosting layer restores the experiment
+// from its last committed checkpoint epoch (or re-instantiates it from
+// scratch, for the stateless baseline).
+func (d *Scheduler) Recover(name string) error {
+	j := d.Job(name)
+	if j == nil {
+		return fmt.Errorf("sched: no job %q", name)
+	}
+	if j.state != Crashed {
+		return fmt.Errorf("sched: job %q is %v, not crashed", name, j.state)
+	}
+	j.autoResume = true
+	d.Recoveries++
+	d.enqueue(j)
+	d.kick()
+	return nil
+}
+
 // Finish retires a job, releasing its hardware if it holds any.
 func (d *Scheduler) Finish(name string) error {
 	j := d.Job(name)
@@ -437,7 +513,7 @@ func (d *Scheduler) Finish(name string) error {
 	switch j.state {
 	case Running:
 		d.setFree(d.free + j.Need)
-	case Parked:
+	case Parked, Crashed:
 		// No hardware held.
 	case Queued:
 		for i, q := range d.queue {
@@ -517,7 +593,22 @@ func (d *Scheduler) admit(j *Job) {
 	j.lastActive = now
 	j.admissions++
 	d.Admissions++
-	live := func() {
+	live := func(err error) {
+		if err != nil {
+			// The instantiation or restore failed: give the hardware
+			// back. A first admission that cannot instantiate never
+			// will, so the job retires; a failed resume parks the job
+			// (state preserved on the file server) for another attempt.
+			d.setFree(d.free + j.Need)
+			if j.state == Starting {
+				j.state = Done
+			} else {
+				j.state = Parked
+				j.autoResume = false
+			}
+			d.kick()
+			return
+		}
 		j.state = Running
 		j.runningSince = d.S.Now()
 		j.lastActive = d.S.Now()
@@ -620,9 +711,23 @@ func (d *Scheduler) park(v *Job) {
 	v.state = Parking
 	v.gang = 0 // co-scheduling covers the first admission only
 	d.parksInFlight++
-	v.Hooks.Park(func() {
-		v.state = Parked
+	v.Hooks.Park(func(err error) {
+		if v.state != Parking {
+			// A crash (Fail) superseded this park and settled its ledger.
+			return
+		}
 		d.parksInFlight--
+		if err != nil {
+			// The swap-out aborted (an epoch failure): the experiment
+			// was thawed and keeps running on its hardware. Restart the
+			// residency clock so the next preemption attempt does not
+			// re-freeze it immediately.
+			v.state = Running
+			v.runningSince = d.S.Now()
+			d.kick()
+			return
+		}
+		v.state = Parked
 		d.setFree(d.free + v.Need)
 		if v.autoResume {
 			d.enqueue(v)

@@ -11,9 +11,9 @@ func fakeJob(s *sim.Simulator, name string, need, pri int, startDur, parkDur, re
 	return &Job{
 		Name: name, Need: need, Priority: pri, Preemptible: true,
 		Hooks: Hooks{
-			Start:  func(done func()) { s.After(startDur, "fake.start", done) },
-			Park:   func(done func()) { s.After(parkDur, "fake.park", done) },
-			Resume: func(done func()) { s.After(resumeDur, "fake.resume", done) },
+			Start:  func(done func(error)) { s.After(startDur, "fake.start", func() { done(nil) }) },
+			Park:   func(done func(error)) { s.After(parkDur, "fake.park", func() { done(nil) }) },
+			Resume: func(done func(error)) { s.After(resumeDur, "fake.resume", func() { done(nil) }) },
 		},
 	}
 }
@@ -113,7 +113,7 @@ func TestIdleFirstPicksLongestIdle(t *testing.T) {
 	var parkOrder []string
 	for _, j := range []*Job{a, b} {
 		j, inner := j, j.Hooks.Park
-		j.Hooks.Park = func(done func()) {
+		j.Hooks.Park = func(done func(error)) {
 			parkOrder = append(parkOrder, j.Name)
 			inner(done)
 		}

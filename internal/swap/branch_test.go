@@ -34,7 +34,7 @@ func TestCloneAwareRestoreMovesOnlyMissingSegments(t *testing.T) {
 	// Hardware reuse wipes the node's cache: the next restore must move
 	// the whole replay chain again.
 	var outs []*OutReport
-	if err := r.m.SwapOut(o, func(x []*OutReport) { outs = x }); err != nil {
+	if err := r.m.SwapOut(o, func(x []*OutReport, _ error) { outs = x }); err != nil {
 		t.Fatal(err)
 	}
 	r.s.RunFor(15 * sim.Minute)
@@ -44,7 +44,7 @@ func TestCloneAwareRestoreMovesOnlyMissingSegments(t *testing.T) {
 	lin := r.m.Lineage("n0")
 	r.m.Nodes[0].Resident = nil
 	var ins []*InReport
-	if err := r.m.SwapIn(o, func(x []*InReport) { ins = x }); err != nil {
+	if err := r.m.SwapIn(o, func(x []*InReport, _ error) { ins = x }); err != nil {
 		t.Fatal(err)
 	}
 	r.s.RunFor(15 * sim.Minute)

@@ -11,7 +11,7 @@ import (
 func (r *rig) cycle(t *testing.T, o Options) (*OutReport, *InReport) {
 	t.Helper()
 	var outs []*OutReport
-	if err := r.m.SwapOut(o, func(x []*OutReport) { outs = x }); err != nil {
+	if err := r.m.SwapOut(o, func(x []*OutReport, _ error) { outs = x }); err != nil {
 		t.Fatal(err)
 	}
 	r.s.RunFor(15 * sim.Minute)
@@ -19,7 +19,7 @@ func (r *rig) cycle(t *testing.T, o Options) (*OutReport, *InReport) {
 		t.Fatal("swap-out incomplete")
 	}
 	var ins []*InReport
-	if err := r.m.SwapIn(o, func(x []*InReport) { ins = x }); err != nil {
+	if err := r.m.SwapIn(o, func(x []*InReport, _ error) { ins = x }); err != nil {
 		t.Fatal(err)
 	}
 	r.s.RunFor(15 * sim.Minute)

@@ -222,13 +222,39 @@ type Manager struct {
 
 	// Stats, when set, accumulates delta/full byte counts per transfer
 	// class ("out.mem_bytes", "out.delta_bytes", "in.mem_bytes",
-	// "in.disk_bytes", "merged_bytes") for reports and assertions.
+	// "in.disk_bytes", "merged_bytes", "out.epoch_bytes") for reports
+	// and assertions.
 	Stats *metrics.Counters
+
+	// SaveDeadline bounds the save phase of this experiment's swap-out
+	// checkpoints and committed epochs: a member that cannot barrier in
+	// time (crashed, or its notification was lost) aborts the epoch
+	// instead of hanging it. Zero disables straggler detection.
+	SaveDeadline sim.Time
+
+	// OnCommit, if set, observes every completed epoch commit (swap-out
+	// or CommitEpoch) once the state is durable on the file server —
+	// the hook recovery benchmarks use to snapshot workload progress at
+	// the restore point.
+	OnCommit func()
 
 	swappedOut bool
 
 	// Cycle counts completed swap-outs.
 	Cycle int
+
+	// lastCommitAt is when the experiment's state last became durably
+	// recoverable on the file server (a completed swap-out or epoch
+	// commit); zero means never.
+	lastCommitAt sim.Time
+
+	// epochLoop drives the periodic committed-epoch pipeline.
+	epochLoop *core.PeriodicCheckpointer
+
+	// commitsInFlight counts CommitEpoch calls whose uploads have not
+	// landed; a swap-out's freeze waits for them so a stale captured
+	// epoch can never append after the park's newer one.
+	commitsInFlight int
 
 	// lineages holds each node's server-side checkpoint chain.
 	lineages map[string]*storage.Lineage
@@ -298,8 +324,27 @@ func (m *Manager) stat(name string, n int64) {
 // SwappedOut reports whether the experiment is currently swapped out.
 func (m *Manager) SwappedOut() bool { return m.swappedOut }
 
-// SwapOut swaps the experiment out; done receives one report per node.
-func (m *Manager) SwapOut(o Options, done func([]*OutReport)) error {
+// anyCrashed reports whether any node has fail-stopped — commit and
+// swap-out completions consult it so state destroyed by a crash is
+// never marked durable.
+func (m *Manager) anyCrashed() bool {
+	for _, n := range m.Nodes {
+		if n.HV.Crashed() {
+			return true
+		}
+	}
+	return false
+}
+
+// LastCommitAt reports when the experiment's state last became durably
+// recoverable on the file server (zero: never). The gap between a crash
+// and this instant is the work a recovery loses.
+func (m *Manager) LastCommitAt() sim.Time { return m.lastCommitAt }
+
+// SwapOut swaps the experiment out; done receives one report per node,
+// or the error that aborted the swap-out (an epoch failure mid-freeze:
+// the experiment was thawed and keeps running; nothing was released).
+func (m *Manager) SwapOut(o Options, done func([]*OutReport, error)) error {
 	if m.swappedOut {
 		return fmt.Errorf("swap: already swapped out")
 	}
@@ -321,26 +366,37 @@ func (m *Manager) SwapOut(o Options, done func([]*OutReport)) error {
 		if m.Coord.Held() {
 			// A HoldResume checkpoint parked the experiment and only an
 			// explicit ResumeHeld will clear it — waiting would spin
-			// forever. Fail the way a busy coordinator always has.
-			panic("swap: cannot swap out: a held checkpoint awaits ResumeHeld")
+			// forever.
+			done(nil, fmt.Errorf("swap: cannot swap out: a held checkpoint awaits ResumeHeld"))
+			return
 		}
-		if m.Coord.Busy() {
-			// A periodic (or scripted) checkpoint is mid-flight; the
-			// swap-out's freeze queues behind it rather than failing —
-			// the preempting scheduler must not crash a checkpointing
-			// tenant.
+		if m.Coord.Busy() || m.commitsInFlight > 0 {
+			// A periodic (or scripted) checkpoint — or an epoch commit
+			// still uploading — is mid-flight; the swap-out's freeze
+			// queues behind it rather than failing: the preempting
+			// scheduler must not crash a checkpointing tenant, and the
+			// park's lineage epoch must append after (never interleave
+			// with) an in-flight commit's.
 			m.S.After(500*sim.Millisecond, "swap.ckpt-wait", ckpt)
 			return
 		}
 		err := m.Coord.Checkpoint(core.Options{
-			Target:      xen.ToControlNet,
-			HoldResume:  true,
-			Incremental: incrMem,
-		}, func(res *core.Result) {
+			Target:       xen.ToControlNet,
+			HoldResume:   true,
+			Incremental:  incrMem,
+			SaveDeadline: m.SaveDeadline,
+		}, func(res *core.Result, cerr error) {
+			if cerr != nil {
+				// The freeze epoch aborted (a member failed or straggled):
+				// the coordinator thawed whatever froze, so the experiment
+				// keeps running and the park reports failure upward.
+				done(nil, cerr)
+				return
+			}
 			m.afterFreeze(o, res, reports, cuts, done)
 		})
 		if err != nil {
-			panic("swap: " + err.Error())
+			done(nil, fmt.Errorf("swap: %v", err))
 		}
 	}
 
@@ -423,7 +479,7 @@ func (m *Manager) streamOut(o Options, disk *node.Disk, bytes int64, done func(m
 // afterFreeze flushes residual deltas and memory accounting, commits
 // the epoch to each node's lineage (incremental mode), then releases
 // the hardware.
-func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport, cuts []int, done func([]*OutReport)) {
+func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport, cuts []int, done func([]*OutReport, error)) {
 	m.lastSwapEpoch = m.Coord.Epoch()
 	remaining := len(m.Nodes)
 	for i, n := range m.Nodes {
@@ -497,9 +553,23 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 			m.S.After(mergeDur, "swap.merge", func() {
 				remaining--
 				if remaining == 0 {
+					if m.anyCrashed() {
+						// The machines died while the residual flush or
+						// merge was draining: the swap-out never
+						// completed and its epoch is not a restore
+						// point. The crash path owns the cleanup.
+						return
+					}
 					m.swappedOut = true
 					m.Cycle++
-					done(reports)
+					// Either mode leaves a complete restore point on the
+					// server: the lineage chain (incremental) or the full
+					// image + aggregated delta (full copy).
+					m.lastCommitAt = m.S.Now()
+					if m.OnCommit != nil {
+						m.OnCommit()
+					}
+					done(reports, nil)
 				}
 			})
 		}
@@ -512,8 +582,9 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 }
 
 // SwapIn restores the experiment; done receives one report per node
-// once every guest is running (lazy background fill may continue).
-func (m *Manager) SwapIn(o Options, done func([]*InReport)) error {
+// once every guest is running (lazy background fill may continue), or
+// the error that stopped the restore.
+func (m *Manager) SwapIn(o Options, done func([]*InReport, error)) error {
 	if !m.swappedOut {
 		return fmt.Errorf("swap: not swapped out")
 	}
@@ -524,16 +595,20 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport)) error {
 		remaining--
 		if remaining == 0 {
 			// All state staged: resume the experiment together.
-			err := m.Coord.ResumeHeld(func(*core.Result) {
+			err := m.Coord.ResumeHeld(func(_ *core.Result, rerr error) {
+				if rerr != nil {
+					done(nil, rerr)
+					return
+				}
 				now := m.S.Now()
 				for _, r := range reports {
 					r.Finished = now
 				}
 				m.swappedOut = false
-				done(reports)
+				done(reports, nil)
 			})
 			if err != nil {
-				panic("swap: " + err.Error())
+				done(nil, fmt.Errorf("swap: %v", err))
 			}
 		}
 		_ = i
@@ -610,6 +685,216 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport)) error {
 			})
 		} else {
 			stage2()
+		}
+	}
+	return nil
+}
+
+// CommitEpoch durably commits the experiment's live state to its
+// per-node lineages without parking it: each node's disk epoch (the
+// blocks dirtied since the last commit) and dirty memory pages stream
+// to the file server as bandwidth-shared uploads and append to the
+// chain. This is the durable half of an incremental swap-out — the
+// periodic epoch pipeline uses it to keep crash recovery's restore
+// point fresh. done, if non-nil, receives the bytes moved once every
+// node's commit is on the server.
+func (m *Manager) CommitEpoch(done func(moved int64)) {
+	if m.swappedOut {
+		// Parked: the guests are frozen off-hardware and the park's own
+		// epoch already committed everything.
+		return
+	}
+	m.commitsInFlight++
+	// Durability ordering: the local epoch closes now (dirty logs cut,
+	// volume deltas merged), but the server-side lineages only append —
+	// and the commit only counts as a restore point — once every node's
+	// upload has landed, all-or-nothing. A crash mid-upload therefore
+	// discards the whole epoch: no lineage claims state the server
+	// never fully received, and lastCommitAt never moves past the
+	// crash.
+	type pendingCommit struct {
+		n        *Node
+		lin      *storage.Lineage
+		blocks   map[int64]int64
+		memPages int
+	}
+	var pend []pendingCommit
+	remaining := len(m.Nodes)
+	var total int64
+	fin := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		m.commitsInFlight--
+		if m.anyCrashed() {
+			// The machines died while the commit was in flight: the
+			// epoch never became durable. Recovery restores the
+			// previous one.
+			return
+		}
+		for _, p := range pend {
+			p.lin.Commit(p.blocks, p.memPages)
+			p.lin.Drop(p.n.IsFree)
+			p.n.MarkResident(p.lin)
+		}
+		m.lastCommitAt = m.S.Now()
+		if m.OnCommit != nil {
+			m.OnCommit()
+		}
+		if done != nil {
+			done(total)
+		}
+	}
+	for _, n := range m.Nodes {
+		lin := m.Lineage(n.Name)
+		blocks := n.Vol.EpochBlocks(n.IsFree)
+		memPages := n.HV.K.Dirty.EpochDirty()
+		if len(blocks) == 0 && memPages == 0 && lin.Epochs() > 0 {
+			// Nothing dirtied since the last commit; the chain already
+			// replays to the current state.
+			m.S.After(0, "swap.commit0", fin)
+			continue
+		}
+		n.HV.K.Dirty.CutEpoch()
+		n.Vol.Merge(true, n.IsFree)
+		pend = append(pend, pendingCommit{n: n, lin: lin, blocks: blocks, memPages: memPages})
+		bytes := int64(len(blocks))*storage.BlockSize + int64(memPages)*int64(n.HV.P.PageSize)
+		total += bytes
+		m.stat("out.epoch_bytes", bytes)
+		if bytes > 0 {
+			m.Server.StreamUpload(m.Tag, bytes, fin)
+		} else {
+			m.S.After(0, "swap.commit0", fin)
+		}
+	}
+}
+
+// StartEpochs begins the periodic committed-epoch pipeline: a
+// transparent scratch-disk checkpoint of the whole experiment every
+// interval, with each fully-barriered epoch's dirty state committed to
+// the file-server lineages in the background. Aborted epochs commit
+// nothing — the loop retries at the next interval with a fresh epoch
+// number — so the restore point Recover uses is always a consistent,
+// fully-barriered epoch at most ~interval stale.
+func (m *Manager) StartEpochs(interval sim.Time) *core.PeriodicCheckpointer {
+	m.StopEpochs()
+	m.epochLoop = &core.PeriodicCheckpointer{
+		C:        m.Coord,
+		Interval: interval,
+		Opts:     core.Options{Incremental: true, SaveDeadline: m.SaveDeadline},
+		OnResult: func(*core.Result) {
+			// The epoch's memory delta reaches the server with this
+			// commit, so the next swap-out's incremental memory save
+			// stays sound despite the intervening checkpoint.
+			ep := m.Coord.Epoch()
+			m.CommitEpoch(func(int64) { m.lastSwapEpoch = ep })
+		},
+	}
+	m.epochLoop.Start(0)
+	return m.epochLoop
+}
+
+// StopEpochs halts the committed-epoch pipeline, if running.
+func (m *Manager) StopEpochs() {
+	if m.epochLoop != nil {
+		m.epochLoop.Stop()
+		m.epochLoop = nil
+	}
+}
+
+// EpochAborts reports epochs the pipeline lost to aborts (0 if the
+// pipeline never ran).
+func (m *Manager) EpochAborts() int {
+	if m.epochLoop == nil {
+		return 0
+	}
+	return m.epochLoop.Aborts()
+}
+
+// Recover restores a crashed experiment from its last committed epoch:
+// on freshly re-acquired hardware, each node's full memory image and
+// its disk chain replay stream down from the file server as
+// bandwidth-shared streams, then every node restarts together. Unlike
+// SwapIn it does not require a preceding swap-out — the restore point
+// is whatever the epoch pipeline (or an earlier park) last committed —
+// and the guests resume from that epoch rather than via a held
+// epoch's coordinated resume (the crashed epoch never barriered).
+func (m *Manager) Recover(o Options, done func([]*InReport, error)) error {
+	if m.lastCommitAt == 0 {
+		return fmt.Errorf("swap: no committed epoch to recover from")
+	}
+	// A crashed-while-parked (or mid-park, post-freeze) tenant left a
+	// held epoch on the coordinator. The recovery resumes the guests
+	// from restored images, not through ResumeHeld, so the held slot
+	// must clear here — otherwise the coordinator reports Busy forever
+	// and the recovered tenant could never checkpoint or park again.
+	m.Coord.DropHeld()
+	start := m.S.Now()
+	reports := make([]*InReport, len(m.Nodes))
+	remaining := len(m.Nodes)
+	finishAll := func() {
+		// All state staged: restart every node from the restored images.
+		for _, n := range m.Nodes {
+			if n.HV.Crashed() {
+				if err := n.HV.Restore(nil); err != nil {
+					done(nil, err)
+					return
+				}
+			} else if n.HV.K.Suspended() {
+				_ = n.HV.Resume(nil)
+			}
+		}
+		m.swappedOut = false
+		now := m.S.Now()
+		for _, r := range reports {
+			r.Finished = now
+		}
+		done(reports, nil)
+	}
+	for i, n := range m.Nodes {
+		i, n := i, n
+		lin := m.Lineage(n.Name)
+		diskBytes := lin.ReplayBytes()
+		if lin.Epochs() == 0 {
+			// No incremental chain: the restore point is the full-copy
+			// swap-out image (memory image + aggregated delta).
+			diskBytes = n.AggBytesOnServer
+		}
+		memBytes := n.HV.K.MemoryImageBytes()
+		rep := &InReport{Started: start, Incremental: lin.Epochs() > 0, ChainDepth: lin.Depth()}
+		reports[i] = rep
+		stage := func() {
+			m.S.After(NodeSetupTime, "swap.recover-setup", func() {
+				m.Server.StreamDownload(m.Tag, memBytes, func() {
+					rep.MemoryBytes = memBytes
+					m.stat("in.mem_bytes", memBytes)
+					if diskBytes <= 0 {
+						remaining--
+						if remaining == 0 {
+							finishAll()
+						}
+						return
+					}
+					m.Server.StreamDownload(m.Tag, diskBytes, func() {
+						rep.DeltaBytes = diskBytes
+						m.stat("in.disk_bytes", diskBytes)
+						remaining--
+						if remaining == 0 {
+							finishAll()
+						}
+					})
+				})
+			})
+		}
+		if !n.GoldenCached {
+			rep.GoldenFetched = true
+			m.S.After(GoldenFetchTime, "swap.recover-frisbee", func() {
+				n.GoldenCached = true
+				stage()
+			})
+		} else {
+			stage()
 		}
 	}
 	return nil

@@ -58,7 +58,7 @@ func TestSwapOutPreservesStateAndReleases(t *testing.T) {
 	r.s.RunFor(sim.Second)
 	r.dirty(64 << 20)
 	var reps []*OutReport
-	if err := r.m.SwapOut(DefaultOptions(), func(x []*OutReport) { reps = x }); err != nil {
+	if err := r.m.SwapOut(DefaultOptions(), func(x []*OutReport, _ error) { reps = x }); err != nil {
 		t.Fatal(err)
 	}
 	r.s.RunFor(10 * sim.Minute)
@@ -87,14 +87,14 @@ func TestSwapCycleConcealsDowntime(t *testing.T) {
 	v0 := r.k.Monotonic()
 	realBefore := r.s.Now()
 	var outDone, inDone bool
-	r.m.SwapOut(DefaultOptions(), func([]*OutReport) { outDone = true })
+	r.m.SwapOut(DefaultOptions(), func([]*OutReport, error) { outDone = true })
 	r.s.RunFor(5 * sim.Minute)
 	if !outDone {
 		t.Fatal("swap-out incomplete")
 	}
 	// Stay swapped out for an hour of real time.
 	r.s.RunFor(sim.Hour)
-	r.m.SwapIn(DefaultOptions(), func([]*InReport) { inDone = true })
+	r.m.SwapIn(DefaultOptions(), func([]*InReport, error) { inDone = true })
 	r.s.RunFor(5 * sim.Minute)
 	if !inDone {
 		t.Fatal("swap-in incomplete")
@@ -116,11 +116,11 @@ func TestLazySwapInFasterThanEager(t *testing.T) {
 		r.s.RunFor(sim.Second)
 		r.dirty(256 << 20)
 		o := DefaultOptions()
-		r.m.SwapOut(o, func([]*OutReport) {})
+		r.m.SwapOut(o, func([]*OutReport, error) {})
 		r.s.RunFor(10 * sim.Minute)
 		var rep []*InReport
 		o.Lazy = lazy
-		r.m.SwapIn(o, func(x []*InReport) { rep = x })
+		r.m.SwapIn(o, func(x []*InReport, _ error) { rep = x })
 		r.s.RunFor(20 * sim.Minute)
 		if rep == nil {
 			return -1
@@ -149,13 +149,13 @@ func TestSwapInTimesGrowWithoutLazy(t *testing.T) {
 			r.s.RunFor(sim.Second)
 			r.dirty(128 << 20)
 			ok := false
-			r.m.SwapOut(o, func([]*OutReport) { ok = true })
+			r.m.SwapOut(o, func([]*OutReport, error) { ok = true })
 			r.s.RunFor(15 * sim.Minute)
 			if !ok {
 				t.Fatal("swap-out stuck")
 			}
 			var rep []*InReport
-			r.m.SwapIn(o, func(x []*InReport) { rep = x })
+			r.m.SwapIn(o, func(x []*InReport, _ error) { rep = x })
 			r.s.RunFor(30 * sim.Minute)
 			if rep == nil {
 				t.Fatal("swap-in stuck")
@@ -187,10 +187,10 @@ func TestGoldenFetchAddsFlatCost(t *testing.T) {
 	r.dirty(16 << 20)
 	r.m.Nodes[0].GoldenCached = false
 	o := DefaultOptions()
-	r.m.SwapOut(o, func([]*OutReport) {})
+	r.m.SwapOut(o, func([]*OutReport, error) {})
 	r.s.RunFor(10 * sim.Minute)
 	var rep []*InReport
-	r.m.SwapIn(o, func(x []*InReport) { rep = x })
+	r.m.SwapIn(o, func(x []*InReport, _ error) { rep = x })
 	r.s.RunFor(20 * sim.Minute)
 	if rep == nil {
 		t.Fatal("swap-in incomplete")
@@ -212,7 +212,7 @@ func TestDoubleSwapErrors(t *testing.T) {
 		t.Fatal("swap-in while running succeeded")
 	}
 	r.s.RunFor(sim.Second)
-	r.m.SwapOut(DefaultOptions(), func([]*OutReport) {})
+	r.m.SwapOut(DefaultOptions(), func([]*OutReport, error) {})
 	r.s.RunFor(10 * sim.Minute)
 	if err := r.m.SwapOut(DefaultOptions(), nil); err == nil {
 		t.Fatal("double swap-out succeeded")

@@ -62,6 +62,13 @@ type SaveOptions struct {
 	// Dom0CPUShare is the CPU fraction the copy engine consumes while
 	// the guest runs (default 0.30).
 	Dom0CPUShare float64
+
+	// OnError, if set, is notified when an accepted save fails later
+	// (e.g. the suspend raced something that had already frozen the
+	// guest); done never fires for such a save. Without the hook the
+	// failure would be silent and a barrier waiting on this member
+	// could only be cleared by a save deadline.
+	OnError func(error)
 }
 
 func (o *SaveOptions) defaults() {
@@ -97,6 +104,8 @@ type Hypervisor struct {
 	K *guest.Kernel
 
 	saving      bool
+	cancelled   bool  // abort requested for the in-flight save
+	crashed     bool  // machine fail-stopped
 	stagedBytes int64 // image bytes staged in dom0, awaiting write-back
 
 	// CopyRateMem is the RAM-to-RAM rate at which the save engine walks
@@ -156,21 +165,86 @@ func (h *Hypervisor) Dom0Job(dur sim.Time, share float64) {
 	h.K.FW.Replan()
 }
 
+// Saving reports whether a live save is in flight.
+func (h *Hypervisor) Saving() bool { return h.saving && !h.crashed }
+
+// Crashed reports whether the machine has fail-stopped.
+func (h *Hypervisor) Crashed() bool { return h.crashed }
+
+// CancelSave aborts an in-flight save — the coordinator's epoch-abort
+// path. The save machinery observes the flag at its next step, cleans
+// up, and resumes the guest if the save had already frozen it; the
+// save's done callback never fires. A no-op without a save in flight.
+func (h *Hypervisor) CancelSave() {
+	if h.saving && !h.crashed {
+		h.cancelled = true
+	}
+}
+
+// Crash fail-stops the machine: the guest freezes where it stands (its
+// temporal firewall engages and nothing on this incarnation ever
+// disengages it), an in-flight save is abandoned without completing,
+// and Save/Resume refuse service until Restore. This is the fault
+// layer's node-death primitive.
+func (h *Hypervisor) Crash() {
+	if h.crashed {
+		return
+	}
+	h.crashed = true
+	h.K.Crash()
+}
+
+// Restore revives a crashed node after its state has been re-staged
+// from the last committed checkpoint epoch: the crash flag clears and
+// the guest resumes. The transfer cost of re-staging is the caller's
+// business (swap.Manager.Recover charges it).
+func (h *Hypervisor) Restore(fn func()) error {
+	if !h.crashed {
+		return fmt.Errorf("xen: %s is not crashed", h.M.Name)
+	}
+	h.crashed = false
+	h.saving = false
+	h.cancelled = false
+	h.K.Revive()
+	return h.Resume(fn)
+}
+
+// endCancel finishes an aborted save: clear the machinery and thaw the
+// guest if the save had frozen it.
+func (h *Hypervisor) endCancel() {
+	h.saving = false
+	h.cancelled = false
+	if h.K.Suspended() {
+		_ = h.Resume(nil)
+	}
+}
+
 // Save performs a live checkpoint and calls done with the image while
 // the guest is still suspended — the caller (the distributed
 // coordinator) decides when to Resume, after the cross-node barrier.
 func (h *Hypervisor) Save(o SaveOptions, done func(*Image)) error {
+	if h.crashed {
+		return fmt.Errorf("xen: %s has crashed", h.M.Name)
+	}
 	if h.saving {
 		return fmt.Errorf("xen: save already in progress on %s", h.M.Name)
 	}
 	o.defaults()
 	h.saving = true
+	h.cancelled = false
 	img := &Image{Node: h.M.Name}
 	h.preCopyRound(o, img, 1, done)
 	return nil
 }
 
 func (h *Hypervisor) preCopyRound(o SaveOptions, img *Image, round int, done func(*Image)) {
+	if h.crashed {
+		return // the machine died mid-save; the image is lost
+	}
+	if h.cancelled {
+		h.endCancel()
+		return
+	}
 	now := h.M.Sim.Now()
 	// A scheduled suspend takes priority over convergence.
 	if o.SuspendAt > 0 && now >= o.SuspendAt {
@@ -238,8 +312,22 @@ func (h *Hypervisor) preCopyRound(o SaveOptions, img *Image, round int, done fun
 // hands the image to the caller with the guest still frozen.
 func (h *Hypervisor) suspendAndCopy(o SaveOptions, img *Image, done func(*Image)) {
 	h.M.Sim.After(XenBusLatency, "xenbus.suspend", func() {
+		if h.crashed {
+			return
+		}
+		if h.cancelled {
+			h.endCancel()
+			return
+		}
 		suspendStart := h.M.Sim.Now()
 		err := h.K.Suspend(func() {
+			if h.crashed {
+				return // died frozen; recovery owns the guest now
+			}
+			if h.cancelled {
+				h.endCancel()
+				return
+			}
 			img.SuspendedAt = suspendStart
 			h.K.AccrueBackgroundDirty()
 			residual := h.K.Dirty.TakeDirty()
@@ -249,6 +337,13 @@ func (h *Hypervisor) suspendAndCopy(o SaveOptions, img *Image, done func(*Image)
 			img.DeviceBytes = devBytes
 			img.MemoryBytes += stopBytes
 			h.copyOut(stopBytes+devBytes, o, func() {
+				if h.crashed {
+					return
+				}
+				if h.cancelled {
+					h.endCancel()
+					return
+				}
 				st, serr := h.K.Clock.Serialize()
 				if serr != nil {
 					panic("xen: clock not frozen during save: " + serr.Error())
@@ -262,7 +357,15 @@ func (h *Hypervisor) suspendAndCopy(o SaveOptions, img *Image, done func(*Image)
 			})
 		})
 		if err != nil {
-			panic("xen: " + err.Error())
+			// The suspend raced something that already froze the guest (a
+			// crash, a parallel freeze): abandon this save cleanly and
+			// report the failure so the caller's epoch can abort instead
+			// of waiting on a barrier arrival that will never come.
+			h.saving = false
+			h.cancelled = false
+			if o.OnError != nil {
+				o.OnError(err)
+			}
 		}
 	})
 }
@@ -271,6 +374,9 @@ func (h *Hypervisor) suspendAndCopy(o SaveOptions, img *Image, done func(*Image)
 // back to the scratch disk in the background, stealing a slice of dom0
 // CPU and the spindle — the residual interference visible in Fig. 5.
 func (h *Hypervisor) Resume(fn func()) error {
+	if h.crashed {
+		return fmt.Errorf("xen: %s has crashed", h.M.Name)
+	}
 	err := h.K.Resume(func() {
 		h.M.CPU.Steal(h.M.Sim.Now(), 90*sim.Millisecond, 0.10)
 		if h.stagedBytes > 0 {

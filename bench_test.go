@@ -325,6 +325,41 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 }
 
+var (
+	stOnce sync.Once
+	stRes  *evalrun.StorageResult
+)
+
+// BenchmarkStorageCache regenerates the tiered-storage table: the same
+// fleet of tenants parked and resumed over the remote chain tier, with
+// and without the node-local delta cache. Cached restores must move
+// strictly fewer remote MB and have the fleet back in service strictly
+// sooner than the uncached remote baseline — the acceptance bar for
+// the delta cache (commit-time fills plus prefetch overlap must beat
+// re-streaming every chain on every resume).
+func BenchmarkStorageCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stOnce.Do(func() { stRes = evalrun.StorageTable(benchSeed, 4) })
+	}
+	b.ReportMetric(stRes.Cached.RemoteMB, "MB-remote-cached")
+	b.ReportMetric(stRes.Uncached.RemoteMB, "MB-remote-uncached")
+	b.ReportMetric(stRes.Cached.MeanRestoreS, "s-restore-cached")
+	b.ReportMetric(stRes.Uncached.MeanRestoreS, "s-restore-uncached")
+	b.ReportMetric(stRes.Cached.HitRatio*100, "%cache-hits")
+	if stRes.Cached.Restores != stRes.Cycles || stRes.Uncached.Restores != stRes.Cycles {
+		b.Fatalf("fleet never finished its cycles: cached %d, uncached %d of %d",
+			stRes.Cached.Restores, stRes.Uncached.Restores, stRes.Cycles)
+	}
+	if stRes.Cached.RemoteMB >= stRes.Uncached.RemoteMB {
+		b.Fatalf("cached restores moved %.0f remote MB, uncached %.0f — no byte savings",
+			stRes.Cached.RemoteMB, stRes.Uncached.RemoteMB)
+	}
+	if stRes.Cached.MeanRestoreS >= stRes.Uncached.MeanRestoreS {
+		b.Fatalf("cached restores took %.1f s, uncached %.1f s — no latency win",
+			stRes.Cached.MeanRestoreS, stRes.Uncached.MeanRestoreS)
+	}
+}
+
 // BenchmarkCheckpointLatency measures the raw cost of one incremental
 // distributed checkpoint on an idle 2-node experiment — an ablation for
 // the downtime the firewall conceals.

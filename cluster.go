@@ -66,6 +66,17 @@ type Cluster struct {
 	// branch garbage-collects deltas no branch can reach.
 	Chains *storage.ChainStore
 
+	// Storage selects the physical tier checkpoint-chain segments live
+	// on and the node-local delta cache in front of the remote tier.
+	// Set it (or call ConfigureStorage) before submitting tenants; the
+	// zero value keeps the legacy in-process behavior byte for byte.
+	Storage StorageOptions
+
+	// storageBackend and storageCache are the facility-wide tier and
+	// cache built from Storage on first use.
+	storageBackend storage.Backend
+	storageCache   *storage.DeltaCache
+
 	// NaiveBranchCopy switches Branch to the evaluation baseline: each
 	// branch stages its own full unicast copy of the parent state (no
 	// lineage sharing, no multicast) and parks under the cluster's
@@ -105,6 +116,77 @@ func NewCluster(pool int, seed int64, policy Policy) *Cluster {
 		phaseWatch: make(map[string][]func(core.Phase)),
 	}
 }
+
+// StorageOptions selects the checkpoint-chain storage tier for a
+// cluster (see docs/storage.md).
+type StorageOptions struct {
+	// Backend names the tier: "" or "mem" (legacy in-process store),
+	// "disk" (node-local snapshot disk: local seek/bandwidth costs,
+	// capacity-bounded, spills to the pool), or "remote" (shared pool
+	// over the control LAN with batched puts and per-request round
+	// trips).
+	Backend string
+	// CacheMB sizes the node-local delta cache fronting remotely-homed
+	// segments, in MB (0 = no cache).
+	CacheMB int64
+	// DiskMB caps the disk tier's snapshot-disk budget, in MB
+	// (0 = storage.DefaultSnapshotDiskBytes).
+	DiskMB int64
+}
+
+// ConfigureStorage builds the facility-wide storage tier and delta
+// cache from o and wires them into every current and future tenant's
+// swap manager. It rejects unknown backend names. Call it before the
+// first swap cycle; reconfiguring mid-run would strand placement
+// state.
+func (c *Cluster) ConfigureStorage(o StorageOptions) error {
+	kind, err := storage.ParseBackendKind(o.Backend)
+	if err != nil {
+		return err
+	}
+	c.Storage = o
+	c.storageBackend = nil
+	c.storageCache = nil
+	if kind != storage.MemKind {
+		if kind == storage.DiskKind {
+			c.storageBackend = storage.NewDiskBackend(o.DiskMB << 20)
+		} else {
+			c.storageBackend = storage.NewBackend(kind)
+		}
+		if o.CacheMB > 0 {
+			c.storageCache = storage.NewDeltaCache(o.CacheMB<<20, c.Chains.Refs)
+		}
+		// The backend mirrors the chain store's contents: commits (and
+		// prune folds, which re-key the base) reach the physical tier,
+		// and GC'd epochs leave it — and the cache, so dead segments
+		// stop holding capacity against live entries.
+		be, cache := c.storageBackend, c.storageCache
+		c.Chains.OnStore = func(a storage.Addr, n int64) { be.Put(a, n) }
+		c.Chains.OnDrop = func(a storage.Addr, n int64) {
+			be.Delete(a)
+			if cache != nil {
+				cache.Drop(a)
+			}
+		}
+	} else {
+		c.Chains.OnStore = nil
+		c.Chains.OnDrop = nil
+	}
+	for _, sess := range c.tenants {
+		if sess.Exp != nil && sess.Exp.Swap != nil {
+			sess.Exp.Swap.Backend = c.storageBackend
+			sess.Exp.Swap.Cache = c.storageCache
+		}
+	}
+	return nil
+}
+
+// StorageBackend returns the facility-wide chain tier (nil when the
+// legacy in-process store is selected).
+func (c *Cluster) StorageBackend() storage.Backend { return c.storageBackend }
+
+// DeltaCache returns the facility-wide delta cache (nil when off).
+func (c *Cluster) DeltaCache() *storage.DeltaCache { return c.storageCache }
 
 // swapOptions picks the tenant's park/resume transfer mode. Branch
 // tenants restore clone-aware (their chains share a prefix with their
@@ -206,15 +288,31 @@ func (c *Cluster) watchPhase(name string, fn func(core.Phase)) {
 	c.phaseWatch[name] = append(c.phaseWatch[name], fn)
 }
 
+// ensureStorage realizes a Storage field set directly (without
+// ConfigureStorage) the first time a tenant is wired. An invalid
+// backend literal is a programmer error and panics.
+func (c *Cluster) ensureStorage() {
+	if c.storageBackend != nil || c.storageCache != nil || c.Storage == (StorageOptions{}) {
+		return
+	}
+	if err := c.ConfigureStorage(c.Storage); err != nil {
+		panic("emucheck: " + err.Error())
+	}
+}
+
 // wireTenant attaches cluster-wide services to a freshly instantiated
-// experiment: shared swap accounting, the chain store, the save
-// deadline, and the epoch phase fan-out.
+// experiment: shared swap accounting, the chain store, the storage
+// tier and delta cache, the save deadline, and the epoch phase
+// fan-out.
 func (c *Cluster) wireTenant(sess *Session, exp *emulab.Experiment) {
 	sess.Exp = exp
 	if exp.Swap != nil {
+		c.ensureStorage()
 		exp.Swap.Stats = c.SwapStats
 		exp.Swap.Chains = c.Chains
 		exp.Swap.SaveDeadline = c.SaveDeadline
+		exp.Swap.Backend = c.storageBackend
+		exp.Swap.Cache = c.storageCache
 	}
 	name := sess.Scenario.Spec.Name
 	exp.Coord.OnPhase = func(_ int, ph core.Phase) {

@@ -34,6 +34,7 @@ var benchSchema = map[string]any{
 	"timeshare": &evalrun.TimeshareResult{},
 	"branch":    &evalrun.BranchResult{},
 	"recovery":  &evalrun.RecoveryResult{},
+	"storage":   &evalrun.StorageResult{},
 }
 
 // fieldPaths flattens a type into "path: kind" lines, honoring json

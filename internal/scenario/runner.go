@@ -97,6 +97,29 @@ type SearchResult struct {
 	GangAdmissions   int     `json:"gang_admissions"`
 }
 
+// StorageReport is the chain-storage tier's end-of-run accounting
+// (present when the scenario declared a storage stanza).
+type StorageReport struct {
+	// Backend names the tier the run used.
+	Backend string `json:"backend"`
+	// CacheMB is the configured delta-cache size (0 = no cache).
+	CacheMB int64 `json:"cache_mb,omitempty"`
+	// Cache hit/miss/evict counters, from the delta cache's ledger.
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitMB     float64 `json:"cache_hit_mb"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	CacheEvictedMB float64 `json:"cache_evicted_mb"`
+	// HitRatio is hits / lookups (0 when the cache was never consulted).
+	HitRatio float64 `json:"cache_hit_ratio"`
+	// LocalMB is chain state served or stored on node-local media;
+	// RemoteMB crossed the control LAN to or from the shared pool;
+	// SpillMB is snapshot-disk overflow pushed to the pool.
+	LocalMB  float64 `json:"local_mb"`
+	RemoteMB float64 `json:"remote_mb"`
+	SpillMB  float64 `json:"spill_mb,omitempty"`
+}
+
 // Result is a completed scenario run.
 type Result struct {
 	Name        string  `json:"name"`
@@ -114,6 +137,9 @@ type Result struct {
 	Experiments []ExpRow `json:"experiments"`
 	// Search is the fan-out exploration summary (search scenarios only).
 	Search *SearchResult `json:"search,omitempty"`
+	// Storage is the chain-storage tier's accounting (storage stanza
+	// only).
+	Storage *StorageReport `json:"storage,omitempty"`
 	// Bus reports control-LAN delivery stats (always present when the
 	// scenario injected faults, so lost notifications are observable).
 	Bus *BusStats `json:"bus,omitempty"`
@@ -146,6 +172,13 @@ func Run(f *File) (*Result, error) {
 	pol, _ := sched.ParsePolicy(f.Policy)
 	c := emucheck.NewCluster(f.Pool, f.Seed, pol)
 	c.Incremental = f.Swap == "incremental"
+	if st := f.Storage; st != nil {
+		if err := c.ConfigureStorage(emucheck.StorageOptions{
+			Backend: st.Backend, CacheMB: st.CacheMB, DiskMB: st.DiskMB,
+		}); err != nil {
+			return nil, fmt.Errorf("scenario %q: %v", f.Name, err)
+		}
+	}
 	// Straggler detection: explicit save_deadline wins; otherwise any
 	// fault-injected run gets a default so a crashed or deafened member
 	// aborts its epoch instead of hanging it.
@@ -355,6 +388,25 @@ func Run(f *File) (*Result, error) {
 		sr.MulticastSavedMB = float64(c.TB.Server.MulticastSavedBytes) / (1 << 20)
 		sr.GangAdmissions = c.Sched.GangAdmissions
 		res.Search = sr
+	}
+	if st := f.Storage; st != nil {
+		rep := &StorageReport{Backend: st.Backend, CacheMB: st.CacheMB}
+		if rep.Backend == "" {
+			rep.Backend = "mem"
+		}
+		if cache := c.DeltaCache(); cache != nil {
+			cs := cache.Stats()
+			rep.CacheHits = cs.Hits
+			rep.CacheMisses = cs.Misses
+			rep.CacheHitMB = float64(cs.HitBytes) / (1 << 20)
+			rep.CacheEvictions = cs.Evictions
+			rep.CacheEvictedMB = float64(cs.EvictedBytes) / (1 << 20)
+			rep.HitRatio = cache.HitRatio()
+		}
+		rep.LocalMB = float64(c.SwapStats.Get("storage.local_bytes")) / (1 << 20)
+		rep.RemoteMB = float64(c.SwapStats.Get("storage.remote_bytes")) / (1 << 20)
+		rep.SpillMB = float64(c.SwapStats.Get("storage.spill_bytes")) / (1 << 20)
+		res.Storage = rep
 	}
 	for _, a := range f.Assertions {
 		res.Checks = append(res.Checks, evalAssertion(c, f, stats, res, a))
@@ -684,6 +736,22 @@ func evalAssertion(c *emucheck.Cluster, f *File, stats []*ExpStats, res *Result,
 			}
 		}
 		return mkCheck(desc, int64(got) >= a.Value, fmt.Sprintf("got %d", got))
+	case "min_cache_hit_ratio":
+		desc := fmt.Sprintf("cache hit ratio >= %d%%", a.Value)
+		if res.Storage == nil {
+			return mkCheck(desc, false, "no storage stanza")
+		}
+		gotPct := res.Storage.HitRatio * 100
+		return mkCheck(desc, gotPct >= float64(a.Value),
+			fmt.Sprintf("got %.0f%% (%d hits / %d misses)", gotPct,
+				res.Storage.CacheHits, res.Storage.CacheMisses))
+	case "max_remote_mb":
+		desc := fmt.Sprintf("remote chain traffic <= %d MB", a.Value)
+		if res.Storage == nil {
+			return mkCheck(desc, false, "no storage stanza")
+		}
+		return mkCheck(desc, res.Storage.RemoteMB <= float64(a.Value),
+			fmt.Sprintf("got %.1f MB", res.Storage.RemoteMB))
 	case "max_swap_mb":
 		var gotBytes int64
 		desc := fmt.Sprintf("swap traffic <= %d MB", a.Value)
@@ -724,6 +792,17 @@ func (r *Result) Render() string {
 		}
 		s += fmt.Sprintf("search: %d-way fan-out from %s (%s): %d distinct outcomes, store %.1f MB (%.1f MB shared by ref), multicast saved %.1f MB\n%s",
 			sr.FanOut, sr.Parent, mode, sr.DistinctOutcomes, sr.StoredMB, sr.SharedMB, sr.MulticastSavedMB, bt.String())
+	}
+	if st := r.Storage; st != nil {
+		s += fmt.Sprintf("storage: %s tier — %.1f MB local, %.1f MB remote", st.Backend, st.LocalMB, st.RemoteMB)
+		if st.SpillMB > 0 {
+			s += fmt.Sprintf(", %.1f MB spilled", st.SpillMB)
+		}
+		if st.CacheMB > 0 {
+			s += fmt.Sprintf("; cache %d MB: %d hits / %d misses (%.0f%%), %d evictions (%.1f MB)",
+				st.CacheMB, st.CacheHits, st.CacheMisses, st.HitRatio*100, st.CacheEvictions, st.CacheEvictedMB)
+		}
+		s += "\n"
 	}
 	if fs := r.Faults; fs != nil {
 		s += fmt.Sprintf("faults: %d planned — %d crashes, %d notifications dropped, %d delayed, %d slowdowns",

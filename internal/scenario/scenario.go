@@ -37,6 +37,7 @@ import (
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
 	"emucheck/internal/simnet"
+	"emucheck/internal/storage"
 )
 
 // File is one parsed scenario.
@@ -50,6 +51,10 @@ type File struct {
 	// "full" (default) moves whole images, "incremental" moves only
 	// dirty deltas against the checkpoint lineage.
 	Swap string `json:"swap,omitempty"`
+	// Storage selects the checkpoint-chain storage tier and the
+	// node-local delta cache (see docs/storage.md). Absent, chains use
+	// the legacy in-process store.
+	Storage *Storage `json:"storage,omitempty"`
 	// SaveDeadline bounds every checkpoint epoch's save phase: a
 	// member that cannot barrier in time aborts the epoch cleanly
 	// (straggler detection). Defaults to 30s when a faults stanza is
@@ -94,6 +99,20 @@ type Fault struct {
 	// Seed perturbs this fault's own jittered choices (0: derived from
 	// the file's seed and the fault's position in the list).
 	Seed int64 `json:"seed,omitempty"`
+}
+
+// Storage configures the checkpoint-chain storage tier for the run.
+type Storage struct {
+	// Backend names the tier: "mem" (default; the legacy in-process
+	// store), "disk" (node-local snapshot disk: local costs, capacity
+	// budget, overflow spills to the pool), or "remote" (shared pool
+	// over the control LAN with batched puts).
+	Backend string `json:"backend"`
+	// CacheMB sizes the node-local delta cache fronting remotely-homed
+	// segments (0 = no cache).
+	CacheMB int64 `json:"cache_mb,omitempty"`
+	// DiskMB caps the disk tier's snapshot-disk budget (0 = default).
+	DiskMB int64 `json:"disk_mb,omitempty"`
 }
 
 // Search configures a branch fan-out exploration.
@@ -225,6 +244,11 @@ var assertionTypes = map[string]bool{
 	"recovered":        true,
 	"max_lost_work_ms": true,
 	"epochs_aborted":   true,
+	// Storage-tier assertions (need a storage stanza): the delta
+	// cache's hit ratio stayed at or above value percent, and chain
+	// state crossing the control LAN stayed under value MB.
+	"min_cache_hit_ratio": true,
+	"max_remote_mb":       true,
 }
 
 // swapModes understood by the runner.
@@ -305,6 +329,18 @@ func Validate(f *File) []error {
 	}
 	if !swapModes[f.Swap] {
 		bad("unknown swap mode %q (want full or incremental)", f.Swap)
+	}
+	if st := f.Storage; st != nil {
+		kind, err := storage.ParseBackendKind(st.Backend)
+		if err != nil {
+			bad("%v", err)
+		}
+		if st.CacheMB < 0 || st.DiskMB < 0 {
+			bad("storage: negative cache_mb or disk_mb")
+		}
+		if err == nil && kind == storage.MemKind && st.CacheMB > 0 {
+			bad("storage: cache_mb needs a disk or remote backend (the in-process store has nothing remote to cache)")
+		}
 	}
 	if _, err := parseDur(f.SaveDeadline); err != nil {
 		bad("save_deadline %q does not parse", f.SaveDeadline)
@@ -505,6 +541,20 @@ func Validate(f *File) []error {
 		case "max_swap_mb":
 			if a.Value <= 0 {
 				bad("assertion %d: max_swap_mb needs a positive value (MB)", i)
+			}
+		case "min_cache_hit_ratio":
+			if f.Storage == nil || f.Storage.CacheMB <= 0 {
+				bad("assertion %d: min_cache_hit_ratio needs a storage stanza with cache_mb", i)
+			}
+			if a.Value <= 0 || a.Value > 100 {
+				bad("assertion %d: min_cache_hit_ratio needs a value in (0, 100] percent", i)
+			}
+		case "max_remote_mb":
+			if f.Storage == nil {
+				bad("assertion %d: max_remote_mb needs a storage stanza", i)
+			}
+			if a.Value < 0 {
+				bad("assertion %d: max_remote_mb needs a non-negative value (MB)", i)
 			}
 		case "max_queue_wait", "virtual_elapsed_max":
 			if _, err := parseDur(a.Dur); err != nil || a.Dur == "" {

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// storageScenario is a minimal tiered run: one swappable tenant, one
+// park/resume cycle over the remote tier with a delta cache.
+const storageScenario = `{
+  "name": "st",
+  "seed": 3,
+  "pool": 2,
+  "swap": "incremental",
+  "storage": {"backend": "remote", "cache_mb": 256},
+  "run_for": "5m",
+  "experiments": [
+    {"name": "e1", "workload": "diskchurn",
+     "nodes": [{"name": "a", "swappable": true}, {"name": "b", "swappable": true}]}
+  ],
+  "events": [
+    {"at": "45s", "action": "swap_out", "target": "e1"},
+    {"at": "130s", "action": "swap_in", "target": "e1"}
+  ],
+  "assertions": [
+    {"type": "state", "target": "e1", "want": "running"},
+    {"type": "min_cache_hit_ratio", "value": 50}
+  ]
+}`
+
+func TestStorageStanzaRun(t *testing.T) {
+	f, err := Parse([]byte(storageScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("run failed:\n%s", res.Render())
+	}
+	st := res.Storage
+	if st == nil {
+		t.Fatal("storage stanza produced no storage report")
+	}
+	if st.Backend != "remote" || st.CacheMB != 256 {
+		t.Fatalf("report config drifted: %+v", st)
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("the resume's restore never hit the commit-filled cache")
+	}
+	if !strings.Contains(res.Render(), "storage: remote tier") {
+		t.Fatal("render lacks the storage line")
+	}
+}
+
+// TestStorageStanzaDeterministic: two runs of the same tiered file
+// must produce identical storage reports — the cache ledger is part of
+// the deterministic-run contract.
+func TestStorageStanzaDeterministic(t *testing.T) {
+	run := func() StorageReport {
+		f, err := Parse([]byte(storageScenario))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *res.Storage
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same file, different storage reports:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestStorageStanzaValidation(t *testing.T) {
+	base := `{
+  "name": "v", "seed": 1, "pool": 2, "run_for": "1m",
+  "experiments": [{"name": "e1", "workload": "idle",
+    "nodes": [{"name": "a", "swappable": true}]}],
+  %s
+}`
+	cases := []struct {
+		name    string
+		body    string
+		wantErr string
+	}{
+		{"unknown backend", `"storage": {"backend": "tape"}`, "unknown backend"},
+		{"negative cache", `"storage": {"backend": "remote", "cache_mb": -1}`, "negative cache_mb"},
+		{"hit ratio without cache", `"assertions": [{"type": "min_cache_hit_ratio", "value": 50}]`, "needs a storage stanza with cache_mb"},
+		{"hit ratio out of range", `"storage": {"backend": "remote", "cache_mb": 64},
+			"assertions": [{"type": "min_cache_hit_ratio", "value": 150}]`, "(0, 100]"},
+		{"remote budget without stanza", `"assertions": [{"type": "max_remote_mb", "value": 10}]`, "needs a storage stanza"},
+		{"cache on the mem backend", `"storage": {"backend": "mem", "cache_mb": 64}`, "cache_mb needs a disk or remote backend"},
+	}
+	for _, c := range cases {
+		f, err := Parse([]byte(strings.Replace(base, "%s", c.body, 1)))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		errs := Validate(f)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), c.wantErr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: validation errors %v lack %q", c.name, errs, c.wantErr)
+		}
+	}
+	// And the happy path validates cleanly.
+	f, err := Parse([]byte(storageScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Validate(f); len(errs) > 0 {
+		t.Fatalf("valid storage scenario rejected: %v", errs)
+	}
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+func TestParseBackendKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want BackendKind
+		ok   bool
+	}{
+		{"", MemKind, true},
+		{"mem", MemKind, true},
+		{"disk", DiskKind, true},
+		{"remote", RemoteKind, true},
+		{"tape", MemKind, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBackendKind(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseBackendKind(%q) = %v, %v; want %v ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestMemBackendZeroCost(t *testing.T) {
+	b := NewMemBackend()
+	if !b.Put(1, 5<<20) || !b.Has(1) {
+		t.Fatal("mem put failed")
+	}
+	if b.PutCost(1<<30) != 0 || b.ReadCost(1<<30) != 0 {
+		t.Fatal("mem backend must be free")
+	}
+	if b.StoredBytes() != 5<<20 || b.SegmentCount() != 1 {
+		t.Fatalf("stored %d/%d", b.StoredBytes(), b.SegmentCount())
+	}
+	b.Delete(1)
+	if b.Has(1) || b.StoredBytes() != 0 {
+		t.Fatal("delete did not forget the segment")
+	}
+}
+
+func TestDiskBackendCapacitySpill(t *testing.T) {
+	b := NewDiskBackend(10 << 20)
+	if !b.Put(1, 6<<20) {
+		t.Fatal("first segment should fit")
+	}
+	if b.Put(2, 6<<20) {
+		t.Fatal("second segment should spill: 12 MB into a 10 MB disk")
+	}
+	if b.SpillSegments != 1 || b.SpillBytes != 6<<20 {
+		t.Fatalf("spill ledger: %d segs / %d bytes", b.SpillSegments, b.SpillBytes)
+	}
+	// Re-putting a resident segment at a new size must not double-count.
+	if !b.Put(1, 4<<20) {
+		t.Fatal("shrinking a resident segment should fit")
+	}
+	if b.StoredBytes() != 4<<20 {
+		t.Fatalf("stored %d after re-put", b.StoredBytes())
+	}
+	if !b.Put(2, 6<<20) {
+		t.Fatal("after the shrink the second segment fits")
+	}
+	// Costs: seek plus bytes at the sequential rate.
+	got := b.PutCost(70 << 20)
+	want := b.Seek + sim.Second
+	if got != want {
+		t.Fatalf("PutCost(70MB) = %v, want %v", got, want)
+	}
+}
+
+func TestRemoteBackendRTT(t *testing.T) {
+	b := NewRemoteBackend()
+	if b.PutCost(1<<20) != b.RTT || b.ReadCost(1<<20) != b.RTT {
+		t.Fatal("remote cost must be the round trip")
+	}
+	if b.PutCost(0) != 0 {
+		t.Fatal("empty put is free")
+	}
+	for i := Addr(0); i < 100; i++ {
+		if !b.Put(i, 1<<20) {
+			t.Fatal("the pool never fills")
+		}
+	}
+	if b.SegmentCount() != 100 {
+		t.Fatalf("segments %d", b.SegmentCount())
+	}
+}
+
+// TestChainStoreMirrorsBackend proves the OnStore/OnDrop hooks keep a
+// backend's resident set exactly equal to the chain store's entries —
+// across commits, dedup, forks, prune folds (re-keying the base), and
+// branch release GC.
+func TestChainStoreMirrorsBackend(t *testing.T) {
+	cs := NewChainStore()
+	be := NewMemBackend()
+	cs.OnStore = func(a Addr, n int64) { be.Put(a, n) }
+	cs.OnDrop = func(a Addr, n int64) { be.Delete(a) }
+
+	check := func(stage string) {
+		t.Helper()
+		if be.SegmentCount() != cs.Entries() {
+			t.Fatalf("%s: backend holds %d segments, store %d entries", stage, be.SegmentCount(), cs.Entries())
+		}
+		if be.StoredBytes() != cs.StoredBytes() {
+			t.Fatalf("%s: backend %d bytes, store %d bytes", stage, be.StoredBytes(), cs.StoredBytes())
+		}
+		for a := range cs.epochs {
+			if !be.Has(a) {
+				t.Fatalf("%s: store entry %v missing from backend", stage, a)
+			}
+		}
+	}
+
+	l := cs.NewLineage(2)
+	check("empty lineage")
+	for i := int64(0); i < 6; i++ {
+		l.Commit(map[int64]int64{i: i + 1, i + 100: i + 2}, 1)
+		check("commit (with prune folds past depth 2)")
+	}
+	fork := l.Fork()
+	check("fork (shared by reference)")
+	fork.Commit(map[int64]int64{999: 1}, 1)
+	check("divergent commit")
+	l.Release()
+	check("parent released")
+	fork.Release()
+	check("fork released")
+	if cs.Entries() != 0 || be.SegmentCount() != 0 {
+		t.Fatalf("everything released: store %d, backend %d", cs.Entries(), be.SegmentCount())
+	}
+}

@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"container/list"
+
+	"emucheck/internal/sim"
+)
+
+// DeltaCache is the node-local cache fronting the remote chain tier: a
+// capacity-bounded LRU of content-addressed segments (base images and
+// epoch deltas) kept on local media so hot restores do not re-stream
+// over the control LAN.
+//
+// Eviction is refcount-aware. The cache consults the chain store's
+// reference counts through its refs hook:
+//
+//   - A segment whose address is referenced by more than one live
+//     lineage (a branch fan-out's shared prefix) is *pinned*: it is
+//     the hottest possible entry — every sibling's restore replays it
+//     — so LRU never evicts it while the sharing lasts.
+//   - A segment with no remaining references was garbage-collected
+//     from every chain; the cache drops it on the next lookup rather
+//     than serving or retaining dead content.
+//
+// Evicting a live entry is always safe for correctness: the cache
+// holds copies, the authoritative bytes stay on the backend tier (or
+// the shared pool, for spilled segments), so eviction only costs a
+// re-stream. Determinism: LRU order is a pure function of the access
+// sequence, so same-seed runs produce identical hit/miss/evict
+// ledgers.
+type DeltaCache struct {
+	// Capacity bounds the cached bytes.
+	Capacity int64
+	// Seek and Rate price a cache read (node-local media, same
+	// defaults as the snapshot disk).
+	Seek sim.Time
+	Rate int64
+
+	refs    func(Addr) int
+	entries map[Addr]*list.Element
+	lru     *list.List // front = most recently used
+	used    int64
+
+	stats CacheStats
+}
+
+// cacheEntry is one resident segment.
+type cacheEntry struct {
+	addr  Addr
+	bytes int64
+}
+
+// CacheStats is the cache's accounting ledger.
+type CacheStats struct {
+	// Hits and Misses count lookups; HitBytes and MissBytes their
+	// segment sizes.
+	Hits, Misses        int64
+	HitBytes, MissBytes int64
+	// Evictions counts entries LRU-evicted to make room; EvictedBytes
+	// their sizes.
+	Evictions    int64
+	EvictedBytes int64
+	// Expired counts entries dropped because their segment was
+	// garbage-collected from every chain (refcount zero).
+	Expired int64
+	// Rejected counts admissions refused because the pinned (shared)
+	// entries alone exceed what eviction could free.
+	Rejected int64
+}
+
+// NewDeltaCache creates a cache of the given capacity. refs is the
+// chain store's refcount lookup (ChainStore.Refs); nil disables
+// pinning and expiry (a plain LRU).
+func NewDeltaCache(capacity int64, refs func(Addr) int) *DeltaCache {
+	return &DeltaCache{
+		Capacity: capacity,
+		Seek:     DefaultDiskSeek,
+		Rate:     DefaultDiskRate,
+		refs:     refs,
+		entries:  make(map[Addr]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// ReadCost prices serving n bytes off the cache's local media.
+func (c *DeltaCache) ReadCost(n int64) sim.Time { return xferCost(n, c.Seek, c.Rate) }
+
+// refcount resolves the chain store's view of an address.
+func (c *DeltaCache) refcount(a Addr) int {
+	if c.refs == nil {
+		return 1
+	}
+	return c.refs(a)
+}
+
+// Get looks a segment up, counting the hit or miss. A hit refreshes
+// the entry's recency and returns its size. An entry whose segment
+// has been garbage-collected from every chain is dropped and counts
+// as a miss — the cache never serves dead content.
+func (c *DeltaCache) Get(a Addr) (int64, bool) {
+	el, ok := c.entries[a]
+	if ok && c.refcount(a) == 0 {
+		c.remove(el)
+		c.stats.Expired++
+		ok = false
+	}
+	if !ok {
+		c.stats.Misses++
+		return 0, false
+	}
+	e := el.Value.(*cacheEntry)
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	c.stats.HitBytes += e.bytes
+	return e.bytes, true
+}
+
+// MissBytes charges n bytes to the miss ledger — the caller's record
+// of what a miss cost to re-stream.
+func (c *DeltaCache) MissBytes(n int64) { c.stats.MissBytes += n }
+
+// Contains reports presence without touching the ledgers or recency.
+func (c *DeltaCache) Contains(a Addr) bool {
+	_, ok := c.entries[a]
+	return ok
+}
+
+// Put admits (or refreshes) a segment, evicting least-recently-used
+// unpinned entries until it fits. Entries shared by more than one
+// live lineage are pinned and skipped; if pinned entries alone leave
+// no room, the admission is rejected (counted), never forced.
+func (c *DeltaCache) Put(a Addr, n int64) {
+	if n <= 0 {
+		return
+	}
+	if el, ok := c.entries[a]; ok {
+		e := el.Value.(*cacheEntry)
+		c.used += n - e.bytes
+		e.bytes = n
+		c.lru.MoveToFront(el)
+		c.evictFor(0)
+		return
+	}
+	if !c.evictFor(n) {
+		c.stats.Rejected++
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{addr: a, bytes: n})
+	c.entries[a] = el
+	c.used += n
+}
+
+// evictFor frees room for n more bytes, oldest-first, skipping pinned
+// (shared) entries. It reports whether the bytes now fit. Feasibility
+// is checked first: if evicting every unpinned entry still could not
+// make room, the admission is hopeless and nothing is evicted — a
+// rejected Put must not destroy the resident working set.
+func (c *DeltaCache) evictFor(n int64) bool {
+	if c.used+n <= c.Capacity {
+		return true
+	}
+	var evictable int64
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*cacheEntry); c.refcount(e.addr) <= 1 {
+			evictable += e.bytes
+		}
+	}
+	if c.used-evictable+n > c.Capacity {
+		return false
+	}
+	for el := c.lru.Back(); el != nil && c.used+n > c.Capacity; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if c.refcount(e.addr) > 1 {
+			// Pinned: a shared chain epoch every sibling branch's
+			// restore replays — never evicted while the sharing lasts.
+			el = prev
+			continue
+		}
+		c.remove(el)
+		c.stats.Evictions++
+		c.stats.EvictedBytes += e.bytes
+		el = prev
+	}
+	return c.used+n <= c.Capacity
+}
+
+// remove drops an entry from the table and the LRU list.
+func (c *DeltaCache) remove(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.addr)
+	c.used -= e.bytes
+}
+
+// Drop forgets a segment without counting an eviction (GC path).
+func (c *DeltaCache) Drop(a Addr) {
+	if el, ok := c.entries[a]; ok {
+		c.remove(el)
+	}
+}
+
+// Used reports the cached bytes.
+func (c *DeltaCache) Used() int64 { return c.used }
+
+// Len reports the resident entry count.
+func (c *DeltaCache) Len() int { return len(c.entries) }
+
+// Stats returns a snapshot of the accounting ledger.
+func (c *DeltaCache) Stats() CacheStats { return c.stats }
+
+// HitRatio reports hits / lookups (0 when never consulted).
+func (c *DeltaCache) HitRatio() float64 {
+	total := c.stats.Hits + c.stats.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.stats.Hits) / float64(total)
+}

@@ -59,6 +59,16 @@ type ChainStore struct {
 	// DedupBytes accumulates disk bytes never stored because a commit's
 	// content already existed (content-address hit).
 	DedupBytes int64
+
+	// OnStore, if set, observes every entry entering the store (first
+	// reference to a content address). A storage Backend mirrors the
+	// chain contents off this hook, so prune folds — which re-key the
+	// base under a new address — reach the physical tier too.
+	OnStore func(a Addr, bytes int64)
+	// OnDrop observes entries leaving the store: the last reference
+	// was released (GC) or the entry was re-keyed by a copy-on-write
+	// fold. The mirroring backend forgets the segment.
+	OnDrop func(a Addr, bytes int64)
 }
 
 // NewChainStore creates an empty store.
@@ -89,6 +99,9 @@ func (cs *ChainStore) retain(e *Epoch) (*Epoch, Addr) {
 		return ent.e, a
 	}
 	cs.epochs[a] = &entry{e: e, refs: 1}
+	if cs.OnStore != nil {
+		cs.OnStore(a, e.DiskBytes())
+	}
 	return e, a
 }
 
@@ -112,6 +125,9 @@ func (cs *ChainStore) release(a Addr, gc bool) {
 		if gc {
 			cs.GCBytes += ent.e.DiskBytes()
 		}
+		if cs.OnDrop != nil {
+			cs.OnDrop(a, ent.e.DiskBytes())
+		}
 	}
 }
 
@@ -124,6 +140,9 @@ func (cs *ChainStore) exclusive(a Addr) *Epoch {
 	ent := cs.epochs[a]
 	if ent.refs == 1 {
 		delete(cs.epochs, a)
+		if cs.OnDrop != nil {
+			cs.OnDrop(a, ent.e.DiskBytes())
+		}
 		return ent.e
 	}
 	ent.refs--

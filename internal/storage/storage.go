@@ -69,8 +69,11 @@ const (
 // Delta is one COW branch: a hash index from virtual block number to a
 // slot in an append-only on-disk log.
 type Delta struct {
-	Index   map[int64]int64 // VBA -> slot number
-	Order   []int64         // VBAs in physical log order
+	// Index maps a virtual block address to its occupied log slot.
+	Index map[int64]int64
+	// Order lists the VBAs in physical log-append order.
+	Order []int64
+	// BaseLBA is the byte LBA where the delta's log region starts.
 	BaseLBA int64
 }
 
@@ -121,12 +124,17 @@ func (d *Delta) append(vba int64) int64 {
 // Volume is a guest virtual disk assembled from the three levels.
 // It implements the timing-accurate block backend for a guest kernel.
 type Volume struct {
+	// Disk is the timing-accurate physical disk all levels live on.
 	Disk *node.Disk
+	// Mode selects the write path (redo log, stock LVM, or raw).
 	Mode Mode
 
+	// GoldenBytes is the immutable golden image's size.
 	GoldenBytes int64
-	Agg         *Delta
-	Cur         *Delta
+	// Agg is the aggregated delta (all changes from previous swap-ins);
+	// Cur the current delta (changes since the last swap-in).
+	Agg *Delta
+	Cur *Delta
 
 	// MetadataEvery controls how often a redo-log append must also
 	// update an on-disk metadata region (a long seek). On a fresh disk
@@ -148,7 +156,8 @@ type Volume struct {
 	content  map[int64]int64
 	writeSeq int64
 
-	// Statistics.
+	// ReadsCur, ReadsAgg and ReadsGolden count which level satisfied
+	// each block lookup; CowCopies counts stock-LVM copy-asides.
 	ReadsCur, ReadsAgg, ReadsGolden int64
 	CowCopies                       int64
 }

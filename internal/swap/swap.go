@@ -141,6 +141,13 @@ type InReport struct {
 	Incremental bool
 	// ChainDepth is the number of chain epochs replayed over the base.
 	ChainDepth int
+	// CachedBytes is the replay state served off node-local media — the
+	// delta cache plus the snapshot-disk tier — without re-streaming
+	// over the control LAN (tiered storage only).
+	CachedBytes int64
+	// RemoteBytes is the replay state that had to stream from the
+	// shared pool (tiered storage only).
+	RemoteBytes int64
 }
 
 // Duration reports time until the experiment was running again.
@@ -223,8 +230,27 @@ type Manager struct {
 	// Stats, when set, accumulates delta/full byte counts per transfer
 	// class ("out.mem_bytes", "out.delta_bytes", "in.mem_bytes",
 	// "in.disk_bytes", "merged_bytes", "out.epoch_bytes") for reports
-	// and assertions.
+	// and assertions. Tiered storage adds chain-placement classes:
+	// "storage.remote_bytes" (chain state crossing the control LAN to
+	// or from the shared pool), "storage.local_bytes" (chain state
+	// served or stored on node-local media), "storage.cache_hit_bytes"
+	// (restores served off the delta cache), and "storage.spill_bytes"
+	// (snapshot-disk overflow pushed to the pool).
 	Stats *metrics.Counters
+
+	// Backend, when set, selects the physical tier committed
+	// checkpoint-chain segments live on (storage.DiskKind: the
+	// node-local snapshot disk; storage.RemoteKind: the shared pool
+	// with per-request round trips and batched puts). Nil — or a
+	// storage.MemKind backend — keeps the legacy pipeline byte for
+	// byte. Set it before the first swap cycle.
+	Backend storage.Backend
+
+	// Cache is the node-local delta cache fronting remotely-homed
+	// chain segments: restores consult it first and only the misses
+	// stream from the pool; commits and prefetches fill it. Nil
+	// disables caching. Only meaningful with a tiered Backend.
+	Cache *storage.DeltaCache
 
 	// SaveDeadline bounds the save phase of this experiment's swap-out
 	// checkpoints and committed epochs: a member that cannot barrier in
@@ -275,14 +301,28 @@ func NewManager(s *sim.Simulator, server *xfer.Server, coord *core.Coordinator, 
 }
 
 // Lineage returns (creating on first use) the named node's checkpoint
-// chain.
+// chain. A stand-alone manager (no cluster chain store) mirrors its
+// private store straight onto the tier, so prune folds — which re-key
+// the base — and GC reach the backend and the cache without cluster
+// wiring.
 func (m *Manager) Lineage(name string) *storage.Lineage {
 	l, ok := m.lineages[name]
 	if !ok {
 		if m.Chains != nil {
 			l = m.Chains.NewLineage(m.MaxChainDepth)
 		} else {
-			l = storage.NewLineage(m.MaxChainDepth)
+			cs := storage.NewChainStore()
+			if m.Backend != nil {
+				be, cache := m.Backend, m.Cache
+				cs.OnStore = func(a storage.Addr, n int64) { be.Put(a, n) }
+				cs.OnDrop = func(a storage.Addr, n int64) {
+					be.Delete(a)
+					if cache != nil {
+						cache.Drop(a)
+					}
+				}
+			}
+			l = cs.NewLineage(m.MaxChainDepth)
 		}
 		m.lineages[name] = l
 	}
@@ -319,6 +359,133 @@ func (m *Manager) stat(name string, n int64) {
 	if m.Stats != nil {
 		m.Stats.Add(name, n)
 	}
+}
+
+// tiered reports whether chain state goes through the pluggable
+// storage tiers. Nil backend and the mem tier keep the legacy
+// single-stream pipeline unchanged.
+func (m *Manager) tiered() bool {
+	return m.Backend != nil && m.Backend.Kind() != storage.MemKind
+}
+
+// localTier reports whether committed chain state lands on the
+// node-local snapshot disk (no control-LAN crossing).
+func (m *Manager) localTier() bool {
+	return m.Backend != nil && m.Backend.Kind() == storage.DiskKind
+}
+
+// chainPlan partitions one lineage's replay chain across the storage
+// tiers for a restore: segments already resident on the target node
+// are skipped, cache hits and snapshot-disk segments serve locally,
+// and only the remainder streams from the shared pool.
+type chainPlan struct {
+	// total is the replay state to stage; cached the part served off
+	// the delta cache, local the part read off the snapshot disk,
+	// remote the part streamed from the pool.
+	total, cached, local, remote int64
+	// cost is the node-local medium time (cache reads, disk reads,
+	// pool round trips) the staging pays on top of the streaming.
+	cost   sim.Time
+	misses []storage.Segment
+
+	fetched bool
+	waiters []func()
+}
+
+// planChain builds the restore plan, charging the cache's hit/miss
+// ledger as it goes. resident, when non-nil, is the clone-aware
+// resident-segment filter.
+func (m *Manager) planChain(lin *storage.Lineage, resident map[storage.Addr]bool) *chainPlan {
+	p := &chainPlan{}
+	for _, seg := range lin.Segments() {
+		if seg.Bytes <= 0 {
+			continue
+		}
+		if resident != nil && resident[seg.Addr] {
+			continue
+		}
+		p.total += seg.Bytes
+		if m.Cache != nil {
+			if _, ok := m.Cache.Get(seg.Addr); ok {
+				p.cached += seg.Bytes
+				p.cost += m.Cache.ReadCost(seg.Bytes)
+				continue
+			}
+			m.Cache.MissBytes(seg.Bytes)
+		}
+		if m.localTier() && m.Backend.Has(seg.Addr) {
+			p.local += seg.Bytes
+			p.cost += m.Backend.ReadCost(seg.Bytes)
+			continue
+		}
+		// Remotely homed: the pool streams it over the shared pipe
+		// (spilled snapshot-disk overflow included), plus the pool's
+		// per-request round trip on the remote tier.
+		p.remote += seg.Bytes
+		if m.Backend.Kind() == storage.RemoteKind {
+			p.cost += m.Backend.ReadCost(seg.Bytes)
+		}
+		p.misses = append(p.misses, seg)
+	}
+	return p
+}
+
+// prefetch starts streaming the plan's remote misses from the pool as
+// one batched get — overlapped with golden fetch, node setup and the
+// memory download — and fills the delta cache as they land. Staging
+// legs wait on it.
+func (p *chainPlan) prefetch(m *Manager) {
+	sizes := make([]int64, len(p.misses))
+	for i, seg := range p.misses {
+		sizes[i] = seg.Bytes
+	}
+	m.Server.StreamDownloadBatch(m.Tag, sizes, func(int64) {
+		if m.Cache != nil {
+			for _, seg := range p.misses {
+				m.Cache.Put(seg.Addr, seg.Bytes)
+			}
+		}
+		p.fetched = true
+		ws := p.waiters
+		p.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	})
+}
+
+// wait runs fn once the prefetch has drained (immediately if done).
+func (p *chainPlan) wait(fn func()) {
+	if p.fetched {
+		fn()
+		return
+	}
+	p.waiters = append(p.waiters, fn)
+}
+
+// placeEpoch records a lineage's newest committed epoch on the
+// physical tier and fills the delta cache for remotely-homed content.
+// It returns the bytes that must spill to the shared pool because the
+// snapshot disk is over its capacity budget.
+func (m *Manager) placeEpoch(lin *storage.Lineage) int64 {
+	segs := lin.Segments()
+	seg := segs[len(segs)-1]
+	if seg.Bytes <= 0 {
+		return 0
+	}
+	// A cluster-wired ChainStore already mirrored the commit onto the
+	// backend through its OnStore hook; the direct Put covers managers
+	// wired stand-alone.
+	onTier := m.Backend.Has(seg.Addr) || m.Backend.Put(seg.Addr, seg.Bytes)
+	if m.Cache != nil && (!onTier || m.Backend.Kind() == storage.RemoteKind) {
+		// Remotely homed (pool tier, or snapshot-disk overflow): the
+		// freshest epoch is the hottest restore content — cache it.
+		m.Cache.Put(seg.Addr, seg.Bytes)
+	}
+	if onTier {
+		return 0
+	}
+	return seg.Bytes
 }
 
 // SwappedOut reports whether the experiment is currently swapped out.
@@ -473,6 +640,16 @@ func (m *Manager) streamOut(o Options, disk *node.Disk, bytes int64, done func(m
 		}})
 	}
 	read(0)
+	if m.localTier() {
+		// The delta lands on the node-local snapshot disk: seek plus
+		// bandwidth on the disk's own medium, no control-LAN crossing.
+		m.stat("storage.local_bytes", bytes)
+		m.S.After(m.Backend.PutCost(bytes), "swap.local-stream", fin)
+		return
+	}
+	if m.tiered() {
+		m.stat("storage.remote_bytes", bytes)
+	}
 	m.Server.StreamUpload(m.Tag, bytes, fin)
 }
 
@@ -519,7 +696,7 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 			// is offline server-side post-processing (§5.3) and does not
 			// extend the user-visible swap-out.
 			rep.Finished = m.S.Now()
-			var serverWork int64
+			var serverWork, spillBytes int64
 			if o.Incremental {
 				// Commit the dirty epoch to the lineage before the local
 				// merge folds it into the aggregated delta; server-side
@@ -534,6 +711,14 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 				lin.Drop(n.IsFree)
 				rep.ChainDepth = lin.Depth()
 				serverWork = lin.MergedBytes - pruned
+				if m.tiered() {
+					// Record the epoch on its tier; snapshot-disk overflow
+					// spills to the pool during the offline window below.
+					if spillBytes = m.placeEpoch(lin); spillBytes > 0 {
+						m.stat("storage.spill_bytes", spillBytes)
+						m.stat("storage.remote_bytes", spillBytes)
+					}
+				}
 				if o.CloneAware {
 					// The node's disk holds exactly the state the chain now
 					// replays to; record it so the next restore here (or a
@@ -550,7 +735,18 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 			}
 			m.stat("merged_bytes", serverWork)
 			mergeDur := sim.Time(float64(serverWork) / float64(m.ServerMergeRate) * float64(sim.Second))
-			m.S.After(mergeDur, "swap.merge", func() {
+			// The offline window covers the server-side merge and, when
+			// the snapshot disk overflowed, pushing the spilled epoch to
+			// the shared pool; both must drain before the park counts.
+			legs := 1
+			if spillBytes > 0 {
+				legs = 2
+			}
+			nodeDone := func() {
+				legs--
+				if legs > 0 {
+					return
+				}
 				remaining--
 				if remaining == 0 {
 					if m.anyCrashed() {
@@ -571,12 +767,25 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 					}
 					done(reports, nil)
 				}
-			})
+			}
+			m.S.After(mergeDur, "swap.merge", nodeDone)
+			if spillBytes > 0 {
+				m.Server.StreamUpload(m.Tag, spillBytes, nodeDone)
+			}
 		}
-		if o.Incremental {
-			m.Server.StreamUpload(m.Tag, rep.ResidualBytes, afterFlush)
-		} else {
+		switch {
+		case !o.Incremental:
 			m.Server.UploadTagged(m.Tag, rep.ResidualBytes, afterFlush)
+		case m.localTier():
+			// The residual delta flushes to the node-local snapshot
+			// disk, off the control LAN.
+			m.stat("storage.local_bytes", rep.ResidualBytes)
+			m.S.After(m.Backend.PutCost(rep.ResidualBytes), "swap.local-flush", afterFlush)
+		default:
+			if m.tiered() {
+				m.stat("storage.remote_bytes", rep.ResidualBytes)
+			}
+			m.Server.StreamUpload(m.Tag, rep.ResidualBytes, afterFlush)
 		}
 	}
 }
@@ -622,6 +831,7 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport, error)) error {
 		// clone-aware restore narrows the replay further, to the chain
 		// segments not already resident on the node.
 		diskBytes := n.AggBytesOnServer
+		var plan *chainPlan
 		if o.Incremental {
 			lin := m.Lineage(n.Name)
 			diskBytes = lin.ReplayBytes()
@@ -629,6 +839,24 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport, error)) error {
 				diskBytes = lin.MissingBytes(n.Resident)
 			}
 			rep.ChainDepth = lin.Depth()
+			if m.tiered() {
+				// Tiered staging: partition the chain across the cache,
+				// the snapshot disk and the pool, and start prefetching
+				// the pool misses now — overlapped with the golden
+				// fetch, node setup and the memory download below.
+				var res map[storage.Addr]bool
+				if o.CloneAware {
+					res = n.Resident
+				}
+				plan = m.planChain(lin, res)
+				diskBytes = plan.total
+				rep.CachedBytes = plan.cached + plan.local
+				rep.RemoteBytes = plan.remote
+				m.stat("storage.remote_bytes", plan.remote)
+				m.stat("storage.cache_hit_bytes", plan.cached)
+				m.stat("storage.local_bytes", plan.local)
+				plan.prefetch(m)
+			}
 		}
 		stage2 := func() {
 			// Node setup + memory image download, then disk state.
@@ -643,6 +871,19 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport, error)) error {
 						// bound for the node's disk; record them so the next
 						// cycle here moves only fresh divergence.
 						n.MarkResident(m.Lineage(n.Name))
+					}
+					if plan != nil {
+						// Tiered staging: the pool misses were prefetched in
+						// parallel with setup; once they land, the rest is
+						// node-local media time (cache and snapshot-disk
+						// reads). No lazy mirror — prefetch overlap is what
+						// keeps the restore off the critical path.
+						plan.wait(func() {
+							m.S.After(plan.cost, "swap.stage-local", func() {
+								finishNode(i)
+							})
+						})
+						return
 					}
 					if !o.Lazy {
 						// Eager: the whole disk state lands before the
@@ -717,6 +958,10 @@ func (m *Manager) CommitEpoch(done func(moved int64)) {
 		lin      *storage.Lineage
 		blocks   map[int64]int64
 		memPages int
+		// remote marks an epoch whose bytes already crossed to the pool
+		// in the transfer stage (remote tier, or a snapshot disk known
+		// full upfront) — its placement must not bill a second spill.
+		remote bool
 	}
 	var pend []pendingCommit
 	remaining := len(m.Nodes)
@@ -733,18 +978,36 @@ func (m *Manager) CommitEpoch(done func(moved int64)) {
 			// previous one.
 			return
 		}
+		var spill int64
 		for _, p := range pend {
 			p.lin.Commit(p.blocks, p.memPages)
 			p.lin.Drop(p.n.IsFree)
 			p.n.MarkResident(p.lin)
+			if m.tiered() {
+				sp := m.placeEpoch(p.lin)
+				if !p.remote {
+					spill += sp
+				}
+			}
 		}
-		m.lastCommitAt = m.S.Now()
-		if m.OnCommit != nil {
-			m.OnCommit()
+		complete := func() {
+			m.lastCommitAt = m.S.Now()
+			if m.OnCommit != nil {
+				m.OnCommit()
+			}
+			if done != nil {
+				done(total)
+			}
 		}
-		if done != nil {
-			done(total)
+		if spill > 0 {
+			// Snapshot-disk overflow: the epoch only counts as a restore
+			// point once its spilled bytes are safe on the pool.
+			m.stat("storage.spill_bytes", spill)
+			m.stat("storage.remote_bytes", spill)
+			m.Server.StreamUpload(m.Tag, spill, complete)
+			return
 		}
+		complete()
 	}
 	for _, n := range m.Nodes {
 		lin := m.Lineage(n.Name)
@@ -758,15 +1021,55 @@ func (m *Manager) CommitEpoch(done func(moved int64)) {
 		}
 		n.HV.K.Dirty.CutEpoch()
 		n.Vol.Merge(true, n.IsFree)
-		pend = append(pend, pendingCommit{n: n, lin: lin, blocks: blocks, memPages: memPages})
-		bytes := int64(len(blocks))*storage.BlockSize + int64(memPages)*int64(n.HV.P.PageSize)
+		pc := pendingCommit{n: n, lin: lin, blocks: blocks, memPages: memPages}
+		diskB := int64(len(blocks)) * storage.BlockSize
+		memB := int64(memPages) * int64(n.HV.P.PageSize)
+		bytes := diskB + memB
 		total += bytes
 		m.stat("out.epoch_bytes", bytes)
-		if bytes > 0 {
-			m.Server.StreamUpload(m.Tag, bytes, fin)
-		} else {
+		switch {
+		case bytes <= 0:
 			m.S.After(0, "swap.commit0", fin)
+		case !m.tiered():
+			m.Server.StreamUpload(m.Tag, bytes, fin)
+		case m.localTier() && m.Backend.Fits(diskB):
+			// The disk epoch lands on the node-local snapshot disk; only
+			// the memory delta crosses to the pool (memory images are
+			// always server-homed, so a restore can rebuild the resident
+			// image without the dead node's media).
+			m.stat("storage.local_bytes", diskB)
+			legs := 2
+			leg := func() {
+				legs--
+				if legs == 0 {
+					fin()
+				}
+			}
+			m.S.After(m.Backend.PutCost(diskB), "swap.epoch-local", leg)
+			if memB > 0 {
+				m.Server.StreamUpload(m.Tag, memB, leg)
+			} else {
+				m.S.After(0, "swap.commit0", leg)
+			}
+		case m.localTier():
+			// The snapshot disk is known full upfront: the epoch is
+			// pool-bound from the start — one batched upload charged as
+			// spill, no phantom local write billed.
+			pc.remote = true
+			m.stat("storage.spill_bytes", diskB)
+			m.stat("storage.remote_bytes", diskB)
+			m.Server.StreamUploadBatch(m.Tag, []int64{diskB, memB}, func(int64) { fin() })
+		default:
+			// Remote tier: the epoch's segments coalesce into one batched
+			// put on the shared pipe — one stream and one pool round trip
+			// per commit, not one per segment.
+			pc.remote = true
+			m.stat("storage.remote_bytes", diskB)
+			m.Server.StreamUploadBatch(m.Tag, []int64{diskB, memB}, func(int64) {
+				m.S.After(m.Backend.PutCost(diskB), "swap.epoch-rtt", fin)
+			})
 		}
+		pend = append(pend, pc)
 	}
 }
 
@@ -861,14 +1164,45 @@ func (m *Manager) Recover(o Options, done func([]*InReport, error)) error {
 			// swap-out image (memory image + aggregated delta).
 			diskBytes = n.AggBytesOnServer
 		}
+		var plan *chainPlan
+		if lin.Epochs() > 0 && m.tiered() {
+			// Tiered recovery: chain segments on node-local media (the
+			// snapshot disk survives a fail-stop; the cache was filled by
+			// the epoch pipeline's commits) restore without the pool, and
+			// the misses prefetch in parallel with re-provisioning.
+			plan = m.planChain(lin, nil)
+			diskBytes = plan.total
+			m.stat("storage.remote_bytes", plan.remote)
+			m.stat("storage.cache_hit_bytes", plan.cached)
+			m.stat("storage.local_bytes", plan.local)
+			plan.prefetch(m)
+		}
 		memBytes := n.HV.K.MemoryImageBytes()
 		rep := &InReport{Started: start, Incremental: lin.Epochs() > 0, ChainDepth: lin.Depth()}
+		if plan != nil {
+			rep.CachedBytes = plan.cached + plan.local
+			rep.RemoteBytes = plan.remote
+		}
 		reports[i] = rep
 		stage := func() {
 			m.S.After(NodeSetupTime, "swap.recover-setup", func() {
 				m.Server.StreamDownload(m.Tag, memBytes, func() {
 					rep.MemoryBytes = memBytes
 					m.stat("in.mem_bytes", memBytes)
+					finishDisk := func() {
+						rep.DeltaBytes = diskBytes
+						m.stat("in.disk_bytes", diskBytes)
+						remaining--
+						if remaining == 0 {
+							finishAll()
+						}
+					}
+					if plan != nil {
+						plan.wait(func() {
+							m.S.After(plan.cost, "swap.recover-local", finishDisk)
+						})
+						return
+					}
 					if diskBytes <= 0 {
 						remaining--
 						if remaining == 0 {
@@ -876,14 +1210,7 @@ func (m *Manager) Recover(o Options, done func([]*InReport, error)) error {
 						}
 						return
 					}
-					m.Server.StreamDownload(m.Tag, diskBytes, func() {
-						rep.DeltaBytes = diskBytes
-						m.stat("in.disk_bytes", diskBytes)
-						remaining--
-						if remaining == 0 {
-							finishAll()
-						}
-					})
+					m.Server.StreamDownload(m.Tag, diskBytes, finishDisk)
 				})
 			})
 		}

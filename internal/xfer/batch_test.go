@@ -1,0 +1,75 @@
+package xfer
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+// TestStreamUploadBatchAccounting: a batch moves the summed payload as
+// one stream, skips empty segments, and fills the per-batch ledgers.
+func TestStreamUploadBatchAccounting(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 10<<20) // 10 MB/s
+
+	var got int64
+	sv.StreamUploadBatch("e1", []int64{4 << 20, 0, 6 << 20}, func(total int64) { got = total })
+	if sv.ActiveStreams() != 1 {
+		t.Fatalf("batch must occupy one stream, got %d", sv.ActiveStreams())
+	}
+	s.Run()
+	if got != 10<<20 {
+		t.Fatalf("batch moved %d bytes, want %d", got, int64(10<<20))
+	}
+	if sv.Batches != 1 || sv.BatchSegments != 2 || sv.BatchBytes != 10<<20 || sv.BatchSavedStreams != 1 {
+		t.Fatalf("batch ledger: %d/%d/%d/%d", sv.Batches, sv.BatchSegments, sv.BatchBytes, sv.BatchSavedStreams)
+	}
+	if sv.Received != 10<<20 || sv.ByTag["e1"] != 10<<20 {
+		t.Fatalf("byte ledgers: received %d, tag %d", sv.Received, sv.ByTag["e1"])
+	}
+	// 10 MB at 10 MB/s through an otherwise idle pipe: one second.
+	if want := sim.Second; s.Now() != want {
+		t.Fatalf("batch drained at %v, want %v", s.Now(), want)
+	}
+}
+
+// TestStreamBatchEmptyCompletes: an all-empty batch fires its callback
+// without touching the pipe or the ledgers.
+func TestStreamBatchEmptyCompletes(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 0)
+	fired := false
+	sv.StreamDownloadBatch("e1", nil, func(total int64) {
+		if total != 0 {
+			t.Fatalf("empty batch reported %d bytes", total)
+		}
+		fired = true
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("empty batch never completed")
+	}
+	if sv.Batches != 0 || sv.Served != 0 {
+		t.Fatal("empty batch must not touch the ledgers")
+	}
+}
+
+// TestBatchSharesFairly: a batched upload and a plain stream split the
+// pipe evenly — coalescing N segments into a batch claims one share,
+// not N.
+func TestBatchSharesFairly(t *testing.T) {
+	s := sim.New(1)
+	sv := NewServer(s, 10<<20)
+
+	var batchAt, plainAt sim.Time
+	sv.StreamUploadBatch("a", []int64{5 << 20, 5 << 20}, func(int64) { batchAt = s.Now() })
+	sv.StreamUpload("b", 10<<20, func() { plainAt = s.Now() })
+	s.Run()
+	// Equal payloads sharing the pipe fairly finish together at 2 s.
+	if batchAt != plainAt {
+		t.Fatalf("batch finished at %v, plain stream at %v — unequal shares", batchAt, plainAt)
+	}
+	if batchAt != 2*sim.Second {
+		t.Fatalf("finish at %v, want 2s", batchAt)
+	}
+}

@@ -21,11 +21,13 @@ import (
 // (processor-sharing), modeling the pipelined per-node uploads of the
 // incremental swap path instead of serialized full copies.
 type Server struct {
-	s    *sim.Simulator
-	Rate int64 // bytes/second
+	s *sim.Simulator
+	// Rate is the shared pipe's bandwidth in bytes/second.
+	Rate int64
 
 	busyUntil sim.Time
-	// Bytes moved in each direction, for reports.
+	// Received and Served count bytes moved node->server and
+	// server->node respectively, for reports.
 	Received uint64
 	Served   uint64
 
@@ -49,6 +51,17 @@ type Server struct {
 	MaxBacklog sim.Time
 	// ByTag attributes bytes moved (both directions) per experiment.
 	ByTag map[string]int64
+
+	// Per-batch accounting for the coalesced put path (StreamUploadBatch
+	// / StreamDownloadBatch): Batches counts batches, BatchSegments the
+	// segments they carried, BatchBytes their payload, and
+	// BatchSavedStreams the stream-table admissions coalescing avoided
+	// (segments-1 per batch) — each saved admission is one less
+	// concurrent claim on the fair-share pipe.
+	Batches           int64
+	BatchSegments     int64
+	BatchBytes        int64
+	BatchSavedStreams int64
 }
 
 // NewServer creates a file server; rate defaults to 100 Mbps worth of
@@ -154,6 +167,47 @@ func (sv *Server) Multicast(tag string, n int64, receivers int, done func()) {
 		sv.MulticastSavedBytes += int64(receivers-1) * n
 	}
 	sv.stream(tag, n, false, done)
+}
+
+// StreamUploadBatch coalesces the segment puts of one epoch commit
+// into a single fair-share upload: the batch's segments move as one
+// stream (one claim on the shared pipe instead of one per segment) and
+// the per-batch ledgers account them. Zero-sized segments are skipped;
+// an all-empty batch completes immediately. done, if non-nil, receives
+// the total payload once the batch has drained.
+func (sv *Server) StreamUploadBatch(tag string, sizes []int64, done func(total int64)) {
+	sv.batch(tag, sizes, true, done)
+}
+
+// StreamDownloadBatch is the get side of the batched path: one
+// coalesced fair-share download for a restore's missing segments.
+func (sv *Server) StreamDownloadBatch(tag string, sizes []int64, done func(total int64)) {
+	sv.batch(tag, sizes, false, done)
+}
+
+func (sv *Server) batch(tag string, sizes []int64, up bool, done func(int64)) {
+	var total int64
+	var segs int64
+	for _, n := range sizes {
+		if n > 0 {
+			total += n
+			segs++
+		}
+	}
+	fin := func() {
+		if done != nil {
+			done(total)
+		}
+	}
+	if total <= 0 {
+		sv.s.After(0, "xfer.batch0", fin)
+		return
+	}
+	sv.Batches++
+	sv.BatchSegments += segs
+	sv.BatchBytes += total
+	sv.BatchSavedStreams += segs - 1
+	sv.stream(tag, total, up, fin)
 }
 
 // ActiveStreams reports how many fair-share transfers are in flight.
@@ -356,6 +410,7 @@ type LazyMirror struct {
 	backend Backend
 	server  *Server
 
+	// ChunkBytes is the demand-paging granularity (default 1 MiB).
 	ChunkBytes int64
 	present    map[int64]bool // chunk index -> local
 	inflight   map[int64]bool // chunk index -> download under way

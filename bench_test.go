@@ -360,6 +360,38 @@ func BenchmarkStorageCache(b *testing.B) {
 	}
 }
 
+var (
+	scaleOnce sync.Once
+	scaleRes  *evalrun.ScaleResult
+)
+
+// BenchmarkScale regenerates the oversubscription trajectory at 1k and
+// 10k tenants and asserts the scheduler hot path scales sub-linearly:
+// growing the fleet 10x (over a pool that stops growing at 256 nodes)
+// must grow the mean wall-clock cost per scheduler decision by well
+// under 10x — the indexed queue/victim structures' acceptance bar.
+// Decision cost is wall-clock, so the bound is deliberately loose (5x
+// against a ~2x measured ratio); a linear-scan regression shows up as
+// ~40x and fails regardless of machine noise.
+func BenchmarkScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scaleOnce.Do(func() { scaleRes = evalrun.Scale(benchSeed, []int{1000, 10000}) })
+	}
+	r1k, r10k := scaleRes.Rows[0], scaleRes.Rows[1]
+	b.ReportMetric(r1k.MeanDecisionUS, "us/decision-1k")
+	b.ReportMetric(r10k.MeanDecisionUS, "us/decision-10k")
+	b.ReportMetric(r10k.TicksPerWallMS, "ticks/wallms-10k")
+	b.ReportMetric(r10k.EventsPerWallMS, "events/wallms-10k")
+	if r1k.Completed != r1k.Tenants || r10k.Completed != r10k.Tenants {
+		b.Fatalf("fleet did not drain: %d/%d at 1k, %d/%d at 10k",
+			r1k.Completed, r1k.Tenants, r10k.Completed, r10k.Tenants)
+	}
+	if r1k.MeanDecisionUS <= 0 || r10k.MeanDecisionUS >= 5*r1k.MeanDecisionUS {
+		b.Fatalf("decision cost grew super-linearly: %.2f us at 1k -> %.2f us at 10k",
+			r1k.MeanDecisionUS, r10k.MeanDecisionUS)
+	}
+}
+
 // BenchmarkCheckpointLatency measures the raw cost of one incremental
 // distributed checkpoint on an idle 2-node experiment — an ablation for
 // the downtime the firewall conceals.

@@ -35,6 +35,7 @@ var benchSchema = map[string]any{
 	"branch":    &evalrun.BranchResult{},
 	"recovery":  &evalrun.RecoveryResult{},
 	"storage":   &evalrun.StorageResult{},
+	"scale":     &evalrun.ScaleResult{},
 }
 
 // fieldPaths flattens a type into "path: kind" lines, honoring json

@@ -263,21 +263,32 @@ type epoch struct {
 	resumeTimes  []sim.Time
 }
 
-// NewCoordinator wires a coordinator to its members. Every member's
-// clock must already be NTP-disciplined via y.Start.
+// NewCoordinator wires a coordinator to its members with the anonymous
+// scope: its daemons hear every notification on the control LAN (the
+// single-experiment case). Every member's clock must already be
+// NTP-disciplined via y.Start.
 func NewCoordinator(s *sim.Simulator, bus *notify.Bus, y *ntpsim.Sync, members []*Member, delayNodes []*dummynet.DelayNode) *Coordinator {
-	c := &Coordinator{s: s, bus: bus, ntp: y, nodes: members, dns: delayNodes}
+	return NewScopedCoordinator(s, bus, y, "", members, delayNodes)
+}
+
+// NewScopedCoordinator wires a coordinator whose daemons subscribe
+// scoped to one experiment's notifications: on a multi-tenant testbed
+// the bus then fans a checkpoint publish out to this experiment's
+// members only, instead of every daemon on the shared LAN. The
+// handler-level scope filters stay as defense in depth.
+func NewScopedCoordinator(s *sim.Simulator, bus *notify.Bus, y *ntpsim.Sync, scope string, members []*Member, delayNodes []*dummynet.DelayNode) *Coordinator {
+	c := &Coordinator{s: s, bus: bus, ntp: y, nodes: members, dns: delayNodes, Scope: scope}
 	for _, m := range members {
 		m := m
 		c.cancels = append(c.cancels,
-			bus.SubscribeOwned(notify.TopicCheckpoint, m.Name, func(msg *notify.Msg) { c.onCheckpoint(m, msg) }),
-			bus.SubscribeOwned(notify.TopicResume, m.Name, func(msg *notify.Msg) { c.onResume(m, msg) }))
+			bus.SubscribeScoped(notify.TopicCheckpoint, scope, m.Name, func(msg *notify.Msg) { c.onCheckpoint(m, msg) }),
+			bus.SubscribeScoped(notify.TopicResume, scope, m.Name, func(msg *notify.Msg) { c.onResume(m, msg) }))
 	}
 	for _, d := range delayNodes {
 		d := d
 		c.cancels = append(c.cancels,
-			bus.SubscribeOwned(notify.TopicCheckpoint, d.Name, func(msg *notify.Msg) { c.onCheckpointDelay(d, msg) }),
-			bus.SubscribeOwned(notify.TopicResume, d.Name, func(msg *notify.Msg) { c.onResumeDelay(d, msg) }))
+			bus.SubscribeScoped(notify.TopicCheckpoint, scope, d.Name, func(msg *notify.Msg) { c.onCheckpointDelay(d, msg) }),
+			bus.SubscribeScoped(notify.TopicResume, scope, d.Name, func(msg *notify.Msg) { c.onResumeDelay(d, msg) }))
 	}
 	return c
 }

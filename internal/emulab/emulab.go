@@ -271,10 +271,11 @@ func (tb *Testbed) SwapIn(spec Spec) (*Experiment, error) {
 		}
 	}
 
-	e.Coord = core.NewCoordinator(tb.S, tb.Bus, tb.NTP, members, e.DelayNodes)
 	// Several experiments share one control LAN; scope the checkpoint
-	// protocol so coordinators never act on each other's notifications.
-	e.Coord.Scope = spec.Name
+	// protocol so coordinators never act on each other's notifications —
+	// and so the bus fans each publish out to this experiment's daemons
+	// only, not every daemon on the testbed.
+	e.Coord = core.NewScopedCoordinator(tb.S, tb.Bus, tb.NTP, spec.Name, members, e.DelayNodes)
 	if len(swapNodes) > 0 {
 		e.Swap = swap.NewManager(tb.S, tb.Server, e.Coord, swapNodes)
 		e.Swap.Tag = spec.Name

@@ -1,0 +1,61 @@
+package evalrun
+
+import (
+	"testing"
+)
+
+// TestScaleSmallFleetCompletes sanity-checks the fleet recipe at the
+// smallest table size: every tenant finishes within the horizon, the
+// scheduler made decisions, gangs were co-scheduled, and the scoped
+// bus carried traffic.
+func TestScaleSmallFleetCompletes(t *testing.T) {
+	row := runScaleFleet(1, 16)
+	if row.Completed != row.Tenants {
+		t.Fatalf("only %d/%d tenants completed by the horizon (sim %.0f s)",
+			row.Completed, row.Tenants, row.SimS)
+	}
+	if row.Decisions <= 0 || row.Admissions < row.Tenants {
+		t.Fatalf("scheduler made %d decisions, %d admissions for %d tenants",
+			row.Decisions, row.Admissions, row.Tenants)
+	}
+	if row.GangAdmissions < 1 {
+		t.Fatalf("no gang admissions in a fleet with a 4-gang: %+v", row)
+	}
+	if row.Published == 0 || row.Delivered != 2*row.Published {
+		t.Fatalf("scoped fan-out wrong: %d published, %d delivered (want 2 per publish)",
+			row.Published, row.Delivered)
+	}
+	if row.Digest == "" {
+		t.Fatal("empty digest")
+	}
+}
+
+// TestScaleMidFleetPreempts checks the 128-tenant size exercises the
+// involuntary path: hogs must be preempted on an oversubscribed pool.
+func TestScaleMidFleetPreempts(t *testing.T) {
+	row := runScaleFleet(1, 128)
+	if row.Preemptions == 0 {
+		t.Fatalf("no preemptions at %gx oversubscription: %+v", row.Oversub, row)
+	}
+	if row.Completed != row.Tenants {
+		t.Fatalf("only %d/%d tenants completed by the horizon", row.Completed, row.Tenants)
+	}
+}
+
+// TestScaleDeterministicAt1k is the at-scale determinism guard: the
+// same seed must drive the 1000-tenant fleet — queue churn, victim
+// heaps, scoped fan-out, timer reuse and all — to a byte-identical
+// simulation-domain digest twice. It runs under -race in CI.
+func TestScaleDeterministicAt1k(t *testing.T) {
+	a := runScaleFleet(7, 1000)
+	b := runScaleFleet(7, 1000)
+	if a.Digest != b.Digest {
+		t.Fatalf("same-seed 1k-tenant runs diverged: %s vs %s", a.Digest, b.Digest)
+	}
+	if a.Events != b.Events || a.Ticks != b.Ticks || a.Preemptions != b.Preemptions {
+		t.Fatalf("same-seed runs diverged before the digest: %+v vs %+v", a, b)
+	}
+	if a.Completed == 0 {
+		t.Fatal("1k fleet made no progress")
+	}
+}

@@ -199,6 +199,11 @@ type Kernel struct {
 	crashed          bool
 	lastDirtyAccrual sim.Time
 
+	// usleepLabel caches the Usleep event label: tick loops call Usleep
+	// every ~100 ms per tenant node, and at fleet scale rebuilding the
+	// concatenation per call is measurable allocation churn.
+	usleepLabel string
+
 	// Statistics.
 	SentPackets uint64
 	RcvdPackets uint64
@@ -224,8 +229,9 @@ func New(m *node.Machine, p node.Params, cfg Config) *Kernel {
 			MaxResident: int(p.GuestMemBytes / int64(p.PageSize)),
 			ActiveWSS:   12000, // ~48 MB of hot pages between checkpoints
 		},
-		Backend:  &RawDiskBackend{Disk: m.Disk},
-		handlers: make(map[string]func(simnet.Addr, *Message)),
+		Backend:     &RawDiskBackend{Disk: m.Disk},
+		handlers:    make(map[string]func(simnet.Addr, *Message)),
+		usleepLabel: m.Name + ".usleep",
 	}
 	m.ExpNIC.OnReceive(k.receive)
 	return k
@@ -270,7 +276,7 @@ func (k *Kernel) Usleep(d sim.Time, fn func()) *firewall.Handle {
 	jiffy := k.Jiffy()
 	wake := ((now+d)/jiffy + 1) * jiffy
 	delay := wake - now + k.M.Sim.Normal(k.P.WakeupJitterMean, k.P.WakeupJitterStddev)
-	return k.FW.After(firewall.TimerJob, delay, k.Name+".usleep", fn)
+	return k.FW.After(firewall.TimerJob, delay, k.usleepLabel, fn)
 }
 
 // AfterVirtual arms a plain inside-firewall timer without tick rounding

@@ -71,7 +71,16 @@ type Bus struct {
 	// daemon's identity ("" for anonymous subscriptions).
 	Inject func(m *Msg, owner string) (drop bool, extra sim.Time)
 
-	subs map[string][]*subscriber // topic -> subscribers
+	// subs indexes subscribers by (topic, scope). The shared control
+	// LAN carries every experiment's notifications, but a daemon only
+	// ever acts on its own experiment's — so fan-out resolves the
+	// scoped bucket directly instead of delivering to every daemon on
+	// the testbed and letting each one discard the message. At 10k
+	// tenants that turns each checkpoint publish from O(all daemons on
+	// the LAN) scheduled deliveries into O(one experiment's daemons).
+	// Lookup only; never iterated — delivery order within a publish is
+	// bucket registration order, scoped bucket before anonymous.
+	subs map[subKey]*bucket
 
 	Published uint64
 	Delivered uint64
@@ -80,6 +89,36 @@ type Bus struct {
 	Dropped uint64
 
 	perTopic map[string]*TopicStats
+}
+
+// subKey addresses one (topic, scope) subscriber bucket; scope "" is
+// the anonymous bucket receiving every publish on the topic.
+type subKey struct {
+	topic, scope string
+}
+
+// bucket holds one (topic, scope)'s subscribers in registration order.
+// Cancellation marks and counts; the bucket compacts (preserving
+// order) on publish and eagerly once removals pass half the list, so
+// torn-down tenants stop costing both fan-out work and memory.
+type bucket struct {
+	subs    []*subscriber
+	removed int
+}
+
+// compact drops cancelled subscribers, preserving registration order.
+func (bk *bucket) compact() {
+	live := bk.subs[:0]
+	for _, sub := range bk.subs {
+		if !sub.removed {
+			live = append(live, sub)
+		}
+	}
+	for i := len(live); i < len(bk.subs); i++ {
+		bk.subs[i] = nil
+	}
+	bk.subs = live
+	bk.removed = 0
 }
 
 type subscriber struct {
@@ -95,7 +134,7 @@ func NewBus(s *sim.Simulator) *Bus {
 		s:           s,
 		BaseLatency: 180 * sim.Microsecond,
 		JitterMax:   1200 * sim.Microsecond,
-		subs:        make(map[string][]*subscriber),
+		subs:        make(map[subKey]*bucket),
 		perTopic:    make(map[string]*TopicStats),
 	}
 }
@@ -131,28 +170,69 @@ func (b *Bus) topicStats(topic string) *TopicStats {
 // a re-admitted experiment with the same name would have two sets of
 // ears on the control LAN. Handlers run on the subscriber's node-local
 // daemon, outside any guest firewall — checkpoint control must keep
-// working while guests are frozen.
+// working while guests are frozen. An unscoped subscriber hears every
+// publish on the topic.
 func (b *Bus) Subscribe(topic string, h func(*Msg)) func() {
-	return b.SubscribeOwned(topic, "", h)
+	return b.SubscribeScoped(topic, "", "", h)
 }
 
 // SubscribeOwned is Subscribe with the subscribing daemon's identity
 // attached (a node name), so fault injection can target one daemon's
 // copy of a fan-out ("drop node X's checkpoint notification").
 func (b *Bus) SubscribeOwned(topic, owner string, h func(*Msg)) func() {
-	sub := &subscriber{h: h, owner: owner}
-	b.subs[topic] = append(b.subs[topic], sub)
-	return func() { sub.removed = true }
+	return b.SubscribeScoped(topic, "", owner, h)
 }
 
-// Publish fans the message out to all subscribers with independent
-// per-subscriber delivery delays, compacting out cancelled ones.
+// SubscribeScoped is SubscribeOwned narrowed to one experiment's
+// notifications: the handler only receives publishes whose Msg.Scope
+// matches (plus unscoped broadcasts). Handlers always filtered on
+// scope anyway — subscribing scoped moves that filter into the bus
+// index, so a publish never schedules deliveries to the other
+// tenants' daemons at all. Scope "" subscribes to everything.
+func (b *Bus) SubscribeScoped(topic, scope, owner string, h func(*Msg)) func() {
+	key := subKey{topic: topic, scope: scope}
+	bk := b.subs[key]
+	if bk == nil {
+		bk = &bucket{}
+		b.subs[key] = bk
+	}
+	sub := &subscriber{h: h, owner: owner}
+	bk.subs = append(bk.subs, sub)
+	return func() {
+		if sub.removed {
+			return
+		}
+		sub.removed = true
+		bk.removed++
+		if bk.removed*2 > len(bk.subs) {
+			bk.compact()
+		}
+	}
+}
+
+// Publish fans the message out with independent per-subscriber
+// delivery delays: to the message's scope bucket, then to the
+// anonymous (scope "") bucket. Daemons of other experiments are never
+// touched.
 func (b *Bus) Publish(m *Msg) {
 	b.Published++
 	ts := b.topicStats(m.Topic)
 	ts.Published++
-	live := b.subs[m.Topic][:0]
-	for _, sub := range b.subs[m.Topic] {
+	label := "bus." + m.Topic
+	if m.Scope != "" {
+		b.deliver(m, b.subs[subKey{topic: m.Topic, scope: m.Scope}], ts, label)
+	}
+	b.deliver(m, b.subs[subKey{topic: m.Topic}], ts, label)
+}
+
+// deliver schedules one bucket's deliveries, compacting out cancelled
+// subscribers along the way.
+func (b *Bus) deliver(m *Msg, bk *bucket, ts *TopicStats, label string) {
+	if bk == nil {
+		return
+	}
+	live := bk.subs[:0]
+	for _, sub := range bk.subs {
 		if sub.removed {
 			continue
 		}
@@ -168,13 +248,17 @@ func (b *Bus) Publish(m *Msg) {
 			}
 			d += extra
 		}
-		b.s.After(d, "bus."+m.Topic, func() {
+		b.s.After(d, label, func() {
 			b.Delivered++
 			ts.Delivered++
 			h(m)
 		})
 	}
-	b.subs[m.Topic] = live
+	for i := len(live); i < len(bk.subs); i++ {
+		bk.subs[i] = nil
+	}
+	bk.subs = live
+	bk.removed = 0
 }
 
 // Barrier counts arrivals for one checkpoint epoch and fires when all

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+// TestQueuedJobExitSettlesWait pins the shared dequeue path: failing
+// or finishing a job that is still waiting for admission must remove
+// it from the queue and settle its accumulated wait exactly once —
+// Fail and Finish used to carry separate copy-pasted splice loops
+// here, and a drifted copy would double-count (or lose) the wait.
+func TestQueuedJobExitSettlesWait(t *testing.T) {
+	for _, exit := range []struct {
+		name string
+		do   func(d *Scheduler, name string) error
+		want State
+	}{
+		{"fail", func(d *Scheduler, n string) error { return d.Fail(n) }, Crashed},
+		{"finish", func(d *Scheduler, n string) error { return d.Finish(n) }, Done},
+	} {
+		t.Run(exit.name, func(t *testing.T) {
+			s := sim.New(1)
+			d := New(s, 2, FIFO)
+			d.MinResidency = 100 * sim.Second // no preemptions in this test
+			hog := fakeJob(s, "hog", 2, 0, 0, sim.Second, sim.Second)
+			waiter := fakeJob(s, "waiter", 2, 0, 0, sim.Second, sim.Second)
+			behind := fakeJob(s, "behind", 2, 0, 0, sim.Second, sim.Second)
+			for _, j := range []*Job{hog, waiter, behind} {
+				if err := d.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if waiter.State() != Queued || behind.State() != Queued {
+				t.Fatalf("queue setup wrong: waiter=%v behind=%v", waiter.State(), behind.State())
+			}
+			s.RunFor(7 * sim.Second)
+			if err := exit.do(d, "waiter"); err != nil {
+				t.Fatal(err)
+			}
+			if waiter.State() != exit.want {
+				t.Fatalf("waiter = %v, want %v", waiter.State(), exit.want)
+			}
+			if got := waiter.QueueWait(); got != 7*sim.Second {
+				t.Fatalf("settled wait = %v, want 7s", got)
+			}
+			// The wait must be settled, not still accruing.
+			s.RunFor(5 * sim.Second)
+			if got := waiter.QueueWait(); got != 7*sim.Second {
+				t.Fatalf("wait kept accruing after %s: %v", exit.name, got)
+			}
+			// And the queue links must be gone: behind must still be
+			// admissible once capacity frees up.
+			if err := d.Finish("hog"); err != nil {
+				t.Fatal(err)
+			}
+			s.RunFor(sim.Second)
+			if behind.State() != Running {
+				t.Fatalf("job behind the removed one never admitted: %v", behind.State())
+			}
+		})
+	}
+}

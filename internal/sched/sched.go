@@ -14,12 +14,20 @@
 // The scheduler is mechanism-agnostic: admission, parking, and resume
 // are callbacks supplied by the hosting layer (the emucheck Cluster),
 // which charge realistic swap costs through the shared control LAN.
-// Everything here is deterministic: jobs live in slices, decisions
-// happen at well-defined simulation instants, and no map is iterated.
+//
+// The hot path is built to survive oversubscription at 1k–10k tenants
+// (see docs/scale.md): job lookup is a name index, the admission queue
+// is an intrusive list with O(1) removal, preemption candidates live
+// in a running-set index selected through a deterministic min-heap,
+// and one kick admits a whole head-run in a single queue walk.
+// Everything stays deterministic: decisions happen at well-defined
+// simulation instants, ordering flows from strict total orders over
+// (policy cost, admission time, submit index), and no map is iterated.
 package sched
 
 import (
 	"fmt"
+	"time"
 
 	"emucheck/internal/sim"
 )
@@ -129,6 +137,8 @@ type Hooks struct {
 	// checkpoint under incremental swapping. The scheduler uses it to
 	// break victim-selection ties toward the cheapest preemption and to
 	// account the transfer cost of its decisions (PreemptedBytes).
+	// It must be pure: evaluating it may happen a different number of
+	// times per decision depending on policy.
 	ParkCost func() int64
 }
 
@@ -160,6 +170,17 @@ type Job struct {
 	// autoResume re-queues the job after a park. Preemptions set it;
 	// voluntary parks clear it until Unpark.
 	autoResume bool
+
+	// idx is the job's stable submit index — the final victim-selection
+	// tie-break, standing in for the submit-order traversal the legacy
+	// linear scan got its stability from.
+	idx int
+	// qprev/qnext/inQueue are the intrusive admission-queue links.
+	qprev, qnext *Job
+	inQueue      bool
+	// runIdx is the job's slot in the preemption-candidate index, -1
+	// when not running (or not preemptible).
+	runIdx int
 
 	sched *Scheduler // set at Submit
 }
@@ -215,8 +236,11 @@ type Scheduler struct {
 	MinResidency sim.Time
 
 	free          int
-	jobs          []*Job // submit order
-	queue         []*Job // admission order
+	jobs          []*Job          // submit order
+	byName        map[string]*Job // latest submission per name; lookup only, never iterated
+	queue         jobQueue        // admission order (intrusive FIFO)
+	candidates    []*Job          // running preemptible jobs (runIdx-indexed)
+	doneJobs      int
 	parksInFlight int
 	nextGang      int
 
@@ -236,10 +260,20 @@ type Scheduler struct {
 	// incremental swapping makes proportional to dirtied state.
 	PreemptedBytes int64
 
+	// Instrument enables wall-clock accounting of decision work: with
+	// it set, DecisionNanos accumulates the real time spent inside kick
+	// (admission scanning, victim selection, preemption dispatch) and
+	// Kicks counts invocations. Purely observational — it never feeds
+	// back into scheduling, so determinism is unaffected.
+	Instrument    bool
+	DecisionNanos int64
+	Kicks         uint64
+	kickDepth     int
+
 	t0       sim.Time
 	utilAcc  float64 // node-nanoseconds of allocated hardware
 	utilLast sim.Time
-	wake     *sim.Event
+	wake     *sim.Timer
 }
 
 // New creates a scheduler over capacity pool nodes.
@@ -248,6 +282,7 @@ func New(s *sim.Simulator, capacity int, policy Policy) *Scheduler {
 		S: s, Capacity: capacity, Policy: policy,
 		MinResidency: 10 * sim.Second,
 		free:         capacity,
+		byName:       make(map[string]*Job),
 		t0:           s.Now(), utilLast: s.Now(),
 	}
 }
@@ -282,20 +317,13 @@ func (d *Scheduler) Release(n int) {
 
 // Job returns a job by name (nil if unknown). A finished job's name
 // may be reused; the most recent submission wins.
-func (d *Scheduler) Job(name string) *Job {
-	for i := len(d.jobs) - 1; i >= 0; i-- {
-		if d.jobs[i].Name == name {
-			return d.jobs[i]
-		}
-	}
-	return nil
-}
+func (d *Scheduler) Job(name string) *Job { return d.byName[name] }
 
 // Jobs returns every submitted job in submit order.
 func (d *Scheduler) Jobs() []*Job { return d.jobs }
 
 // QueueLen reports how many jobs are awaiting admission.
-func (d *Scheduler) QueueLen() int { return len(d.queue) }
+func (d *Scheduler) QueueLen() int { return d.queue.len() }
 
 // Utilization reports the time-averaged fraction of the pool allocated
 // since the scheduler was created.
@@ -352,8 +380,11 @@ func (d *Scheduler) enroll(j *Job) {
 	j.queuedSince = now
 	j.lastActive = now
 	j.autoResume = true
+	j.idx = len(d.jobs)
+	j.runIdx = -1
 	d.jobs = append(d.jobs, j)
-	d.queue = append(d.queue, j)
+	d.byName[j.Name] = j
+	d.queue.pushBack(j)
 }
 
 // Submit queues a job for admission. Jobs whose demand can never fit
@@ -405,9 +436,10 @@ func (d *Scheduler) SubmitGang(jobs []*Job) error {
 }
 
 // Touch records activity for a job — the signal IdleFirst preempts on
-// the absence of.
+// the absence of. O(1): at 10k tenants ticking, this is the
+// scheduler's most-called entry point.
 func (d *Scheduler) Touch(name string) {
-	if j := d.Job(name); j != nil {
+	if j := d.byName[name]; j != nil {
 		j.lastActive = d.S.Now()
 	}
 }
@@ -460,6 +492,7 @@ func (d *Scheduler) Fail(name string) error {
 	}
 	switch j.state {
 	case Running:
+		d.untrackRun(j)
 		d.setFree(d.free + j.Need)
 	case Parking:
 		// The in-flight park will never call done; settle its ledger.
@@ -468,13 +501,7 @@ func (d *Scheduler) Fail(name string) error {
 	case Parked:
 		// No hardware held; the crash only loses un-committed progress.
 	case Queued:
-		for i, q := range d.queue {
-			if q == j {
-				d.queue = append(d.queue[:i], d.queue[i+1:]...)
-				break
-			}
-		}
-		j.queuedWait += d.S.Now() - j.queuedSince
+		d.dequeue(j)
 	default:
 		return fmt.Errorf("sched: job %q is %v, cannot fail", name, j.state)
 	}
@@ -512,56 +539,74 @@ func (d *Scheduler) Finish(name string) error {
 	}
 	switch j.state {
 	case Running:
+		d.untrackRun(j)
 		d.setFree(d.free + j.Need)
 	case Parked, Crashed:
 		// No hardware held.
 	case Queued:
-		for i, q := range d.queue {
-			if q == j {
-				d.queue = append(d.queue[:i], d.queue[i+1:]...)
-				break
-			}
-		}
-		j.queuedWait += d.S.Now() - j.queuedSince
+		d.dequeue(j)
 	default:
 		return fmt.Errorf("sched: job %q is %v, cannot finish", name, j.state)
 	}
-	j.state = Done
+	d.retire(j)
 	d.kick()
 	return nil
 }
 
-// AllDone reports whether every submitted job has finished.
+// retire moves a job to Done, keeping the all-done counter current.
+func (d *Scheduler) retire(j *Job) {
+	j.state = Done
+	d.doneJobs++
+}
+
+// AllDone reports whether every submitted job has finished. O(1): the
+// evaluation drivers poll it every few simulated seconds.
 func (d *Scheduler) AllDone() bool {
-	for _, j := range d.jobs {
-		if j.state != Done {
-			return false
-		}
-	}
-	return len(d.jobs) > 0
+	return len(d.jobs) > 0 && d.doneJobs == len(d.jobs)
 }
 
 func (d *Scheduler) enqueue(j *Job) {
 	j.state = Queued
 	j.queuedSince = d.S.Now()
-	d.queue = append(d.queue, j)
+	d.queue.pushBack(j)
+}
+
+// dequeue removes a queued job from the admission queue and settles
+// the wait it accumulated — the one shared exit path for admission,
+// failure, and retirement of queued jobs (Fail and Finish used to
+// carry copy-pasted O(n) splice loops here).
+func (d *Scheduler) dequeue(j *Job) {
+	d.queue.remove(j)
+	j.queuedWait += d.S.Now() - j.queuedSince
 }
 
 // kick admits as much of the queue head as capacity allows, preempting
 // by policy when it does not fit. A gang at the head is sized and
-// admitted as a unit: all members or none.
+// admitted as a unit: all members or none. The whole admissible
+// head-run is discovered in one queue walk per round — admitting a
+// batch never re-scans what it already measured.
 func (d *Scheduler) kick() {
-	for len(d.queue) > 0 {
-		head := d.queue[0]
+	if d.Instrument {
+		d.Kicks++
+		d.kickDepth++
+		if d.kickDepth == 1 {
+			start := time.Now()
+			defer func() {
+				d.kickDepth--
+				d.DecisionNanos += int64(time.Since(start))
+			}()
+		} else {
+			defer func() { d.kickDepth-- }()
+		}
+	}
+	for d.queue.len() > 0 {
+		head := d.queue.front()
 		members, need := 1, head.Need
 		if head.gang != 0 {
 			// Gang members are enqueued contiguously and lose their gang
 			// tag if individually re-queued, so the leading run is the
 			// whole co-scheduling unit.
-			for _, q := range d.queue[1:] {
-				if q.gang != head.gang {
-					break
-				}
+			for q := head.qnext; q != nil && q.gang == head.gang; q = q.qnext {
 				members++
 				need += q.Need
 			}
@@ -571,7 +616,7 @@ func (d *Scheduler) kick() {
 				d.GangAdmissions++
 			}
 			for i := 0; i < members; i++ {
-				d.admit(d.queue[0])
+				d.admit(d.queue.front())
 			}
 			continue
 		}
@@ -586,8 +631,7 @@ func (d *Scheduler) kick() {
 
 func (d *Scheduler) admit(j *Job) {
 	now := d.S.Now()
-	d.queue = d.queue[1:]
-	j.queuedWait += now - j.queuedSince
+	d.dequeue(j)
 	d.setFree(d.free - j.Need)
 	j.admittedAt = now
 	j.lastActive = now
@@ -601,7 +645,7 @@ func (d *Scheduler) admit(j *Job) {
 			// (state preserved on the file server) for another attempt.
 			d.setFree(d.free + j.Need)
 			if j.state == Starting {
-				j.state = Done
+				d.retire(j)
 			} else {
 				j.state = Parked
 				j.autoResume = false
@@ -612,6 +656,7 @@ func (d *Scheduler) admit(j *Job) {
 		j.state = Running
 		j.runningSince = d.S.Now()
 		j.lastActive = d.S.Now()
+		d.trackRun(j)
 		// A job entering service may be the missing preemption victim
 		// for the queue head (once its residency matures).
 		d.kick()
@@ -625,67 +670,15 @@ func (d *Scheduler) admit(j *Job) {
 	j.Hooks.Start(live)
 }
 
-// victims lists preemptible running jobs in policy order for candidate.
-func (d *Scheduler) victims(candidate *Job) (eligible []*Job, nextEligible sim.Time) {
-	now := d.S.Now()
-	nextEligible = sim.Never
-	var pool []*Job
-	for _, j := range d.jobs {
-		if j.state != Running || !j.Preemptible || j.Hooks.Park == nil {
-			continue
-		}
-		if d.Policy == Priority && j.Priority >= candidate.Priority {
-			continue
-		}
-		// Residency counts actual service time: admission plumbing (node
-		// setup, image fetch, swap-in) must not eat the protected window,
-		// or oversubscribed pools thrash.
-		if now-j.runningSince < d.MinResidency {
-			if t := j.runningSince + d.MinResidency; t < nextEligible {
-				nextEligible = t
-			}
-			continue
-		}
-		pool = append(pool, j)
-	}
-	// Policy ordering (stable: pool is in submit order). IdleFirst
-	// breaks idleness ties toward the cheapest park: under incremental
-	// swapping an idle job has dirtied little since its last resident
-	// checkpoint, so the two signals usually agree — but when they
-	// don't, preferring the smaller transfer keeps preemption cheap.
-	less := func(a, b *Job) bool {
-		switch d.Policy {
-		case IdleFirst:
-			if a.lastActive != b.lastActive {
-				return a.lastActive < b.lastActive
-			}
-			if ca, cb := a.parkCost(), b.parkCost(); ca != cb {
-				return ca < cb
-			}
-		case Priority:
-			if a.Priority != b.Priority {
-				return a.Priority < b.Priority
-			}
-		}
-		return a.admittedAt < b.admittedAt
-	}
-	for i := 1; i < len(pool); i++ {
-		for k := i; k > 0 && less(pool[k], pool[k-1]); k-- {
-			pool[k], pool[k-1] = pool[k-1], pool[k]
-		}
-	}
-	return pool, nextEligible
-}
-
 func (d *Scheduler) tryPreempt(head *Job, need int) {
 	shortfall := need - d.free
 	pool, nextEligible := d.victims(head)
+	// Pop victims in policy order until the shortfall is covered:
+	// O(k log n) against the legacy sorted-scan's O(n²).
 	var chosen []*Job
 	freed := 0
-	for _, v := range pool {
-		if freed >= shortfall {
-			break
-		}
+	for freed < shortfall && pool.Len() > 0 {
+		v := pool.pop()
 		chosen = append(chosen, v)
 		freed += v.Need
 	}
@@ -708,6 +701,7 @@ func (d *Scheduler) tryPreempt(head *Job, need int) {
 }
 
 func (d *Scheduler) park(v *Job) {
+	d.untrackRun(v)
 	v.state = Parking
 	v.gang = 0 // co-scheduling covers the first admission only
 	d.parksInFlight++
@@ -724,6 +718,7 @@ func (d *Scheduler) park(v *Job) {
 			// re-freeze it immediately.
 			v.state = Running
 			v.runningSince = d.S.Now()
+			d.trackRun(v)
 			d.kick()
 			return
 		}
@@ -736,15 +731,14 @@ func (d *Scheduler) park(v *Job) {
 	})
 }
 
+// wakeAt arms the residency-maturity alarm, reusing one timer
+// allocation across the scheduler's lifetime.
 func (d *Scheduler) wakeAt(t sim.Time) {
-	if d.wake != nil && d.wake.When() <= t && !d.wake.Cancelled() {
+	if d.wake == nil {
+		d.wake = d.S.NewTimer("sched.wake", func() { d.kick() })
+	}
+	if d.wake.Pending() && d.wake.When() <= t {
 		return
 	}
-	if d.wake != nil {
-		d.S.Cancel(d.wake)
-	}
-	d.wake = d.S.At(t, "sched.wake", func() {
-		d.wake = nil
-		d.kick()
-	})
+	d.wake.Schedule(t)
 }

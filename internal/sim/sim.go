@@ -179,6 +179,69 @@ func (s *Simulator) Reschedule(e *Event, t Time) {
 	heap.Fix(&s.queue, e.index)
 }
 
+// Timer is a reusable one-shot alarm: one Event allocation serves the
+// timer's whole lifetime, however many times it is re-armed. Periodic
+// and repeatedly re-armed callers (scheduler wake-ups, workload tick
+// loops) otherwise allocate a fresh Event per arm — at 10k-tenant
+// fleet scale that is millions of allocations of pure churn. A Timer
+// is single-owner: only code holding the Timer can cancel it, which
+// sidesteps the stale-pointer hazard a general Event free-list would
+// have (a recycled Event cancelled through an old handle).
+type Timer struct {
+	s *Simulator
+	e Event
+}
+
+// NewTimer creates an unarmed timer that runs fn when it fires. The
+// callback is fixed for the timer's lifetime; arm it with Schedule or
+// Reset.
+func (s *Simulator) NewTimer(name string, fn func()) *Timer {
+	t := &Timer{s: s}
+	t.e = Event{fn: fn, name: name, index: -1}
+	return t
+}
+
+// Pending reports whether the timer is armed and has not yet fired.
+func (t *Timer) Pending() bool { return t.e.index >= 0 }
+
+// When reports the pending fire time (meaningless unless Pending).
+func (t *Timer) When() Time { return t.e.when }
+
+// Schedule arms the timer to fire at absolute time at, rescheduling in
+// place if it is already pending. Like At, arming in the past panics.
+func (t *Timer) Schedule(at Time) {
+	e := &t.e
+	if e.index >= 0 {
+		t.s.Reschedule(e, at)
+		return
+	}
+	if at < t.s.now {
+		panic(fmt.Sprintf("sim: timer %q scheduled at %v before now %v", e.name, at, t.s.now))
+	}
+	e.cancelled = false
+	t.s.seq++
+	e.seq = t.s.seq
+	e.when = at
+	heap.Push(&t.s.queue, e)
+}
+
+// Reset arms the timer to fire d from now (negative d is clamped to
+// zero, mirroring After).
+func (t *Timer) Reset(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	t.Schedule(t.s.now + d)
+}
+
+// Stop disarms a pending timer; it is a no-op if the timer already
+// fired or was never armed. The timer can be re-armed afterwards.
+func (t *Timer) Stop() {
+	if t.e.index >= 0 {
+		t.s.Cancel(&t.e)
+	}
+}
+
 // Stop makes Run return after the current event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 

@@ -1,0 +1,111 @@
+package sim
+
+import "testing"
+
+// TestTimerRearmReusesOneEvent checks the Timer contract: one event
+// allocation serves arbitrarily many arms, firing once per arm.
+func TestTimerRearmReusesOneEvent(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := s.NewTimer("t", func() { fired++ })
+	if tm.Pending() {
+		t.Fatal("fresh timer pending")
+	}
+	for i := 0; i < 5; i++ {
+		tm.Reset(Second)
+		if !tm.Pending() || tm.When() != s.Now()+Second {
+			t.Fatalf("arm %d: pending=%v when=%v", i, tm.Pending(), tm.When())
+		}
+		s.Run()
+		if tm.Pending() {
+			t.Fatal("timer still pending after firing")
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d times, want 5", fired)
+	}
+}
+
+// TestTimerScheduleReschedulesInPlace checks that arming a pending
+// timer moves it (one fire at the new time), in both directions.
+func TestTimerScheduleReschedulesInPlace(t *testing.T) {
+	s := New(1)
+	var at []Time
+	tm := s.NewTimer("t", func() { at = append(at, s.Now()) })
+	tm.Schedule(10 * Second)
+	tm.Schedule(3 * Second) // pull earlier
+	s.Run()
+	tm.Schedule(s.Now() + 2*Second)
+	tm.Schedule(s.Now() + 8*Second) // push later
+	s.Run()
+	if len(at) != 2 || at[0] != 3*Second || at[1] != 11*Second {
+		t.Fatalf("fire times = %v, want [3s 11s]", at)
+	}
+}
+
+// TestTimerStopAndRearm checks Stop suppresses the pending fire
+// without poisoning the timer for later arms.
+func TestTimerStopAndRearm(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := s.NewTimer("t", func() { fired++ })
+	tm.Reset(Second)
+	tm.Stop()
+	tm.Stop() // idempotent
+	s.Run()
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	tm.Reset(2 * Second)
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("re-armed timer fired %d times, want 1", fired)
+	}
+}
+
+// TestTimerPastArmPanics mirrors At's causality check.
+func TestTimerPastArmPanics(t *testing.T) {
+	s := New(1)
+	s.At(Second, "advance", func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arming a timer in the past did not panic")
+		}
+	}()
+	s.NewTimer("t", func() {}).Schedule(0)
+}
+
+// TestTimerResetClampsNegative mirrors After's clamp-to-now.
+func TestTimerResetClampsNegative(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.NewTimer("t", func() { fired = true })
+	tm.Reset(-5 * Second)
+	if !tm.Pending() || tm.When() != s.Now() {
+		t.Fatalf("negative Reset: pending=%v when=%v", tm.Pending(), tm.When())
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("clamped timer never fired")
+	}
+}
+
+// TestTimerTieBreaksLikeFreshEvents pins the seq contract: re-arming a
+// timer consumes exactly one sequence number, like scheduling a fresh
+// event — so a timer and a plain event armed in the same instant fire
+// in arm order. The scheduler's byte-identical swap to reusable wake
+// timers depends on this.
+func TestTimerTieBreaksLikeFreshEvents(t *testing.T) {
+	s := New(1)
+	var order []string
+	tm := s.NewTimer("t", func() { order = append(order, "timer") })
+	tm.Schedule(Second)
+	s.At(Second, "e1", func() { order = append(order, "e1") })
+	tm.Schedule(Second) // reschedule to the same instant: seq moves behind e1
+	s.At(Second, "e2", func() { order = append(order, "e2") })
+	s.Run()
+	if len(order) != 3 || order[0] != "e1" || order[1] != "timer" || order[2] != "e2" {
+		t.Fatalf("fire order = %v, want [e1 timer e2]", order)
+	}
+}

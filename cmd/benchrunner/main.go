@@ -81,7 +81,7 @@ func appendSnapshot(path, label string, seed int64, keys []string, results map[s
 func main() {
 	var (
 		fig        = flag.Int("fig", 0, "figure number to regenerate (4-9)")
-		table      = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare | branch | recovery | storage | scale")
+		table      = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare | branch | recovery | storage | scale | suite")
 		all        = flag.Bool("all", false, "regenerate everything")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		quick      = flag.Bool("quick", false, "reduced workload sizes")
@@ -187,6 +187,11 @@ func main() {
 		scaleSizes = []int{16, 128}
 	}
 	runT("scale", "Oversubscription at scale: tenants vs throughput and decision cost", func() renderer { return evalrun.Scale(*seed, scaleSizes) })
+	suiteCount := 24
+	if *quick {
+		suiteCount = 12
+	}
+	runT("suite", "Scenario corpus under shared suite invariants", func() renderer { return evalrun.SuiteTable(*seed, suiteCount) })
 
 	if !ran {
 		flag.Usage()

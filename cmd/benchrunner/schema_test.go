@@ -36,6 +36,7 @@ var benchSchema = map[string]any{
 	"recovery":  &evalrun.RecoveryResult{},
 	"storage":   &evalrun.StorageResult{},
 	"scale":     &evalrun.ScaleResult{},
+	"suite":     &evalrun.SuiteResult{},
 }
 
 // fieldPaths flattens a type into "path: kind" lines, honoring json

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"emucheck/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden JUnit file")
+
+// TestRunJUnitGolden pins the XML `emucheck run -junit` writes for a
+// shipped example scenario, byte for byte. Every field in the output —
+// verdict, simulated-seconds time attribute, classname — is derived
+// from the deterministic run, so the golden is stable across machines;
+// a diff here means either the run changed or the JUnit shape drifted.
+// Regenerate deliberately with `go test ./cmd/emucheck -update`.
+func TestRunJUnitGolden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", "swapcycle.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := scenario.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source path is part of the classname attribute, so the test
+	// passes the path the CLI would see from the repo root.
+	got, rr, err := junitReport(f, "examples/scenarios/swapcycle.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Error != "" || !rr.Pass {
+		t.Fatalf("swapcycle example failed under suite invariants: %+v", rr)
+	}
+
+	golden := filepath.Join("testdata", "junit.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("JUnit output drifted from %s.\nIf intentional, regenerate with -update.\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}

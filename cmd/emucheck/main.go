@@ -8,7 +8,7 @@
 // Usage:
 //
 //	emucheck validate <scenario.json>
-//	emucheck run [-json] <scenario.json>
+//	emucheck run [-json] [-junit file] <scenario.json>
 //	emucheck evalrun [-seed N] [-ticks N] [-json]
 //
 // Example scenarios live in examples/scenarios/ and are documented in
@@ -32,6 +32,7 @@ import (
 
 	"emucheck/internal/evalrun"
 	"emucheck/internal/scenario"
+	"emucheck/internal/suite"
 )
 
 func usage() {
@@ -39,8 +40,10 @@ func usage() {
 
 commands:
   validate <scenario.json>   check a scenario file without running it
-  run [-json] <scenario.json>
-                             replay a scenario and evaluate its assertions
+  run [-json] [-junit file] <scenario.json>
+                             replay a scenario and evaluate its assertions;
+                             -junit additionally runs it under the suite's
+                             shared invariants and writes JUnit XML
   evalrun [-seed N] [-ticks N] [-json]
                              multi-tenancy benchmark: incremental vs
                              full-copy vs stateless swapping
@@ -77,17 +80,55 @@ func cmdValidate(args []string) {
 		f.Name, len(f.Experiments), len(f.Events), len(f.Assertions))
 }
 
+// junitReport runs one scenario under the suite's shared invariants
+// and renders the single-case JUnit XML the -junit flag writes. It
+// reuses the suite's writer so emucheck and emusuite emit the same
+// format for the same run.
+func junitReport(f *scenario.File, source string) ([]byte, suite.RunReport, error) {
+	rr := suite.RunOne(f, source)
+	rep := &suite.Report{Schema: suite.Schema, Runs: []suite.RunReport{rr}}
+	if rr.Pass {
+		rep.Passed = 1
+	} else {
+		rep.Failed = 1
+	}
+	data, err := rep.JUnit("emucheck")
+	return data, rr, err
+}
+
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	junitPath := fs.String("junit", "", "run under the suite invariants and write JUnit XML to this file")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
-	res, err := scenario.Run(loadFile(fs.Arg(0)))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "emucheck:", err)
-		os.Exit(1)
+	var res *scenario.Result
+	if *junitPath != "" {
+		// The suite runner replays the scenario for its determinism
+		// invariant, so the JUnit verdict covers more than the plain run.
+		data, rr, err := junitReport(loadFile(fs.Arg(0)), fs.Arg(0))
+		if err == nil {
+			err = os.WriteFile(*junitPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emucheck:", err)
+			os.Exit(1)
+		}
+		if rr.Error != "" {
+			fmt.Fprintln(os.Stderr, "emucheck:", rr.Error)
+			os.Exit(1)
+		}
+		res = rr.Result
+		res.Pass = rr.Pass // fold invariant failures into the exit code
+	} else {
+		var err error
+		res, err = scenario.Run(loadFile(fs.Arg(0)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emucheck:", err)
+			os.Exit(1)
+		}
 	}
 	if *asJSON {
 		out, err := json.MarshalIndent(res, "", "  ")

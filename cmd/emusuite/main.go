@@ -1,0 +1,128 @@
+// Command emusuite runs a scenario corpus under the suite runner's
+// shared invariants: either a directory of scenario files or a
+// deterministic generated matrix (see internal/scengen). Every run is
+// checked for same-seed replay determinism, leaked pool hardware,
+// chain-store refcount drift, control-LAN delivery conservation, and
+// negative accounting ledgers — on top of the scenario's own
+// assertions.
+//
+// Usage:
+//
+//	emusuite [-seed N] [-count M] [-dir path] [-json] [-junit file] [-gen-out dir]
+//
+// With -dir, every *.json under the directory runs; otherwise a
+// generated matrix of -count scenarios keyed by -seed runs. -json
+// emits the corpus report (schema emusuite/v1, no wall-clock fields:
+// two same-seed invocations are byte-identical). -junit writes JUnit
+// XML whose time attributes are simulated seconds. -gen-out writes the
+// generated corpus as scenario files and exits without running, so a
+// failing generated scenario can be reproduced under emucheck alone.
+// Exits nonzero when any run fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"emucheck/internal/scenario"
+	"emucheck/internal/scengen"
+	"emucheck/internal/suite"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emusuite:", err)
+	os.Exit(1)
+}
+
+// loadDir parses every scenario file under dir, sorted by path so the
+// corpus order (and therefore the report) is deterministic.
+func loadDir(dir string) ([]*scenario.File, []string) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no scenario files under %s", dir))
+	}
+	var files []*scenario.File
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := scenario.Parse(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", p, err))
+		}
+		files = append(files, f)
+	}
+	return files, paths
+}
+
+// writeCorpus materializes the generated matrix as scenario files.
+func writeCorpus(dir string, seed int64, count int) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, f := range scengen.Matrix(seed, count) {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(dir, f.Name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println(path)
+	}
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "generator seed for the scenario matrix")
+	count := flag.Int("count", 24, "generated matrix size")
+	dir := flag.String("dir", "", "run every *.json scenario under this directory instead of generating")
+	asJSON := flag.Bool("json", false, "emit the corpus report as JSON (schema emusuite/v1)")
+	junitPath := flag.String("junit", "", "write JUnit XML to this file")
+	genOut := flag.String("gen-out", "", "write the generated corpus as scenario files to this directory and exit")
+	flag.Parse()
+
+	if *genOut != "" {
+		writeCorpus(*genOut, *seed, *count)
+		return
+	}
+
+	var rep *suite.Report
+	if *dir != "" {
+		files, paths := loadDir(*dir)
+		rep = suite.RunFiles(files, paths)
+	} else {
+		rep = suite.RunMatrix(*seed, *count)
+	}
+
+	if *junitPath != "" {
+		data, err := rep.JUnit("emusuite")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*junitPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(rep.Render())
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}

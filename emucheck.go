@@ -303,6 +303,29 @@ func (s *Session) Kernel(node string) *guest.Kernel {
 	return n.K
 }
 
+// LiveLineages lists every checkpoint chain the session currently holds
+// store references through: the per-node chains of its instantiated
+// experiment, or the forked chains a branch stages until its first
+// admission. Finished sessions hold none. The suite runner's refcount
+// audit sums these against the chain store's entries.
+func (s *Session) LiveLineages() []*storage.Lineage {
+	var out []*storage.Lineage
+	if s.Exp != nil && s.Exp.Swap != nil {
+		for _, lin := range s.Exp.Swap.Lineages() {
+			if !lin.Released() {
+				out = append(out, lin)
+			}
+		}
+		return out
+	}
+	for _, lin := range s.branchLineages {
+		if !lin.Released() {
+			out = append(out, lin)
+		}
+	}
+	return out
+}
+
 // Addr resolves a (possibly logical) node name to its control-network
 // address, so branch workloads address peers by the parent's names.
 func (s *Session) Addr(node string) simnet.Addr {

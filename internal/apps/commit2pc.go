@@ -1,0 +1,216 @@
+package apps
+
+import (
+	"fmt"
+
+	"emucheck/internal/guest"
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+// CommitNode is one member of a 2PC commit group: the first node is the
+// coordinator, the rest are participants.
+type CommitNode struct {
+	Name string
+	K    *guest.Kernel
+	Addr simnet.Addr
+}
+
+// CommitConfig parameterizes a two-phase-commit run.
+type CommitConfig struct {
+	// Seed drives the deterministic vote schedule: participant p votes
+	// no on round r iff Mix64(seed, r, p) lands in a 1-in-8 slice, so
+	// most rounds commit and some abort — all arithmetic, no RNG.
+	Seed int64
+	// Period is the transaction cadence (default 2 s per round).
+	Period sim.Time
+	// VoteTimeout bounds the coordinator's vote collection; a missing
+	// vote aborts the round (default 600 ms).
+	VoteTimeout sim.Time
+	// Rounds bounds the run (0 = keep going until the scenario ends).
+	Rounds int
+	// CrashCoordAtRound crash-stops the coordinator in the middle of
+	// this round — after its prepares went out, before any decision —
+	// which is exactly 2PC's blocking window: participants that voted
+	// yes hold their locks in doubt forever (0 = never crash).
+	CrashCoordAtRound int
+	// OnTick observes protocol progress (a decision made or applied).
+	OnTick func()
+	// OnOutcome reports the running tally ("commits=N aborts=M", or the
+	// blocked verdict after a coordinator crash); the last report is the
+	// run's terminal outcome.
+	OnOutcome func(string)
+}
+
+// Commit2PC is a running two-phase-commit group: the coordinator drives
+// prepare/commit/abort rounds over the experiment network, participants
+// journal their votes and applies to disk (dirty state the checkpoint
+// lineage carries), and a coordinator crash leaves yes-voters blocked
+// in doubt — the classic blocking problem, made observable.
+type Commit2PC struct {
+	cfg   CommitConfig
+	nodes []CommitNode
+
+	// Commits and Aborts count decided rounds; Blocked counts
+	// participants left in doubt by a coordinator crash.
+	Commits int
+	Aborts  int
+	Blocked int
+
+	coordAlive bool
+	round      int
+	collecting bool
+	votes      map[int]bool // participant index -> vote of current round
+}
+
+// RunCommit2PC starts the commit protocol (nodes[0] coordinates) and
+// returns the running app. Needs at least two nodes.
+func RunCommit2PC(nodes []CommitNode, cfg CommitConfig) *Commit2PC {
+	if cfg.Period <= 0 {
+		cfg.Period = 2 * sim.Second
+	}
+	if cfg.VoteTimeout <= 0 {
+		cfg.VoteTimeout = 600 * sim.Millisecond
+	}
+	c := &Commit2PC{cfg: cfg, nodes: nodes, coordAlive: true}
+	c.installCoordinator()
+	for p := 1; p < len(nodes); p++ {
+		c.installParticipant(p)
+	}
+	ck := nodes[0].K
+	ck.Usleep(cfg.Period, func() { c.runRound() })
+	return c
+}
+
+// vote is participant p's deterministic ballot for round r.
+func (c *Commit2PC) vote(r, p int) bool {
+	return sim.Mix64(c.cfg.Seed, int64(r), int64(p))%8 != 0
+}
+
+func (c *Commit2PC) tick() {
+	if c.cfg.OnTick != nil {
+		c.cfg.OnTick()
+	}
+}
+
+func (c *Commit2PC) report(s string) {
+	if c.cfg.OnOutcome != nil {
+		c.cfg.OnOutcome(s)
+	}
+}
+
+// voteMsg rides "2pc.vote": which round, whose ballot, yes or no.
+type voteMsg struct {
+	Round int
+	From  int
+	Yes   bool
+}
+
+// installCoordinator registers the vote collector.
+func (c *Commit2PC) installCoordinator() {
+	c.nodes[0].K.Handle("2pc.vote", func(_ simnet.Addr, m *guest.Message) {
+		if !c.coordAlive || !c.collecting {
+			return
+		}
+		v, ok := m.Data.(voteMsg)
+		if !ok || v.Round != c.round {
+			return
+		}
+		c.votes[v.From] = v.Yes
+	})
+}
+
+// runRound drives one transaction: prepare fan-out, vote collection
+// with a timeout, then a unanimous-commit-or-abort decision fan-out.
+func (c *Commit2PC) runRound() {
+	if !c.coordAlive || (c.cfg.Rounds > 0 && c.round >= c.cfg.Rounds) {
+		return
+	}
+	c.round++
+	r := c.round
+	k := c.nodes[0].K
+	c.votes = make(map[int]bool)
+	c.collecting = true
+	for p := 1; p < len(c.nodes); p++ {
+		k.Send(c.nodes[p].Addr, 200, &guest.Message{Port: "2pc.prepare", Data: r})
+	}
+	if r == c.cfg.CrashCoordAtRound {
+		// Fail-silent between prepare and decision: the blocking window.
+		c.coordAlive = false
+		c.collecting = false
+		return
+	}
+	k.Usleep(c.cfg.VoteTimeout, func() {
+		if !c.coordAlive {
+			return
+		}
+		c.collecting = false
+		decision := "2pc.commit"
+		if len(c.votes) < len(c.nodes)-1 {
+			decision = "2pc.abort" // a ballot went missing: presume no
+		}
+		for _, yes := range c.votes {
+			if !yes {
+				decision = "2pc.abort"
+			}
+		}
+		if decision == "2pc.commit" {
+			c.Commits++
+		} else {
+			c.Aborts++
+		}
+		// The coordinator journals the decision before announcing it
+		// (presumed-nothing log), then fans it out.
+		k.WriteDisk(int64(r)<<20, 64<<10, nil)
+		for p := 1; p < len(c.nodes); p++ {
+			k.Send(c.nodes[p].Addr, 150, &guest.Message{Port: decision, Data: r})
+		}
+		c.report(fmt.Sprintf("commits=%d aborts=%d", c.Commits, c.Aborts))
+		c.tick()
+		k.Usleep(c.cfg.Period-c.cfg.VoteTimeout, func() { c.runRound() })
+	})
+}
+
+// installParticipant registers participant p's prepare and decision
+// handlers. A yes vote puts the round in doubt until a decision
+// arrives; if the coordinator crash-stopped, the doubt never resolves
+// and the participant reports itself blocked.
+func (c *Commit2PC) installParticipant(p int) {
+	k := c.nodes[p].K
+	inDoubt := make(map[int]bool)
+	k.Handle("2pc.prepare", func(from simnet.Addr, m *guest.Message) {
+		r, ok := m.Data.(int)
+		if !ok {
+			return
+		}
+		yes := c.vote(r, p)
+		// Journal the ballot before voting — the write the checkpoint
+		// lineage must carry for recovery to be honest.
+		k.WriteDisk(int64(p)<<30|int64(r)<<16, 32<<10, func() {
+			k.Send(from, 150, &guest.Message{Port: "2pc.vote", Data: voteMsg{Round: r, From: p, Yes: yes}})
+			if !yes {
+				return
+			}
+			inDoubt[r] = true
+			// The block detector: a yes-voter that hears no decision for
+			// well past the round budget is wedged on the coordinator.
+			k.Usleep(3*c.cfg.Period, func() {
+				if inDoubt[r] {
+					c.Blocked++
+					c.report(fmt.Sprintf("blocked r=%d commits=%d aborts=%d", r, c.Commits, c.Aborts))
+				}
+			})
+		})
+	})
+	decided := func(_ simnet.Addr, m *guest.Message) {
+		r, ok := m.Data.(int)
+		if !ok {
+			return
+		}
+		delete(inDoubt, r)
+		k.WriteDisk(int64(p)<<30|int64(r)<<16|1<<8, 32<<10, nil)
+		c.tick()
+	}
+	k.Handle("2pc.commit", decided)
+	k.Handle("2pc.abort", decided)
+}

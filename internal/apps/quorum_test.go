@@ -1,0 +1,75 @@
+package apps
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+	"emucheck/internal/simnet"
+)
+
+func quorumFleet(seed int64, n int) (*sim.Simulator, []QuorumNode) {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	s, ks := linkedKernels(seed, names, 100*simnet.Mbps)
+	nodes := make([]QuorumNode, n)
+	for i, k := range ks {
+		nodes[i] = QuorumNode{Name: names[i], K: k, Addr: simnet.Addr(names[i])}
+	}
+	return s, nodes
+}
+
+func TestQuorumElectsHighestRank(t *testing.T) {
+	s, nodes := quorumFleet(1, 3)
+	var outcomes []string
+	q := RunQuorum(nodes, QuorumConfig{
+		OnOutcome: func(o string) { outcomes = append(outcomes, o) },
+	})
+	s.RunFor(30 * sim.Second)
+	if got := q.Leader(); got != "c" {
+		t.Fatalf("leader = %q, want highest rank c", got)
+	}
+	if q.Elections != 1 {
+		t.Fatalf("elections = %d, want 1", q.Elections)
+	}
+	if len(outcomes) != 1 || outcomes[0] != "leader=c" {
+		t.Fatalf("outcomes = %v", outcomes)
+	}
+}
+
+func TestQuorumReElectsAfterLeaderCrash(t *testing.T) {
+	s, nodes := quorumFleet(2, 4)
+	var last string
+	q := RunQuorum(nodes, QuorumConfig{
+		CrashLeaderAt: 20 * sim.Second,
+		OnOutcome:     func(o string) { last = o },
+	})
+	s.RunFor(2 * sim.Minute)
+	if q.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", q.Crashes)
+	}
+	if got := q.Leader(); got != "c" {
+		t.Fatalf("leader after crash = %q, want next-highest c", got)
+	}
+	if q.Elections < 2 {
+		t.Fatalf("elections = %d, want initial election plus a re-election", q.Elections)
+	}
+	if last != "leader=c" {
+		t.Fatalf("terminal outcome = %q, want leader=c", last)
+	}
+}
+
+func TestQuorumDeterministic(t *testing.T) {
+	run := func() (int, string) {
+		s, nodes := quorumFleet(7, 5)
+		q := RunQuorum(nodes, QuorumConfig{CrashLeaderAt: 25 * sim.Second})
+		s.RunFor(3 * sim.Minute)
+		return q.Elections, q.Leader()
+	}
+	e1, l1 := run()
+	e2, l2 := run()
+	if e1 != e2 || l1 != l2 {
+		t.Fatalf("same-seed runs diverged: (%d,%q) vs (%d,%q)", e1, l1, e2, l2)
+	}
+}

@@ -87,9 +87,19 @@ type Bus struct {
 	// Dropped counts deliveries suppressed by the Inject hook — the
 	// observable record of lost notifications.
 	Dropped uint64
+	// Attempts counts per-subscriber delivery attempts (the fan-out of
+	// Published over live subscribers). Every attempt ends up delivered,
+	// dropped, or still in flight at the observation instant, so
+	// Attempts == Delivered + Dropped + InFlight() always — the bus
+	// conservation law the suite runner audits after every run.
+	Attempts uint64
 
 	perTopic map[string]*TopicStats
 }
+
+// InFlight reports delivery attempts scheduled but not yet delivered —
+// control-LAN packets still in the air when the run's horizon cut.
+func (b *Bus) InFlight() uint64 { return b.Attempts - b.Delivered - b.Dropped }
 
 // subKey addresses one (topic, scope) subscriber bucket; scope "" is
 // the anonymous bucket receiving every publish on the topic.
@@ -238,6 +248,7 @@ func (b *Bus) deliver(m *Msg, bk *bucket, ts *TopicStats, label string) {
 		}
 		live = append(live, sub)
 		h := sub.h
+		b.Attempts++
 		d := b.BaseLatency + b.s.Jitter(b.JitterMax)
 		if b.Inject != nil {
 			drop, extra := b.Inject(m, sub.owner)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"emucheck"
+	"emucheck/internal/apps"
 	"emucheck/internal/core"
 	"emucheck/internal/fault"
 	"emucheck/internal/guest"
@@ -162,12 +163,20 @@ type FaultSummary struct {
 // Run validates and replays the scenario, returning the evaluated
 // result. Validation failures abort before anything runs.
 func Run(f *File) (*Result, error) {
+	res, _, err := RunWithCluster(f)
+	return res, err
+}
+
+// RunWithCluster is Run, but also hands back the finished cluster so
+// callers (the suite runner's shared invariants) can audit hardware
+// ledgers, chain-store refcounts, and bus accounting after the run.
+func RunWithCluster(f *File) (*Result, *emucheck.Cluster, error) {
 	if errs := Validate(f); len(errs) > 0 {
 		lines := make([]string, len(errs))
 		for i, e := range errs {
 			lines[i] = e.Error()
 		}
-		return nil, fmt.Errorf("scenario %q invalid:\n  %s", f.Name, strings.Join(lines, "\n  "))
+		return nil, nil, fmt.Errorf("scenario %q invalid:\n  %s", f.Name, strings.Join(lines, "\n  "))
 	}
 	pol, _ := sched.ParsePolicy(f.Policy)
 	c := emucheck.NewCluster(f.Pool, f.Seed, pol)
@@ -176,7 +185,7 @@ func Run(f *File) (*Result, error) {
 		if err := c.ConfigureStorage(emucheck.StorageOptions{
 			Backend: st.Backend, CacheMB: st.CacheMB, DiskMB: st.DiskMB,
 		}); err != nil {
-			return nil, fmt.Errorf("scenario %q: %v", f.Name, err)
+			return nil, nil, fmt.Errorf("scenario %q: %v", f.Name, err)
 		}
 	}
 	// Straggler detection: explicit save_deadline wins; otherwise any
@@ -417,7 +426,7 @@ func Run(f *File) (*Result, error) {
 			res.Pass = false
 		}
 	}
-	return res, nil
+	return res, c, nil
 }
 
 func expIndex(f *File, name string) int {
@@ -491,6 +500,45 @@ func workloadSetup(c *emucheck.Cluster, e *Experiment, st *ExpStats) func(*emuch
 		}
 	case "racyelect":
 		return racyElectSetup(c, e, st)
+	case "quorum":
+		return func(s *emucheck.Session) {
+			self := s.Scenario.Spec.Name
+			nodes := make([]apps.QuorumNode, len(e.Nodes))
+			for i, n := range e.Nodes {
+				nodes[i] = apps.QuorumNode{Name: n.Name, K: s.Kernel(n.Name), Addr: s.Addr(n.Name)}
+			}
+			// Crash the first-elected leader at a seed-derived instant of
+			// guest time, so every quorum run exercises failure detection
+			// and bully re-election; the perturbation seed folds in so
+			// branches explore different crash timings.
+			crashAt := 20*sim.Second + sim.Time(sim.Mix64(c.Seed, s.Perturb().Seed, 1)%uint64(20*sim.Second))
+			apps.RunQuorum(nodes, apps.QuorumConfig{
+				CrashLeaderAt: crashAt,
+				OnTick:        func() { st.Ticks++; c.Touch(self) },
+				OnOutcome:     func(o string) { st.Outcome = o },
+			})
+		}
+	case "commit2pc":
+		return func(s *emucheck.Session) {
+			self := s.Scenario.Spec.Name
+			nodes := make([]apps.CommitNode, len(e.Nodes))
+			for i, n := range e.Nodes {
+				nodes[i] = apps.CommitNode{Name: n.Name, K: s.Kernel(n.Name), Addr: s.Addr(n.Name)}
+			}
+			// Half the seed space crash-stops the coordinator mid-round
+			// (the 2PC blocking window); the other half runs clean, so a
+			// generated corpus shows both behaviors.
+			crashRound := 0
+			if sim.Mix64(c.Seed, s.Perturb().Seed, 3)%2 == 0 {
+				crashRound = 6 + int(sim.Mix64(c.Seed, s.Perturb().Seed, 4)%6)
+			}
+			apps.RunCommit2PC(nodes, apps.CommitConfig{
+				Seed:              int64(sim.Mix64(c.Seed, s.Perturb().Seed, 2)),
+				CrashCoordAtRound: crashRound,
+				OnTick:            func() { st.Ticks++; c.Touch(self) },
+				OnOutcome:         func(o string) { st.Outcome = o },
+			})
+		}
 	}
 	return nil // idle
 }

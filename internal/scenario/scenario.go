@@ -222,6 +222,11 @@ var workloads = map[string]bool{
 	"pingpong":  true,
 	"diskchurn": true,
 	"racyelect": true,
+	// Distributed agreement workloads: bully leader election with an
+	// injected leader crash, and a 2PC commit group whose coordinator
+	// crash leaves participants blocked in doubt.
+	"quorum":    true,
+	"commit2pc": true,
 }
 
 // Assertion types understood by the runner.
@@ -368,8 +373,11 @@ func Validate(f *File) []error {
 		if !workloads[e.Workload] {
 			bad("experiment %q: unknown workload %q", e.Name, e.Workload)
 		}
-		if (e.Workload == "pingpong" || e.Workload == "racyelect") && len(e.Nodes) < 2 {
+		if (e.Workload == "pingpong" || e.Workload == "racyelect" || e.Workload == "commit2pc") && len(e.Nodes) < 2 {
 			bad("experiment %q: %s needs two nodes", e.Name, e.Workload)
+		}
+		if e.Workload == "quorum" && len(e.Nodes) < 3 {
+			bad("experiment %q: quorum needs three nodes (a crashed leader must leave a majority)", e.Name)
 		}
 		if _, err := parseDur(e.SubmitAt); err != nil {
 			bad("experiment %q: submit_at %q does not parse", e.Name, e.SubmitAt)

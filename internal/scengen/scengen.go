@@ -1,0 +1,289 @@
+// Package scengen deterministically generates scenario files for the
+// suite runner: a seed and an index fully determine one scenario, so a
+// generated corpus is reproducible from two integers. Six scenario
+// shapes rotate by index — a time-shared multi-tenant mix, an
+// incremental-swap storage-tier run, a fault-injection-and-recovery
+// run, a gang-admitted branch search, and the two distributed
+// agreement workloads (quorum election, 2PC commit) — which guarantees
+// any window of six consecutive indices covers every shape. All other
+// axes (tenant count, policy, swap mode, storage backend and cache
+// size, fault mix, fan-out, oversubscription ratio) are drawn
+// arithmetically from sim.Mix64(seed, index, axis): no math/rand, no
+// global state, no generation-order dependence.
+package scengen
+
+import (
+	"fmt"
+
+	"emucheck/internal/scenario"
+	"emucheck/internal/sim"
+)
+
+// Axis tags keep the Mix64 draws for different knobs independent: two
+// axes never see the same mixed word for one (seed, index).
+const (
+	axFileSeed int64 = iota + 1
+	axTenants
+	axPolicy
+	axSwap
+	axBackend
+	axCache
+	axOversub
+	axFanOut
+	axNodes
+	axWorkload
+	axPriority
+	axFaultNode
+	axCrashRound
+)
+
+// Shapes in rotation order. Exported so the suite's coverage report
+// and the generator tests agree on the catalog.
+var Shapes = []string{
+	"timeshare", "incremental", "faults", "search", "quorum", "commit2pc",
+}
+
+// pick draws a uniform value in [0, n) for one (seed, index, axis).
+func pick(seed int64, i int, axis int64, n uint64) uint64 {
+	return sim.Mix64(seed, int64(i), axis) % n
+}
+
+// Generate builds scenario number i of the corpus keyed by seed. The
+// result always passes scenario.Validate; same inputs always produce
+// the same file.
+func Generate(seed int64, i int) *scenario.File {
+	shape := Shapes[i%len(Shapes)]
+	f := &scenario.File{
+		Name: fmt.Sprintf("gen-%03d-%s", i, shape),
+		Seed: int64(sim.Mix64(seed, int64(i), axFileSeed) >> 1), // keep it non-negative
+	}
+	switch shape {
+	case "timeshare":
+		genTimeshare(f, seed, i)
+	case "incremental":
+		genIncremental(f, seed, i)
+	case "faults":
+		genFaults(f, seed, i)
+	case "search":
+		genSearch(f, seed, i)
+	case "quorum":
+		genQuorum(f, seed, i)
+	case "commit2pc":
+		genCommit2PC(f, seed, i)
+	}
+	return f
+}
+
+// Matrix generates scenarios 0..n-1 of the corpus keyed by seed.
+func Matrix(seed int64, n int) []*scenario.File {
+	out := make([]*scenario.File, n)
+	for i := range out {
+		out[i] = Generate(seed, i)
+	}
+	return out
+}
+
+var policies = []string{"fifo", "idle-first", "priority"}
+
+// node makes a swappable node with a name unique across the file (node
+// names are control-network identities, so experiments cannot share
+// them).
+func node(exp string, j int) scenario.Node {
+	return scenario.Node{Name: fmt.Sprintf("%s-n%d", exp, j), Swappable: true}
+}
+
+// genTimeshare emits the multi-tenant mix: several small tenants over
+// a pool sized by the oversubscription axis, under a drawn policy and
+// swap mode. Fully-provisioned draws also exercise the explicit
+// checkpoint / swap-out / swap-in event path on the first tenant;
+// oversubscribed draws leave the churn to the preemptive scheduler.
+func genTimeshare(f *scenario.File, seed int64, i int) {
+	nTenants := 3 + int(pick(seed, i, axTenants, 4)) // 3..6
+	f.Policy = policies[pick(seed, i, axPolicy, 3)]
+	if pick(seed, i, axSwap, 2) == 1 {
+		f.Swap = "incremental"
+	}
+	loads := []string{"sleeploop", "diskchurn", "pingpong"}
+	total, maxNeed := 0, 0
+	for t := 0; t < nTenants; t++ {
+		name := fmt.Sprintf("t%d", t)
+		wl := loads[pick(seed, i, axWorkload+int64(t)<<8, 3)]
+		e := scenario.Experiment{Name: name, Workload: wl, Nodes: []scenario.Node{node(name, 0)}}
+		if wl == "pingpong" {
+			e.Nodes = append(e.Nodes, node(name, 1))
+			e.Links = []scenario.Link{{A: e.Nodes[0].Name, B: e.Nodes[1].Name}}
+		}
+		if f.Policy == "priority" {
+			e.Priority = int(pick(seed, i, axPriority+int64(t)<<8, 3))
+		}
+		if t > 0 {
+			e.SubmitAt = fmt.Sprintf("%ds", 5*t)
+		}
+		need := len(e.Nodes)
+		total += need
+		if need > maxNeed {
+			maxNeed = need
+		}
+		f.Experiments = append(f.Experiments, e)
+	}
+	// Oversubscription axis: 100% provisions everyone, 75%/60% make the
+	// scheduler time-share the pool.
+	pct := []uint64{100, 75, 60}[pick(seed, i, axOversub, 3)]
+	f.Pool = (total*int(pct) + 99) / 100
+	if f.Pool < maxNeed {
+		f.Pool = maxNeed
+	}
+	f.RunFor = "4m"
+	if int(pct) == 100 {
+		f.Events = []scenario.Event{
+			{At: "30s", Action: "checkpoint", Target: "t0"},
+			{At: "45s", Action: "swap_out", Target: "t0"},
+			{At: "2m", Action: "swap_in", Target: "t0"},
+		}
+		f.Assertions = append(f.Assertions,
+			scenario.Assertion{Type: "all_admitted"},
+			scenario.Assertion{Type: "min_checkpoints", Target: "t0", Value: 1},
+			scenario.Assertion{Type: "state", Target: "t0", Want: "running"},
+		)
+	}
+	f.Assertions = append(f.Assertions, scenario.Assertion{Type: "min_ticks", Target: "t0", Value: 1})
+}
+
+// genIncremental emits the storage-tier run: incremental swapping over
+// a disk or remote backend fronted by a delta cache, with the epoch
+// pipeline and an explicit park/resume cycle generating chain traffic.
+func genIncremental(f *scenario.File, seed int64, i int) {
+	f.Swap = "incremental"
+	backend := []string{"disk", "remote"}[pick(seed, i, axBackend, 2)]
+	f.Storage = &scenario.Storage{
+		Backend: backend,
+		CacheMB: int64(16 << pick(seed, i, axCache, 3)), // 16/32/64 MB
+	}
+	nTenants := 2 + int(pick(seed, i, axTenants, 2)) // 2..3
+	for t := 0; t < nTenants; t++ {
+		name := fmt.Sprintf("d%d", t)
+		e := scenario.Experiment{Name: name, Workload: "diskchurn", Nodes: []scenario.Node{node(name, 0)}}
+		if t == 0 {
+			e.Epochs = "20s"
+		}
+		f.Experiments = append(f.Experiments, e)
+	}
+	f.Pool = nTenants
+	f.RunFor = "4m"
+	f.Events = []scenario.Event{
+		{At: "30s", Action: "checkpoint", Target: "d0"},
+		{At: "70s", Action: "checkpoint", Target: "d0"},
+		{At: "90s", Action: "swap_out", Target: "d0"},
+		{At: "2m30s", Action: "swap_in", Target: "d0"},
+	}
+	f.Assertions = []scenario.Assertion{
+		{Type: "min_checkpoints", Target: "d0", Value: 2},
+		{Type: "state", Target: "d0", Want: "running"},
+		{Type: "min_ticks", Target: "d0", Value: 1},
+	}
+}
+
+// genFaults emits the injection-and-recovery run: a crash against an
+// epoch-protected tenant plus control-LAN loss, delay, and a slow
+// disk, then an explicit recover from the last committed epoch.
+func genFaults(f *scenario.File, seed int64, i int) {
+	nTenants := 1 + int(pick(seed, i, axTenants, 2)) // 1..2
+	for t := 0; t < nTenants; t++ {
+		name := fmt.Sprintf("v%d", t)
+		e := scenario.Experiment{Name: name, Workload: "diskchurn", Nodes: []scenario.Node{node(name, 0)}}
+		if t == 0 {
+			e.Epochs = "15s"
+		}
+		f.Experiments = append(f.Experiments, e)
+	}
+	f.Pool = nTenants
+	f.RunFor = "4m"
+	f.Faults = []scenario.Fault{
+		{Kind: "drop", At: "25s", Target: "v0", Count: 1 + int(pick(seed, i, axFaultNode, 2))},
+		{Kind: "delay", At: "40s", Target: "v0", For: "30s"},
+		{Kind: "slow_disk", At: "50s", Target: "v0", Node: "v0-n0", For: "20s"},
+		{Kind: "crash", At: "80s", Target: "v0"},
+	}
+	f.Events = []scenario.Event{
+		{At: "2m", Action: "recover", Target: "v0"},
+	}
+	f.Assertions = []scenario.Assertion{
+		{Type: "recovered", Target: "v0"},
+		{Type: "state", Target: "v0", Want: "running"},
+	}
+}
+
+// genSearch emits the gang-admitted branch fan-out: a racy
+// leader-election parent is checkpointed, then forked into a batch of
+// branches whose perturbation seeds explore different interleavings.
+func genSearch(f *scenario.File, seed int64, i int) {
+	fanOut := 2 + int(pick(seed, i, axFanOut, 3)) // 2..4
+	e := scenario.Experiment{
+		Name: "race", Workload: "racyelect",
+		Nodes: []scenario.Node{node("race", 0), node("race", 1)},
+		Links: []scenario.Link{{A: "race-n0", B: "race-n1"}},
+	}
+	f.Experiments = []scenario.Experiment{e}
+	// Gang admission needs parent + all branches resident at once.
+	f.Pool = 2 * (fanOut + 1)
+	f.RunFor = "3m"
+	seeds := make([]int64, fanOut)
+	for b := range seeds {
+		seeds[b] = int64(sim.Mix64(seed, int64(i), axFanOut, int64(b)) >> 1)
+	}
+	f.Search = &scenario.Search{
+		Parent: "race", CheckpointAt: "20s", BranchAt: "40s",
+		FanOut: fanOut, Seeds: seeds,
+	}
+	f.Assertions = []scenario.Assertion{
+		{Type: "all_branches_admitted"},
+		{Type: "min_distinct_outcomes", Value: 1},
+	}
+}
+
+// genQuorum emits the leader-election workload: a LAN of members whose
+// first-elected leader crash-stops at a seed-derived instant, forcing
+// failure detection and a bully re-election — with a checkpoint mid-run
+// so the protocol demonstrably survives the control plane's attention.
+func genQuorum(f *scenario.File, seed int64, i int) {
+	n := 3 + int(pick(seed, i, axNodes, 3)) // 3..5
+	e := scenario.Experiment{Name: "q", Workload: "quorum"}
+	var members []string
+	for j := 0; j < n; j++ {
+		nd := node("q", j)
+		e.Nodes = append(e.Nodes, nd)
+		members = append(members, nd.Name)
+	}
+	e.LANs = []scenario.LAN{{Name: "qlan", Members: members}}
+	f.Experiments = []scenario.Experiment{e}
+	f.Pool = n
+	f.RunFor = "3m"
+	f.Events = []scenario.Event{{At: "30s", Action: "checkpoint", Target: "q"}}
+	f.Assertions = []scenario.Assertion{
+		{Type: "state", Target: "q", Want: "running"},
+		{Type: "min_ticks", Target: "q", Value: 1},
+	}
+}
+
+// genCommit2PC emits the 2PC workload: coordinator and participants on
+// a LAN running prepare/commit/abort rounds; half the seed space
+// crash-stops the coordinator mid-round and blocks the yes-voters.
+func genCommit2PC(f *scenario.File, seed int64, i int) {
+	n := 3 + int(pick(seed, i, axNodes, 2)) // 3..4
+	e := scenario.Experiment{Name: "tx", Workload: "commit2pc"}
+	var members []string
+	for j := 0; j < n; j++ {
+		nd := node("tx", j)
+		e.Nodes = append(e.Nodes, nd)
+		members = append(members, nd.Name)
+	}
+	e.LANs = []scenario.LAN{{Name: "txlan", Members: members}}
+	f.Experiments = []scenario.Experiment{e}
+	f.Pool = n
+	f.RunFor = "3m"
+	f.Events = []scenario.Event{{At: "40s", Action: "checkpoint", Target: "tx"}}
+	f.Assertions = []scenario.Assertion{
+		{Type: "state", Target: "tx", Want: "running"},
+		{Type: "min_ticks", Target: "tx", Value: 1},
+	}
+}

@@ -1,0 +1,134 @@
+package scengen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"emucheck/internal/scenario"
+)
+
+// TestGeneratedScenariosValidate sweeps several seeds and a window of
+// indices: every generated file must pass scenario.Validate, since the
+// suite runner treats a validation error as a run error.
+func TestGeneratedScenariosValidate(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42, 1 << 40} {
+		for i := 0; i < 24; i++ {
+			f := Generate(seed, i)
+			if errs := scenario.Validate(f); len(errs) > 0 {
+				t.Errorf("seed %d index %d (%s): %v", seed, i, f.Name, errs)
+			}
+		}
+	}
+}
+
+// TestShapeRotation pins the rotation contract: index i produces shape
+// Shapes[i%len(Shapes)], so any window of six consecutive indices
+// covers the full catalog.
+func TestShapeRotation(t *testing.T) {
+	for i := 0; i < 2*len(Shapes); i++ {
+		f := Generate(3, i)
+		want := Shapes[i%len(Shapes)]
+		if !strings.HasSuffix(f.Name, want) {
+			t.Errorf("index %d: name %q, want shape suffix %q", i, f.Name, want)
+		}
+	}
+}
+
+// TestGenerateDeterministic re-derives the same corpus twice and
+// demands byte equality: the generator may not consult any state
+// beyond (seed, index).
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Matrix(9, 24), Matrix(9, 24)
+	for i := range a {
+		aj, err := json.Marshal(a[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(b[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aj, bj) {
+			t.Errorf("index %d differs between identical generations:\n%s\n%s", i, aj, bj)
+		}
+	}
+}
+
+// TestSeedsDecorrelate guards against the axes collapsing: different
+// generator seeds must not yield an identical corpus, or the seed knob
+// would be decorative.
+func TestSeedsDecorrelate(t *testing.T) {
+	a, b := Matrix(1, 24), Matrix(2, 24)
+	same := 0
+	for i := range a {
+		aj, _ := json.Marshal(a[i])
+		bj, _ := json.Marshal(b[i])
+		if bytes.Equal(aj, bj) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("seeds 1 and 2 generated identical %d-scenario corpora", len(a))
+	}
+}
+
+// TestMatrixAxisSpread checks a default-size matrix actually spreads
+// across the interesting axes rather than collapsing to one corner:
+// both swap modes, a storage cache, faults, a branch search, and both
+// distributed workloads must appear.
+func TestMatrixAxisSpread(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range Matrix(1, 24) {
+		if f.Swap == "incremental" {
+			seen["swap:incremental"] = true
+		} else {
+			seen["swap:full"] = true
+		}
+		if f.Storage != nil && f.Storage.CacheMB > 0 {
+			seen["storage:cache"] = true
+		}
+		if len(f.Faults) > 0 {
+			seen["faults"] = true
+		}
+		if f.Search != nil {
+			seen["branching"] = true
+		}
+		for _, e := range f.Experiments {
+			seen["workload:"+e.Workload] = true
+		}
+	}
+	for _, want := range []string{
+		"swap:incremental", "swap:full", "storage:cache", "faults",
+		"branching", "workload:quorum", "workload:commit2pc",
+	} {
+		if !seen[want] {
+			t.Errorf("24-scenario matrix never hits axis %s (saw %v)", want, keys(seen))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestGeneratedNamesUnique: corpus files land in one directory under
+// -gen-out, so names must be unique across any realistic matrix size.
+func TestGeneratedNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i, f := range Matrix(1, 48) {
+		if seen[f.Name] {
+			t.Fatalf("duplicate generated name %q at index %d", f.Name, i)
+		}
+		seen[f.Name] = true
+		if f.Name != fmt.Sprintf("gen-%03d-%s", i, Shapes[i%len(Shapes)]) {
+			t.Errorf("index %d: unexpected name %q", i, f.Name)
+		}
+	}
+}

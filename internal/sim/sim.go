@@ -310,3 +310,20 @@ func (s *Simulator) Uniform(lo, hi Time) Time {
 	}
 	return lo + Time(s.rng.Int63n(int64(hi-lo)))
 }
+
+// Mix64 folds the given values through a SplitMix64 finalizer chain and
+// returns the mixed word. It is the deterministic seed-derivation
+// primitive for anything that must vary arithmetically with a seed and
+// an index without consuming any RNG stream: workload parameter draws,
+// generated-scenario axes, per-app vote schedules. Same inputs, same
+// output, on any platform.
+func Mix64(vs ...int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h ^= uint64(v)
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}

@@ -1,6 +1,9 @@
 package storage
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Addr is the content address of a committed epoch: a deterministic
 // hash over the epoch's dirtied blocks (sorted by virtual address, with
@@ -173,4 +176,35 @@ func (cs *ChainStore) StoredBytes() int64 {
 		n += ent.e.DiskBytes()
 	}
 	return n
+}
+
+// Audit cross-checks the store against the reference counts the live
+// lineages imply: expected maps each address to the number of chain
+// segments that should hold it. It reports every discrepancy — an entry
+// whose refcount disagrees with its referents, a non-positive refcount
+// (a GC leak in waiting), or an orphaned entry no lineage can reach.
+// An empty result means the store and its lineages are consistent.
+func (cs *ChainStore) Audit(expected map[Addr]int) []error {
+	var errs []error
+	for a, ent := range cs.epochs {
+		if ent.refs <= 0 {
+			errs = append(errs, fmt.Errorf("storage: entry %#x has non-positive refcount %d", uint64(a), ent.refs))
+		}
+		want, ok := expected[a]
+		if !ok {
+			errs = append(errs, fmt.Errorf("storage: orphaned entry %#x (refs=%d, %d bytes) unreachable from any live lineage",
+				uint64(a), ent.refs, ent.e.DiskBytes()))
+			continue
+		}
+		if ent.refs != want {
+			errs = append(errs, fmt.Errorf("storage: entry %#x refcount %d, live lineages reference it %d times",
+				uint64(a), ent.refs, want))
+		}
+	}
+	for a, want := range expected {
+		if _, ok := cs.epochs[a]; !ok {
+			errs = append(errs, fmt.Errorf("storage: lineages reference %#x (%d refs) but the store lost it", uint64(a), want))
+		}
+	}
+	return errs
 }

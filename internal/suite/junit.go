@@ -1,0 +1,104 @@
+package suite
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// JUnit XML shapes, matching the de-facto schema CI systems render.
+// The time attributes carry *simulated* seconds: deterministic, so the
+// XML for a given seed is stable byte-for-byte across machines.
+type junitFailure struct {
+	Message string `xml:"message,attr"`
+	Body    string `xml:",chardata"`
+}
+
+type junitCase struct {
+	XMLName   xml.Name      `xml:"testcase"`
+	Name      string        `xml:"name,attr"`
+	Classname string        `xml:"classname,attr"`
+	Time      string        `xml:"time,attr"`
+	Error     *junitFailure `xml:"error,omitempty"`
+	Failure   *junitFailure `xml:"failure,omitempty"`
+}
+
+type junitSuite struct {
+	XMLName  xml.Name    `xml:"testsuite"`
+	Name     string      `xml:"name,attr"`
+	Tests    int         `xml:"tests,attr"`
+	Failures int         `xml:"failures,attr"`
+	Errors   int         `xml:"errors,attr"`
+	Time     string      `xml:"time,attr"`
+	Cases    []junitCase `xml:"testcase"`
+}
+
+// failureBody collects everything that went wrong with a run into the
+// failure element's text: failed invariants, failed scenario checks,
+// and event errors.
+func failureBody(rr RunReport) (message, body string) {
+	var lines []string
+	for _, inv := range rr.Invariants {
+		if !inv.Ok {
+			lines = append(lines, fmt.Sprintf("invariant %s: %s", inv.Name, inv.Detail))
+		}
+	}
+	if rr.Result != nil {
+		for _, ch := range rr.Result.Checks {
+			if !ch.Ok {
+				lines = append(lines, fmt.Sprintf("check: %s (%s)", ch.Desc, ch.Detail))
+			}
+		}
+		for _, ev := range rr.Result.EventErrors {
+			lines = append(lines, "event error: "+ev)
+		}
+	}
+	if len(lines) == 0 {
+		return "run failed", ""
+	}
+	return lines[0], strings.Join(lines, "\n")
+}
+
+// JUnit renders the corpus report as JUnit XML under the given suite
+// name. Scenarios that errored before running become <error> cases;
+// failed assertions or invariants become <failure> cases.
+func (r *Report) JUnit(suiteName string) ([]byte, error) {
+	js := junitSuite{Name: suiteName, Tests: len(r.Runs)}
+	var simTotal float64
+	for _, rr := range r.Runs {
+		simTotal += rr.SimSeconds
+		c := junitCase{
+			Name:      rr.Name,
+			Classname: suiteName + "." + classname(rr.Source),
+			Time:      fmt.Sprintf("%.3f", rr.SimSeconds),
+		}
+		switch {
+		case rr.Error != "":
+			js.Errors++
+			c.Error = &junitFailure{Message: "scenario did not run", Body: rr.Error}
+		case !rr.Pass:
+			js.Failures++
+			msg, body := failureBody(rr)
+			c.Failure = &junitFailure{Message: msg, Body: body}
+		}
+		js.Cases = append(js.Cases, c)
+	}
+	js.Time = fmt.Sprintf("%.3f", simTotal)
+	data, err := xml.MarshalIndent(js, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), append(data, '\n')...), nil
+}
+
+// classname turns a run's source into a JUnit class segment: generated
+// runs group under "generated", file runs under the file's own name
+// with path separators and the extension stripped.
+func classname(source string) string {
+	if source == "" || source == "generated" {
+		return "generated"
+	}
+	s := strings.TrimSuffix(source, ".json")
+	s = strings.ReplaceAll(s, "/", ".")
+	return strings.TrimPrefix(s, ".")
+}

@@ -7,6 +7,7 @@
 package emucheck_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -370,9 +371,11 @@ var (
 // growing the fleet 10x (over a pool that stops growing at 256 nodes)
 // must grow the mean wall-clock cost per scheduler decision by well
 // under 10x — the indexed queue/victim structures' acceptance bar.
-// Decision cost is wall-clock, so the bound is deliberately loose (5x
-// against a ~2x measured ratio); a linear-scan regression shows up as
-// ~40x and fails regardless of machine noise.
+// Decision cost is wall-clock, so the bound is deliberately loose (8x
+// against a ~2-3x measured ratio; the zero-alloc event core shrank
+// absolute decision times enough that the short 1k measurement swings
+// ~3x run to run); a linear-scan regression shows up as ~40x and
+// fails regardless of machine noise.
 func BenchmarkScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		scaleOnce.Do(func() { scaleRes = evalrun.Scale(benchSeed, []int{1000, 10000}) })
@@ -386,9 +389,48 @@ func BenchmarkScale(b *testing.B) {
 		b.Fatalf("fleet did not drain: %d/%d at 1k, %d/%d at 10k",
 			r1k.Completed, r1k.Tenants, r10k.Completed, r10k.Tenants)
 	}
-	if r1k.MeanDecisionUS <= 0 || r10k.MeanDecisionUS >= 5*r1k.MeanDecisionUS {
+	if r1k.MeanDecisionUS <= 0 || r10k.MeanDecisionUS >= 8*r1k.MeanDecisionUS {
 		b.Fatalf("decision cost grew super-linearly: %.2f us at 1k -> %.2f us at 10k",
 			r1k.MeanDecisionUS, r10k.MeanDecisionUS)
+	}
+}
+
+var (
+	sbOnce sync.Once
+	sbRes  *evalrun.SuiteBenchResult
+)
+
+// BenchmarkSuiteParallel regenerates the corpus-throughput table: the
+// 24-scenario generated matrix run serially and on 2/4/8 workers. The
+// report must be byte-identical at every width (parallelism only moves
+// the wall clock) and the event core must stay allocation-free in
+// steady state. The >=2x speedup bar at 4 workers is the parallel
+// runner's acceptance criterion; it only holds where 4 cores exist, so
+// it is gated on NumCPU (CI runners have 4; a 1-core box still checks
+// identity and allocs, and reports its speedup as a metric).
+func BenchmarkSuiteParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sbOnce.Do(func() { sbRes = evalrun.SuiteBench(benchSeed, 24, nil) })
+	}
+	rows := map[int]evalrun.SuiteBenchRow{}
+	for _, r := range sbRes.Rows {
+		rows[r.Workers] = r
+	}
+	b.ReportMetric(rows[1].ScenariosPerS, "scen/s-serial")
+	b.ReportMetric(rows[4].ScenariosPerS, "scen/s-4workers")
+	b.ReportMetric(rows[4].Speedup, "x-speedup-4workers")
+	b.ReportMetric(sbRes.AllocsPerEvent, "allocs/event")
+	if sbRes.AllocsPerEvent != 0 {
+		b.Fatalf("event core allocates in steady state: %.0f allocs/event", sbRes.AllocsPerEvent)
+	}
+	for _, r := range sbRes.Rows {
+		if !r.Identical {
+			b.Fatalf("report at %d workers is not byte-identical to serial", r.Workers)
+		}
+	}
+	if runtime.NumCPU() >= 4 && rows[4].Speedup < 2 {
+		b.Fatalf("parallel corpus run only %.2fx faster at 4 workers on %d CPUs (want >=2x)",
+			rows[4].Speedup, runtime.NumCPU())
 	}
 }
 

@@ -273,7 +273,7 @@ func (c *Cluster) startBranch(sess *Session, staging *branchStaging, naiveBytes 
 		}
 		staging.wait(fn)
 	}
-	c.S.After(swap.NodeSetupTime, "cluster.branch-provision", func() {
+	c.S.DoAfter(swap.NodeSetupTime, "cluster.branch-provision", func() {
 		stage(func() {
 			exp, err := c.TB.SwapIn(sess.Scenario.Spec)
 			if err != nil {

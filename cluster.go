@@ -328,7 +328,7 @@ func (c *Cluster) wireTenant(sess *Session, exp *emulab.Experiment) {
 // fails the admission (the scheduler retires the job) instead of
 // taking the testbed down.
 func (c *Cluster) startTenant(sess *Session, done func(error)) {
-	c.S.After(swap.NodeSetupTime, "cluster.provision", func() {
+	c.S.DoAfter(swap.NodeSetupTime, "cluster.provision", func() {
 		exp, err := c.TB.SwapIn(sess.Scenario.Spec)
 		if err != nil {
 			sess.LastErr = fmt.Errorf("emucheck: admit %s: %v", sess.Scenario.Spec.Name, err)
@@ -352,7 +352,7 @@ func (c *Cluster) parkTenant(sess *Session, done func(error)) {
 	if c.Stateless {
 		c.TB.SwapOutStateless(sess.Exp)
 		sess.Exp = nil
-		c.S.After(0, "cluster.stateless-out", func() { done(nil) })
+		c.S.DoAfter(0, "cluster.stateless-out", func() { done(nil) })
 		return
 	}
 	err := sess.Exp.Swap.SwapOut(c.swapOptions(sess), func(_ []*swap.OutReport, serr error) {
@@ -379,7 +379,7 @@ func (c *Cluster) parkTenant(sess *Session, done func(error)) {
 // progress.
 func (c *Cluster) resumeTenant(sess *Session, done func(error)) {
 	if c.Stateless || sess.Exp == nil {
-		c.S.After(swap.NodeSetupTime+swap.GoldenFetchTime, "cluster.stateless-in", func() {
+		c.S.DoAfter(swap.NodeSetupTime+swap.GoldenFetchTime, "cluster.stateless-in", func() {
 			exp, err := c.TB.SwapInByName(sess.Scenario.Spec.Name)
 			if err != nil {
 				sess.LastErr = fmt.Errorf("emucheck: readmit %s: %v", sess.Scenario.Spec.Name, err)
@@ -689,7 +689,7 @@ func (c *Cluster) InjectFaults(p *fault.Plan) {
 			// active window ends.
 			slowDisks[n]++
 			n.M.Disk.SetThrottle(1 - 1/factor)
-			c.S.After(d, "fault.slow-disk-end", func() {
+			c.S.DoAfter(d, "fault.slow-disk-end", func() {
 				slowDisks[n]--
 				if slowDisks[n] == 0 {
 					n.M.Disk.SetThrottle(0)
@@ -713,7 +713,7 @@ func (c *Cluster) InjectFaults(p *fault.Plan) {
 			sr.count++
 			hv.CopyRateMem = int64(float64(hv.CopyRateMem) / factor)
 			hv.CopyRateNet = int64(float64(hv.CopyRateNet) / factor)
-			c.S.After(d, "fault.slow-save-end", func() {
+			c.S.DoAfter(d, "fault.slow-save-end", func() {
 				sr.count--
 				if sr.count == 0 {
 					hv.CopyRateMem, hv.CopyRateNet = sr.mem, sr.net

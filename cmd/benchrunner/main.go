@@ -81,7 +81,7 @@ func appendSnapshot(path, label string, seed int64, keys []string, results map[s
 func main() {
 	var (
 		fig        = flag.Int("fig", 0, "figure number to regenerate (4-9)")
-		table      = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare | branch | recovery | storage | scale | suite")
+		table      = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare | branch | recovery | storage | scale | suite | suitebench")
 		all        = flag.Bool("all", false, "regenerate everything")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		quick      = flag.Bool("quick", false, "reduced workload sizes")
@@ -192,6 +192,7 @@ func main() {
 		suiteCount = 12
 	}
 	runT("suite", "Scenario corpus under shared suite invariants", func() renderer { return evalrun.SuiteTable(*seed, suiteCount) })
+	runT("suitebench", "Corpus throughput: serial vs parallel workers", func() renderer { return evalrun.SuiteBench(*seed, suiteCount, nil) })
 
 	if !ran {
 		flag.Usage()

@@ -27,8 +27,10 @@ func TestRunJUnitGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The source path is part of the classname attribute, so the test
-	// passes the path the CLI would see from the repo root.
-	got, rr, err := junitReport(f, "examples/scenarios/swapcycle.json")
+	// passes the path the CLI would see from the repo root. Two workers
+	// run the scenario's run + replay pair concurrently; the golden
+	// comparison doubles as the byte-identity check for that path.
+	got, rr, err := junitReport(f, "examples/scenarios/swapcycle.json", 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	emucheck validate <scenario.json>
-//	emucheck run [-json] [-junit file] <scenario.json>
+//	emucheck run [-json] [-junit file] [-parallel N] <scenario.json>
 //	emucheck evalrun [-seed N] [-ticks N] [-json]
 //
 // Example scenarios live in examples/scenarios/ and are documented in
@@ -40,10 +40,12 @@ func usage() {
 
 commands:
   validate <scenario.json>   check a scenario file without running it
-  run [-json] [-junit file] <scenario.json>
+  run [-json] [-junit file] [-parallel N] <scenario.json>
                              replay a scenario and evaluate its assertions;
                              -junit additionally runs it under the suite's
-                             shared invariants and writes JUnit XML
+                             shared invariants and writes JUnit XML, with
+                             the run + replay pair executed on up to
+                             -parallel workers (report unchanged)
   evalrun [-seed N] [-ticks N] [-json]
                              multi-tenancy benchmark: incremental vs
                              full-copy vs stateless swapping
@@ -83,9 +85,10 @@ func cmdValidate(args []string) {
 // junitReport runs one scenario under the suite's shared invariants
 // and renders the single-case JUnit XML the -junit flag writes. It
 // reuses the suite's writer so emucheck and emusuite emit the same
-// format for the same run.
-func junitReport(f *scenario.File, source string) ([]byte, suite.RunReport, error) {
-	rr := suite.RunOne(f, source)
+// format for the same run. workers bounds how many of the scenario's
+// two executions (run + replay-digest re-run) proceed concurrently.
+func junitReport(f *scenario.File, source string, workers int) ([]byte, suite.RunReport, error) {
+	rr := suite.RunOneParallel(f, source, workers)
 	rep := &suite.Report{Schema: suite.Schema, Runs: []suite.RunReport{rr}}
 	if rr.Pass {
 		rep.Passed = 1
@@ -100,6 +103,7 @@ func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
 	junitPath := fs.String("junit", "", "run under the suite invariants and write JUnit XML to this file")
+	parallel := fs.Int("parallel", 0, "with -junit: max concurrent executions of the run + replay pair (0 = GOMAXPROCS, 1 = serial)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -108,7 +112,7 @@ func cmdRun(args []string) {
 	if *junitPath != "" {
 		// The suite runner replays the scenario for its determinism
 		// invariant, so the JUnit verdict covers more than the plain run.
-		data, rr, err := junitReport(loadFile(fs.Arg(0)), fs.Arg(0))
+		data, rr, err := junitReport(loadFile(fs.Arg(0)), fs.Arg(0), *parallel)
 		if err == nil {
 			err = os.WriteFile(*junitPath, data, 0o644)
 		}

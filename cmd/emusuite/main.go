@@ -8,16 +8,19 @@
 //
 // Usage:
 //
-//	emusuite [-seed N] [-count M] [-dir path] [-json] [-junit file] [-gen-out dir]
+//	emusuite [-seed N] [-count M] [-dir path] [-parallel N] [-json] [-junit file] [-gen-out dir]
 //
 // With -dir, every *.json under the directory runs; otherwise a
-// generated matrix of -count scenarios keyed by -seed runs. -json
-// emits the corpus report (schema emusuite/v1, no wall-clock fields:
-// two same-seed invocations are byte-identical). -junit writes JUnit
-// XML whose time attributes are simulated seconds. -gen-out writes the
-// generated corpus as scenario files and exits without running, so a
-// failing generated scenario can be reproduced under emucheck alone.
-// Exits nonzero when any run fails.
+// generated matrix of -count scenarios keyed by -seed runs. -parallel
+// bounds the worker pool running scenario executions concurrently
+// (default GOMAXPROCS, 1 forces serial); the emitted report is
+// byte-identical at any setting, so parallelism only moves the wall
+// clock. -json emits the corpus report (schema emusuite/v1, no
+// wall-clock fields: two same-seed invocations are byte-identical).
+// -junit writes JUnit XML whose time attributes are simulated seconds.
+// -gen-out writes the generated corpus as scenario files and exits
+// without running, so a failing generated scenario can be reproduced
+// under emucheck alone. Exits nonzero when any run fails.
 package main
 
 import (
@@ -89,6 +92,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the corpus report as JSON (schema emusuite/v1)")
 	junitPath := flag.String("junit", "", "write JUnit XML to this file")
 	genOut := flag.String("gen-out", "", "write the generated corpus as scenario files to this directory and exit")
+	parallel := flag.Int("parallel", 0, "max concurrent scenario executions (0 = GOMAXPROCS, 1 = serial); the report is byte-identical at any setting")
 	flag.Parse()
 
 	if *genOut != "" {
@@ -99,9 +103,9 @@ func main() {
 	var rep *suite.Report
 	if *dir != "" {
 		files, paths := loadDir(*dir)
-		rep = suite.RunFiles(files, paths)
+		rep = suite.RunFilesParallel(files, paths, *parallel)
 	} else {
-		rep = suite.RunMatrix(*seed, *count)
+		rep = suite.RunMatrixParallel(*seed, *count, *parallel)
 	}
 
 	if *junitPath != "" {

@@ -366,7 +366,7 @@ func (c *Coordinator) TriggerFromNode(nodeName string, done func(*Result, error)
 	// One bus hop from the triggering node to the coordinator daemon,
 	// then the normal event-driven fan-out.
 	hop := c.s.Jitter(sim.Millisecond) + 200*sim.Microsecond
-	c.s.After(hop, "core.node-trigger", func() {
+	c.s.DoAfter(hop, "core.node-trigger", func() {
 		if c.current != nil {
 			return // someone else got there first; their epoch covers us
 		}
@@ -464,11 +464,11 @@ func (c *Coordinator) abort(ep *epoch, err *EpochError) {
 	c.bus.Publish(&notify.Msg{Topic: notify.TopicAbort, From: "coordinator", Scope: c.Scope, Epoch: ep.n, Data: err})
 	for _, m := range c.nodes {
 		hv := m.HV
-		c.s.After(c.busHop(), "core.abort-thaw", func() { thawMember(hv) })
+		c.s.DoAfter(c.busHop(), "core.abort-thaw", func() { thawMember(hv) })
 	}
 	for _, d := range ep.frozenDNs {
 		d := d
-		c.s.After(c.busHop(), "core.abort-thaw-dn", func() {
+		c.s.DoAfter(c.busHop(), "core.abort-thaw-dn", func() {
 			if c.allCrashed() {
 				// The whole tenant died (the crash is what aborted this
 				// epoch): its network core stays frozen for recovery.
@@ -589,7 +589,7 @@ func (c *Coordinator) onCheckpointDelay(d *dummynet.DelayNode, msg *notify.Msg) 
 		at = c.s.Now() + sim.Microsecond
 	}
 	delay := at - c.s.Now()
-	c.s.After(delay, "core.freeze-delaynode", func() {
+	c.s.DoAfter(delay, "core.freeze-delaynode", func() {
 		if ep.phase == PhaseAborted {
 			return // the epoch died before the local trigger
 		}
@@ -673,7 +673,7 @@ func (c *Coordinator) onResume(m *Member, msg *notify.Msg) {
 		return
 	}
 	at := c.ntp.LocalTrigger(m.Name, msg.At)
-	c.s.After(at-c.s.Now(), "core.resume", func() {
+	c.s.DoAfter(at-c.s.Now(), "core.resume", func() {
 		if ep.phase == PhaseAborted {
 			return // the abort path already thawed this member
 		}
@@ -696,7 +696,7 @@ func (c *Coordinator) onResumeDelay(d *dummynet.DelayNode, msg *notify.Msg) {
 		return // never frozen
 	}
 	at := c.ntp.LocalTrigger(d.Name, msg.At)
-	c.s.After(at-c.s.Now(), "core.thaw-delaynode", func() {
+	c.s.DoAfter(at-c.s.Now(), "core.thaw-delaynode", func() {
 		if ep.phase != PhaseAborted {
 			d.Thaw()
 		}
@@ -775,7 +775,7 @@ func (p *PeriodicCheckpointer) Start(limit int) {
 }
 
 func (p *PeriodicCheckpointer) schedule() {
-	p.C.s.After(p.Interval, "periodic.ckpt", func() {
+	p.C.s.DoAfter(p.Interval, "periodic.ckpt", func() {
 		if p.stopped || p.C.dead {
 			return
 		}

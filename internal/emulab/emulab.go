@@ -464,7 +464,7 @@ func (ev *EventSystem) Schedule(nodeName string, at sim.Time, fn func()) error {
 	default:
 		// The server dispatches in real time, assuming virtual==real.
 		d := at - n.K.Monotonic() // correct only if no checkpoint intervenes
-		ev.e.TB.S.After(d, "event.server."+nodeName, func() {
+		ev.e.TB.S.DoAfter(d, "event.server."+nodeName, func() {
 			if n.K.Suspended() {
 				// Dispatch to a frozen node: the agent connection stalls;
 				// deliver (mistimed) when the node resumes. Modeled as
@@ -483,5 +483,5 @@ func (ev *EventSystem) deliverWhenLive(n *ExpNode, fn func()) {
 		fn()
 		return
 	}
-	ev.e.TB.S.After(100*sim.Millisecond, "event.retry", func() { ev.deliverWhenLive(n, fn) })
+	ev.e.TB.S.DoAfter(100*sim.Millisecond, "event.retry", func() { ev.deliverWhenLive(n, fn) })
 }

@@ -112,7 +112,7 @@ func runRecoveryMode(seed int64, period, crashAt, horizon sim.Time) RecoveryRow 
 	preCrash := ticks
 	// The facility's monitor reacts within a second of the node-down
 	// report and begins the revival.
-	c.S.After(sim.Second, "recovery.revive", func() {
+	c.S.DoAfter(sim.Second, "recovery.revive", func() {
 		var err error
 		if restart {
 			err = c.Restart(name)

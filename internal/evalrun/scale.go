@@ -156,13 +156,13 @@ func (f *scaleFleet) newTenant(idx int) *scaleTenant {
 			// Fixed-delay mechanism stubs: the fleet measures the
 			// scheduler/event hot path, not swap transfer costs.
 			Start: func(done func(error)) {
-				f.s.After(2*sim.Second, "fleet.start", func() {
+				f.s.DoAfter(2*sim.Second, "fleet.start", func() {
 					done(nil)
 					t.timer.Reset(t.interval)
 				})
 			},
 			Park: func(done func(error)) {
-				f.s.After(sim.Second, "fleet.park", func() {
+				f.s.DoAfter(sim.Second, "fleet.park", func() {
 					t.timer.Stop()
 					done(nil)
 					if t.sleeping {
@@ -171,7 +171,7 @@ func (f *scaleFleet) newTenant(idx int) *scaleTenant {
 				})
 			},
 			Resume: func(done func(error)) {
-				f.s.After(1500*sim.Millisecond, "fleet.resume", func() {
+				f.s.DoAfter(1500*sim.Millisecond, "fleet.resume", func() {
 					done(nil)
 					t.timer.Reset(t.interval)
 				})

@@ -1,0 +1,109 @@
+package evalrun
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"emucheck/internal/metrics"
+	"emucheck/internal/sim"
+	"emucheck/internal/suite"
+)
+
+// SuiteBenchRow is the corpus throughput at one worker-pool width:
+// the same generated matrix run serially and at increasing -parallel,
+// with the emitted report byte-compared against the serial one. The
+// wall-clock fields measure this machine (like ScaleRow's); Identical
+// is the portable claim — the report cannot tell the widths apart.
+type SuiteBenchRow struct {
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	// ScenariosPerS counts scenarios (not executions — each scenario
+	// also runs its replay-digest re-execution) per wall second.
+	ScenariosPerS float64 `json:"scenarios_per_s"`
+	// Speedup is serial wall time over this row's wall time.
+	Speedup float64 `json:"speedup_vs_serial"`
+	// Identical reports the emusuite/v1 JSON byte-compared equal to the
+	// serial run's — the parallel runner's ordering guarantee.
+	Identical bool `json:"report_byte_identical"`
+}
+
+// SuiteBenchResult is the corpus-throughput benchmark: scenarios/s at
+// 1/2/4/8 workers plus the event core's steady-state allocation cost.
+type SuiteBenchResult struct {
+	Seed  int64 `json:"seed"`
+	Count int   `json:"count"`
+	// AllocsPerEvent is testing.AllocsPerRun over a warm DoAt+Pop
+	// cycle: the simulator's steady-state per-event heap allocations.
+	// The PR 8 event core holds this at zero (free-listed events, no
+	// container/heap interface boxing).
+	AllocsPerEvent float64         `json:"allocs_per_event"`
+	Rows           []SuiteBenchRow `json:"rows"`
+}
+
+// eventCoreAllocs measures the event core's steady-state allocations:
+// a warm simulator scheduling and delivering one pooled event per
+// cycle with a hoisted callback.
+func eventCoreAllocs() float64 {
+	s := sim.New(1)
+	n := 0
+	fn := func() { n++ }
+	for i := 0; i < 64; i++ {
+		s.DoAfter(sim.Time(i)*sim.Microsecond, "warm", fn)
+	}
+	s.Run()
+	return testing.AllocsPerRun(200, func() {
+		s.DoAfter(sim.Microsecond, "steady", fn)
+		s.Step()
+	})
+}
+
+// SuiteBench runs the seed-keyed generated matrix at each worker-pool
+// width and reports the throughput curve. The serial row anchors both
+// the speedup normalization and the byte-identity comparison.
+func SuiteBench(seed int64, count int, workers []int) *SuiteBenchResult {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	r := &SuiteBenchResult{Seed: seed, Count: count, AllocsPerEvent: eventCoreAllocs()}
+	var serialJSON []byte
+	var serialMS float64
+	for _, w := range workers {
+		start := time.Now()
+		rep := suite.RunMatrixParallel(seed, count, w)
+		wall := time.Since(start)
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			panic("suitebench: marshal: " + err.Error())
+		}
+		row := SuiteBenchRow{Workers: w, WallMS: float64(wall.Nanoseconds()) / 1e6}
+		if row.WallMS > 0 {
+			row.ScenariosPerS = float64(count) / (row.WallMS / 1e3)
+		}
+		if serialJSON == nil {
+			serialJSON, serialMS = out, row.WallMS
+		}
+		row.Identical = bytes.Equal(out, serialJSON)
+		if row.WallMS > 0 {
+			row.Speedup = serialMS / row.WallMS
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// Render prints the throughput curve.
+func (r *SuiteBenchResult) Render() string {
+	t := &metrics.Table{Header: []string{
+		"workers", "wall (ms)", "scen/s", "speedup", "report identical"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Workers, fmt.Sprintf("%.0f", row.WallMS),
+			fmt.Sprintf("%.1f", row.ScenariosPerS),
+			fmt.Sprintf("%.2fx", row.Speedup), row.Identical)
+	}
+	s := fmt.Sprintf("seed %d, %d scenarios (x2 executions each); allocs/event (steady state) = %.0f\n",
+		r.Seed, r.Count, r.AllocsPerEvent)
+	return s + t.String()
+}

@@ -86,7 +86,11 @@ type Handle struct {
 	k     kind
 	fn    func()
 
-	ev   *sim.Event // armed underlying event, nil while suspended
+	// tm is the handle's reusable underlying event: the handle owns it
+	// exclusively (sim.Timer's single-owner contract), so one Event
+	// serves every arm across engage/disengage/replan cycles and the
+	// handle+event pair is a single allocation.
+	tm   sim.Timer
 	done bool
 
 	// kindTimer: absolute due time in the underlying simulator, valid
@@ -147,6 +151,7 @@ func (f *Firewall) After(class Class, d sim.Time, name string, fn func()) *Handl
 		d = 0
 	}
 	h := &Handle{fw: f, class: class, name: name, k: kindTimer, fn: fn}
+	f.s.InitTimer(&h.tm, name, h.fire)
 	f.pending[h] = struct{}{}
 	if f.engaged && class.Inside() {
 		// Scheduled from outside-code while frozen (e.g. a device
@@ -166,6 +171,7 @@ func (f *Firewall) Compute(class Class, cpu *node.CPU, work sim.Time, name strin
 		work = 0
 	}
 	h := &Handle{fw: f, class: class, name: name, k: kindCompute, fn: fn, cpu: cpu, workLeft: work}
+	f.s.InitTimer(&h.tm, name, h.fire)
 	f.pending[h] = struct{}{}
 	if f.engaged && class.Inside() {
 		return h
@@ -176,7 +182,7 @@ func (f *Firewall) Compute(class Class, cpu *node.CPU, work sim.Time, name strin
 
 // arm schedules the underlying event d of *virtual* time from now.
 func (h *Handle) arm(d sim.Time) {
-	h.ev = h.fw.s.After(h.fw.clock.ToReal(d), h.name, h.fire)
+	h.tm.Reset(h.fw.clock.ToReal(d))
 }
 
 func (h *Handle) armCompute() {
@@ -185,10 +191,9 @@ func (h *Handle) armCompute() {
 	if end == sim.Never {
 		// CPU indefinitely stalled; leave unarmed — Replan re-arms when
 		// the contention picture changes.
-		h.ev = nil
 		return
 	}
-	h.ev = h.fw.s.At(end, h.name, h.fire)
+	h.tm.Schedule(end)
 }
 
 func (h *Handle) fire() {
@@ -200,7 +205,6 @@ func (h *Handle) fire() {
 		}
 	}
 	h.done = true
-	h.ev = nil
 	delete(h.fw.pending, h)
 	h.fn()
 }
@@ -210,10 +214,7 @@ func (f *Firewall) Cancel(h *Handle) {
 	if h == nil || h.done {
 		return
 	}
-	if h.ev != nil {
-		f.s.Cancel(h.ev)
-		h.ev = nil
-	}
+	h.tm.Stop()
 	h.done = true
 	delete(f.pending, h)
 }
@@ -229,13 +230,13 @@ func (f *Firewall) Engage(engageLeak sim.Time) {
 	f.clock.Freeze(engageLeak)
 	now := f.s.Now()
 	for h := range f.pending {
-		if !h.class.Inside() || h.ev == nil {
+		if !h.class.Inside() || !h.tm.Pending() {
 			continue
 		}
 		switch h.k {
 		case kindTimer:
 			// Preserve the remaining delay in virtual units.
-			h.remaining = f.clock.ToVirtual(h.ev.When() - now)
+			h.remaining = f.clock.ToVirtual(h.tm.When() - now)
 			if h.remaining < 0 {
 				h.remaining = 0
 			}
@@ -246,8 +247,7 @@ func (f *Firewall) Engage(engageLeak sim.Time) {
 				h.workLeft = 0
 			}
 		}
-		f.s.Cancel(h.ev)
-		h.ev = nil
+		h.tm.Stop()
 	}
 }
 
@@ -260,7 +260,7 @@ func (f *Firewall) Disengage(disengageLeak sim.Time) {
 	f.engaged = false
 	f.clock.Thaw(disengageLeak)
 	for h := range f.pending {
-		if !h.class.Inside() || h.ev != nil {
+		if !h.class.Inside() || h.tm.Pending() {
 			continue
 		}
 		switch h.k {
@@ -285,14 +285,13 @@ func (f *Firewall) Replan() {
 		if h.k != kindCompute {
 			continue
 		}
-		if h.ev != nil {
+		if h.tm.Pending() {
 			progressed := h.cpu.Progress(h.startedAt, now)
 			h.workLeft -= progressed
 			if h.workLeft < 0 {
 				h.workLeft = 0
 			}
-			f.s.Cancel(h.ev)
-			h.ev = nil
+			h.tm.Stop()
 		}
 		h.armCompute()
 	}

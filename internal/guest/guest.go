@@ -199,10 +199,18 @@ type Kernel struct {
 	crashed          bool
 	lastDirtyAccrual sim.Time
 
-	// usleepLabel caches the Usleep event label: tick loops call Usleep
-	// every ~100 ms per tenant node, and at fleet scale rebuilding the
-	// concatenation per call is measurable allocation churn.
-	usleepLabel string
+	// labels caches the per-kernel event labels of the hot paths:
+	// Usleep fires every ~100 ms per tenant node, and every packet pays
+	// a tx or rx softirq and every block request a completion IRQ — at
+	// fleet scale rebuilding the name concatenation per call is
+	// measurable allocation churn (the PR 6 usleep fix, generalized by
+	// the PR 8 -memprofile sweep).
+	labels struct {
+		usleep  string
+		nettx   string
+		netrx   string
+		bioDone string
+	}
 
 	// Statistics.
 	SentPackets uint64
@@ -229,10 +237,13 @@ func New(m *node.Machine, p node.Params, cfg Config) *Kernel {
 			MaxResident: int(p.GuestMemBytes / int64(p.PageSize)),
 			ActiveWSS:   12000, // ~48 MB of hot pages between checkpoints
 		},
-		Backend:     &RawDiskBackend{Disk: m.Disk},
-		handlers:    make(map[string]func(simnet.Addr, *Message)),
-		usleepLabel: m.Name + ".usleep",
+		Backend:  &RawDiskBackend{Disk: m.Disk},
+		handlers: make(map[string]func(simnet.Addr, *Message)),
 	}
+	k.labels.usleep = m.Name + ".usleep"
+	k.labels.nettx = m.Name + ".nettx"
+	k.labels.netrx = m.Name + ".netrx"
+	k.labels.bioDone = m.Name + ".bio-done"
 	m.ExpNIC.OnReceive(k.receive)
 	return k
 }
@@ -276,7 +287,7 @@ func (k *Kernel) Usleep(d sim.Time, fn func()) *firewall.Handle {
 	jiffy := k.Jiffy()
 	wake := ((now+d)/jiffy + 1) * jiffy
 	delay := wake - now + k.M.Sim.Normal(k.P.WakeupJitterMean, k.P.WakeupJitterStddev)
-	return k.FW.After(firewall.TimerJob, delay, k.usleepLabel, fn)
+	return k.FW.After(firewall.TimerJob, delay, k.labels.usleep, fn)
 }
 
 // AfterVirtual arms a plain inside-firewall timer without tick rounding
@@ -324,7 +335,7 @@ func (k *Kernel) txPump() {
 	k.txBusy = true
 	pkt := k.txq[0]
 	k.txq = k.txq[1:]
-	k.FW.Compute(firewall.SoftIRQ, k.M.CPU, k.P.XenNetTxCost, k.Name+".nettx", func() {
+	k.FW.Compute(firewall.SoftIRQ, k.M.CPU, k.P.XenNetTxCost, k.labels.nettx, func() {
 		k.SentPackets++
 		k.M.ExpNIC.Send(pkt)
 		k.txPump()
@@ -347,7 +358,7 @@ func (k *Kernel) rxPump() {
 	k.rxBusy = true
 	pkt := k.rxq[0]
 	k.rxq = k.rxq[1:]
-	k.FW.Compute(firewall.SoftIRQ, k.M.CPU, k.P.XenNetRxCost, k.Name+".netrx", func() {
+	k.FW.Compute(firewall.SoftIRQ, k.M.CPU, k.P.XenNetRxCost, k.labels.netrx, func() {
 		k.RcvdPackets++
 		k.Dirty.TouchBytes(int64(pkt.Size))
 		if m, ok := pkt.Payload.(*Message); ok {
@@ -384,7 +395,7 @@ func (k *Kernel) WriteDisk(off, n int64, fn func()) {
 func (k *Kernel) ioDone(fn func()) {
 	k.inflightIO--
 	if fn != nil {
-		k.FW.After(firewall.SoftIRQ, 0, k.Name+".bio-done", fn)
+		k.FW.After(firewall.SoftIRQ, 0, k.labels.bioDone, fn)
 	}
 	if k.inflightIO == 0 && len(k.ioWaiters) > 0 {
 		ws := k.ioWaiters
@@ -402,7 +413,7 @@ func (k *Kernel) InflightIO() int { return k.inflightIO }
 // have completed.
 func (k *Kernel) drainIO(fn func()) {
 	if k.inflightIO == 0 {
-		k.M.Sim.After(0, k.Name+".drained", fn)
+		k.M.Sim.DoAfter(0, k.Name+".drained", fn)
 		return
 	}
 	k.ioWaiters = append(k.ioWaiters, fn)
@@ -434,7 +445,7 @@ func (k *Kernel) Suspend(done func()) error {
 	k.Clock.SetRunstate(vclock.Offline)
 	k.drainIO(func() {
 		// Device quiesce: tear down front-end/back-end connections.
-		k.M.Sim.After(k.P.DeviceQuiesce, k.Name+".quiesce", done)
+		k.M.Sim.DoAfter(k.P.DeviceQuiesce, k.Name+".quiesce", done)
 	})
 	return nil
 }
@@ -476,7 +487,7 @@ func (k *Kernel) Resume(fn func()) error {
 	}
 	k.resuming = true
 	_, disengageLeak := k.leakSplit()
-	k.M.Sim.After(k.P.DeviceReconnect, k.Name+".reconnect", func() {
+	k.M.Sim.DoAfter(k.P.DeviceReconnect, k.Name+".reconnect", func() {
 		k.resuming = false
 		if k.crashed {
 			// The machine died while devices were reconnecting: the guest

@@ -132,7 +132,7 @@ func (d *Disk) startNext() {
 	d.queue = d.queue[1:]
 	svc := d.ServiceTime(r.LBA, r.Bytes)
 	d.BusyTime += svc
-	d.s.After(svc, "disk.io", func() {
+	d.s.DoAfter(svc, "disk.io", func() {
 		d.headPos = r.LBA + r.Bytes
 		if r.Op == Read {
 			d.ReadBytes += r.Bytes
@@ -164,7 +164,7 @@ func (d *Disk) startNext() {
 // checkpointing guests stop submitting before draining.
 func (d *Disk) Drain(fn func()) {
 	if !d.active && len(d.queue) == 0 {
-		d.s.After(0, "disk.drain", fn)
+		d.s.DoAfter(0, "disk.drain", fn)
 		return
 	}
 	d.waiters = append(d.waiters, fn)

@@ -94,7 +94,7 @@ type Bus struct {
 	// conservation law the suite runner audits after every run.
 	Attempts uint64
 
-	perTopic map[string]*TopicStats
+	perTopic map[string]*topicEntry
 }
 
 // InFlight reports delivery attempts scheduled but not yet delivered —
@@ -145,14 +145,23 @@ func NewBus(s *sim.Simulator) *Bus {
 		BaseLatency: 180 * sim.Microsecond,
 		JitterMax:   1200 * sim.Microsecond,
 		subs:        make(map[subKey]*bucket),
-		perTopic:    make(map[string]*TopicStats),
+		perTopic:    make(map[string]*topicEntry),
 	}
+}
+
+// topicEntry is the bus's per-topic bookkeeping: the exported stats
+// plus the delivery event label, built once per topic instead of once
+// per publish — at fleet scale the "bus."+topic concatenation was a
+// measurable per-publish allocation (docs/scale.md).
+type topicEntry struct {
+	TopicStats
+	label string
 }
 
 // Topic reports one topic's delivery stats.
 func (b *Bus) Topic(topic string) TopicStats {
 	if st := b.perTopic[topic]; st != nil {
-		return *st
+		return st.TopicStats
 	}
 	return TopicStats{}
 }
@@ -161,15 +170,15 @@ func (b *Bus) Topic(topic string) TopicStats {
 func (b *Bus) Topics() map[string]TopicStats {
 	out := make(map[string]TopicStats, len(b.perTopic))
 	for t, st := range b.perTopic {
-		out[t] = *st
+		out[t] = st.TopicStats
 	}
 	return out
 }
 
-func (b *Bus) topicStats(topic string) *TopicStats {
+func (b *Bus) topicStats(topic string) *topicEntry {
 	st := b.perTopic[topic]
 	if st == nil {
-		st = &TopicStats{}
+		st = &topicEntry{label: "bus." + topic}
 		b.perTopic[topic] = st
 	}
 	return st
@@ -228,7 +237,7 @@ func (b *Bus) Publish(m *Msg) {
 	b.Published++
 	ts := b.topicStats(m.Topic)
 	ts.Published++
-	label := "bus." + m.Topic
+	label := ts.label
 	if m.Scope != "" {
 		b.deliver(m, b.subs[subKey{topic: m.Topic, scope: m.Scope}], ts, label)
 	}
@@ -237,7 +246,7 @@ func (b *Bus) Publish(m *Msg) {
 
 // deliver schedules one bucket's deliveries, compacting out cancelled
 // subscribers along the way.
-func (b *Bus) deliver(m *Msg, bk *bucket, ts *TopicStats, label string) {
+func (b *Bus) deliver(m *Msg, bk *bucket, ts *topicEntry, label string) {
 	if bk == nil {
 		return
 	}
@@ -259,7 +268,7 @@ func (b *Bus) deliver(m *Msg, bk *bucket, ts *TopicStats, label string) {
 			}
 			d += extra
 		}
-		b.s.After(d, label, func() {
+		b.s.DoAfter(d, label, func() {
 			b.Delivered++
 			ts.Delivered++
 			h(m)

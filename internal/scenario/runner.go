@@ -237,7 +237,7 @@ func RunWithCluster(f *File) (*Result, *emucheck.Cluster, error) {
 		if at == 0 {
 			submit()
 		} else {
-			c.S.At(at, "scenario.submit."+e.Name, submit)
+			c.S.DoAt(at, "scenario.submit."+e.Name, submit)
 		}
 	}
 
@@ -246,7 +246,7 @@ func RunWithCluster(f *File) (*Result, *emucheck.Cluster, error) {
 		ev := f.Events[i]
 		at, _ := parseDur(ev.At)
 		idx := expIndex(f, ev.Target)
-		c.S.At(at, "scenario."+ev.Action, func() {
+		c.S.DoAt(at, "scenario."+ev.Action, func() {
 			if err := applyEvent(c, ev, stats[idx]); err != nil {
 				evErr("t=%v %s %s: %v", c.Now(), ev.Action, ev.Target, err)
 			}
@@ -287,7 +287,7 @@ func RunWithCluster(f *File) (*Result, *emucheck.Cluster, error) {
 		parentExp := &f.Experiments[sIdx]
 		ckAt, _ := parseDur(s.CheckpointAt)
 		brAt, _ := parseDur(s.BranchAt)
-		c.S.At(ckAt, "scenario.search-ckpt", func() {
+		c.S.DoAt(ckAt, "scenario.search-ckpt", func() {
 			sess := c.Tenant(s.Parent)
 			if sess == nil {
 				evErr("t=%v search checkpoint: %s not submitted", c.Now(), s.Parent)
@@ -302,7 +302,7 @@ func RunWithCluster(f *File) (*Result, *emucheck.Cluster, error) {
 				evErr("t=%v search checkpoint: %v", c.Now(), err)
 			}
 		})
-		c.S.At(brAt, "scenario.search-branch", func() {
+		c.S.DoAt(brAt, "scenario.search-branch", func() {
 			sess := c.Tenant(s.Parent)
 			if sess == nil || sess.Tree.Len() <= 1 {
 				evErr("t=%v search branch: no branch-point checkpoint on %s", c.Now(), s.Parent)

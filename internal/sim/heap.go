@@ -1,0 +1,144 @@
+package sim
+
+// eventHeap is a 4-ary indexed min-heap specialized to *Event, ordered
+// by (when, seq). It replaces container/heap: the generic interface
+// boxed every Push/Pop operand into an `any` (one allocation per
+// schedule) and paid an indirect call per comparison and swap. Here
+// sift-up and sift-down are plain in-package code over a []*Event, so
+// the compiler inlines the comparisons and the only allocation left is
+// the slice's amortized growth.
+//
+// Four-way branching halves the tree depth of the binary heap the
+// standard library walks. Pop does more comparisons per level (up to
+// four children) but far fewer levels — and levels, not comparisons,
+// are the cache misses. The event queue is push/pop dominated
+// (every DoAt is eventually a Pop), so the shallower tree wins on the
+// fleet-scale workloads docs/scale.md measures.
+//
+// Each queued Event carries its heap index so Cancel and Reschedule
+// stay O(log n) removals/fixes instead of linear scans; index is -1
+// whenever the event is not queued.
+type eventHeap struct {
+	es []*Event
+}
+
+// eventLess is the one total order in the simulator: earlier time
+// first, insertion sequence breaking ties. Every determinism digest in
+// the repo pins this order.
+func eventLess(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) len() int { return len(h.es) }
+
+// peek returns the earliest event without removing it.
+func (h *eventHeap) peek() *Event { return h.es[0] }
+
+// push queues e and records its index.
+func (h *eventHeap) push(e *Event) {
+	e.index = len(h.es)
+	h.es = append(h.es, e)
+	h.siftUp(e.index)
+}
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() *Event {
+	es := h.es
+	e := es[0]
+	n := len(es) - 1
+	last := es[n]
+	es[n] = nil
+	h.es = es[:n]
+	e.index = -1
+	if n > 0 {
+		last.index = 0
+		h.es[0] = last
+		h.siftDown(0)
+	}
+	return e
+}
+
+// remove unqueues the event at index i (Cancel's path).
+func (h *eventHeap) remove(i int) {
+	es := h.es
+	e := es[i]
+	n := len(es) - 1
+	last := es[n]
+	es[n] = nil
+	h.es = es[:n]
+	e.index = -1
+	if i < n {
+		last.index = i
+		h.es[i] = last
+		if !h.siftDown(i) {
+			h.siftUp(i)
+		}
+	}
+}
+
+// fix restores heap order after the event at index i changed its key
+// (Reschedule's path).
+func (h *eventHeap) fix(i int) {
+	if !h.siftDown(i) {
+		h.siftUp(i)
+	}
+}
+
+func (h *eventHeap) siftUp(i int) {
+	es := h.es
+	e := es[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := es[parent]
+		if !eventLess(e, p) {
+			break
+		}
+		es[i] = p
+		p.index = i
+		i = parent
+	}
+	es[i] = e
+	e.index = i
+}
+
+// siftDown moves the event at index i toward the leaves and reports
+// whether it moved at all.
+func (h *eventHeap) siftDown(i int) bool {
+	es := h.es
+	n := len(es)
+	e := es[i]
+	start := i
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		// Pick the least of up to four children.
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(es[c], es[min]) {
+				min = c
+			}
+		}
+		m := es[min]
+		if !eventLess(m, e) {
+			break
+		}
+		es[i] = m
+		m.index = i
+		i = min
+	}
+	if i == start {
+		return false
+	}
+	es[i] = e
+	e.index = i
+	return true
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// oracleHeap is the pre-PR-8 container/heap implementation, kept
+// verbatim as the ordering oracle for the specialized 4-ary heap.
+type oracleHeap []*Event
+
+func (h oracleHeap) Len() int { return len(h) }
+func (h oracleHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oracleHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *oracleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// TestEventHeapMatchesOracle drives the 4-ary heap and the old
+// container/heap through identical seeded random workloads — pushes
+// with heavy timestamp collisions, interior removals, key changes —
+// and requires the drain order to agree event for event. Agreement
+// means the specialized heap preserves the exact (time, seq) total
+// order every determinism digest in the repo is pinned to.
+func TestEventHeapMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var h eventHeap
+		var o oracleHeap
+		byID := map[int]*Event{} // live events in the 4-ary heap, by insertion id
+		var mirror = map[int]*Event{}
+		seq := uint64(0)
+		id := 0
+
+		push := func() {
+			seq++
+			// Few distinct timestamps → constant tie-breaking via seq.
+			when := Time(rng.Intn(16))
+			a := &Event{when: when, seq: seq, index: -1}
+			b := &Event{when: when, seq: seq, index: -1}
+			h.push(a)
+			heap.Push(&o, b)
+			byID[id] = a
+			mirror[id] = b
+			id++
+		}
+		removeOne := func() {
+			for k, a := range byID { // any live event; map order is fine, same k on both sides
+				h.remove(a.index)
+				b := mirror[k]
+				for i, e := range o {
+					if e == b {
+						heap.Remove(&o, i)
+						break
+					}
+				}
+				delete(byID, k)
+				delete(mirror, k)
+				return
+			}
+		}
+		fixOne := func() {
+			for k, a := range byID {
+				seq++
+				when := Time(rng.Intn(16))
+				b := mirror[k]
+				a.when, a.seq = when, seq
+				b.when, b.seq = when, seq
+				h.fix(a.index)
+				for i, e := range o {
+					if e == b {
+						heap.Fix(&o, i)
+						break
+					}
+				}
+				return
+			}
+		}
+
+		for op := 0; op < 4000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 6:
+				push()
+			case r < 8:
+				removeOne()
+			default:
+				fixOne()
+			}
+			if h.len() != o.Len() {
+				t.Fatalf("seed %d op %d: len %d vs oracle %d", seed, op, h.len(), o.Len())
+			}
+			if h.len() > 0 {
+				want := o[0]
+				if got := h.peek(); got.when != want.when || got.seq != want.seq {
+					t.Fatalf("seed %d op %d: peek (%v,%d) vs oracle (%v,%d)",
+						seed, op, got.when, got.seq, want.when, want.seq)
+				}
+			}
+		}
+		// Drain both completely; order must agree exactly.
+		for o.Len() > 0 {
+			got := h.pop()
+			want := heap.Pop(&o).(*Event)
+			if got.when != want.when || got.seq != want.seq {
+				t.Fatalf("seed %d drain: pop (%v,%d) vs oracle (%v,%d)",
+					seed, got.when, got.seq, want.when, want.seq)
+			}
+			if got.index != -1 {
+				t.Fatalf("seed %d: popped event keeps heap index %d", seed, got.index)
+			}
+		}
+		if h.len() != 0 {
+			t.Fatalf("seed %d: heap not drained, %d left", seed, h.len())
+		}
+	}
+}
+
+// TestEventHeapIndexInvariant checks that every queued event's index
+// field always points at its own slot — Cancel and Reschedule depend
+// on it being exact at all times.
+func TestEventHeapIndexInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	var live []*Event
+	seq := uint64(0)
+	check := func() {
+		for i, e := range h.es {
+			if e.index != i {
+				t.Fatalf("event at slot %d has index %d", i, e.index)
+			}
+		}
+	}
+	for op := 0; op < 3000; op++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			seq++
+			e := &Event{when: Time(rng.Intn(32)), seq: seq, index: -1}
+			h.push(e)
+			live = append(live, e)
+		} else {
+			i := rng.Intn(len(live))
+			h.remove(live[i].index)
+			live = append(live[:i], live[i+1:]...)
+		}
+		check()
+	}
+}
+
+// TestDoAtPopAllocationFree pins the zero-alloc contract: with a warm
+// free list and a hoisted callback, a steady-state DoAt+Step cycle
+// performs no heap allocations at all.
+func TestDoAtPopAllocationFree(t *testing.T) {
+	s := New(1)
+	fired := 0
+	fn := func() { fired++ }
+	// Warm the pool and the heap slice.
+	for i := 0; i < 64; i++ {
+		s.DoAfter(Time(i)*Microsecond, "warm", fn)
+	}
+	s.Run()
+	if fired != 64 {
+		t.Fatalf("warm-up fired %d, want 64", fired)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.DoAfter(Microsecond, "steady", fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DoAt+Pop allocates %.1f per cycle, want 0", allocs)
+	}
+}
+
+// TestDoAtPoolRecycles checks fire-and-forget events actually return
+// to the free list and are reused rather than accumulating.
+func TestDoAtPoolRecycles(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 8; i++ {
+			s.DoAfter(Time(i)*Millisecond, "cycle", fn)
+		}
+		s.Run()
+	}
+	if got := len(s.free); got != 8 {
+		t.Fatalf("free list holds %d events after 10 rounds of 8, want 8", got)
+	}
+	for _, e := range s.free {
+		if e.fn != nil || e.name != "" {
+			t.Fatal("released event retains its callback or name")
+		}
+	}
+}
+
+// TestDoAtInterleavesWithAt checks pooled and handle events share one
+// (time, seq) order: scheduling order is firing order at equal times.
+func TestDoAtInterleavesWithAt(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.DoAt(Second, "a", func() { order = append(order, "a") })
+	s.At(Second, "b", func() { order = append(order, "b") })
+	s.DoAt(Second, "c", func() { order = append(order, "c") })
+	tm := s.NewTimer("d", func() { order = append(order, "d") })
+	tm.Schedule(Second)
+	s.DoAt(Second, "e", func() { order = append(order, "e") })
+	s.Run()
+	want := "abcde"
+	got := ""
+	for _, x := range order {
+		got += x
+	}
+	if got != want {
+		t.Fatalf("fire order %q, want %q", got, want)
+	}
+}
+
+// TestDoAtPastPanics mirrors At's causality check on the pooled path.
+func TestDoAtPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(Second, "advance", func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DoAt in the past did not panic")
+		}
+	}()
+	s.DoAt(0, "late", func() {})
+}
+
+// BenchmarkDoAtPop measures the pooled steady-state schedule+deliver
+// cycle; BenchmarkAtPop the handle-returning one, for comparison.
+func BenchmarkDoAtPop(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	s.DoAfter(0, "warm", fn)
+	s.Step()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.DoAfter(Microsecond, "bench", fn)
+		s.Step()
+	}
+}
+
+func BenchmarkAtPop(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(Microsecond, "bench", fn)
+		s.Step()
+	}
+}

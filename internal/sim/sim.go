@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -58,7 +57,11 @@ type Event struct {
 	fn        func()
 	index     int // heap index, -1 when not queued
 	cancelled bool
-	name      string
+	// pooled marks an event scheduled through DoAt/DoAfter: no handle
+	// escaped, so the simulator may recycle it through the free list the
+	// moment it is popped.
+	pooled bool
+	name   string
 }
 
 // When reports the time the event is scheduled to fire.
@@ -69,35 +72,6 @@ func (e *Event) Cancelled() bool { return e.cancelled }
 
 // Name reports the debug label given at scheduling time.
 func (e *Event) Name() string { return e.name }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
 
 // Simulator is the event loop. It is not safe for concurrent use; all
 // model code runs on the simulator's single logical thread, which is
@@ -110,6 +84,11 @@ type Simulator struct {
 	stopped bool
 	// fired counts delivered events, for diagnostics and test assertions.
 	fired uint64
+	// free is the recycled-Event pool feeding DoAt/DoAfter. Only events
+	// whose *Event handle never escaped (pooled) land here, so a stale
+	// handle can never cancel a recycled event. Bounded by the peak
+	// number of simultaneously queued fire-and-forget events.
+	free []*Event
 }
 
 // New creates a Simulator whose random source is seeded with seed.
@@ -127,7 +106,7 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending reports the number of events currently queued.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return s.queue.len() }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics: the models must never violate causality.
@@ -137,7 +116,7 @@ func (s *Simulator) At(t Time, name string, fn func()) *Event {
 	}
 	s.seq++
 	e := &Event{when: t, seq: s.seq, fn: fn, name: name}
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 	return e
 }
 
@@ -150,6 +129,48 @@ func (s *Simulator) After(d Time, name string, fn func()) *Event {
 	return s.At(s.now+d, name, fn)
 }
 
+// DoAt schedules fn at absolute time t without returning a handle. The
+// event comes from the simulator's free list and is recycled the moment
+// it fires, so steady-state fire-and-forget scheduling — the vast
+// majority of model events: activity ticks, transfer completions,
+// protocol timeouts that are never cancelled — allocates nothing.
+// Because no handle escapes, no caller can cancel a recycled event
+// through a stale pointer, which is the hazard that keeps At's events
+// out of the pool. Scheduling in the past panics, like At.
+func (s *Simulator) DoAt(t Time, name string, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, s.now))
+	}
+	s.seq++
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	*e = Event{when: t, seq: s.seq, fn: fn, name: name, pooled: true}
+	s.queue.push(e)
+}
+
+// DoAfter schedules fn to run d from now, handle-free and pooled like
+// DoAt. Negative d is clamped to zero, mirroring After.
+func (s *Simulator) DoAfter(d Time, name string, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.DoAt(s.now+d, name, fn)
+}
+
+// release returns a popped pooled event to the free list, dropping its
+// closure so the pool never pins model objects.
+func (s *Simulator) release(e *Event) {
+	e.fn = nil
+	e.name = ""
+	s.free = append(s.free, e)
+}
+
 // Cancel removes the event from the queue if it has not fired.
 // It is safe to cancel an already-fired or already-cancelled event.
 func (s *Simulator) Cancel(e *Event) {
@@ -160,7 +181,7 @@ func (s *Simulator) Cancel(e *Event) {
 		return
 	}
 	e.cancelled = true
-	heap.Remove(&s.queue, e.index)
+	s.queue.remove(e.index)
 }
 
 // Reschedule moves a pending event to a new absolute time, preserving its
@@ -176,7 +197,7 @@ func (s *Simulator) Reschedule(e *Event, t Time) {
 	e.when = t
 	s.seq++
 	e.seq = s.seq
-	heap.Fix(&s.queue, e.index)
+	s.queue.fix(e.index)
 }
 
 // Timer is a reusable one-shot alarm: one Event allocation serves the
@@ -186,7 +207,9 @@ func (s *Simulator) Reschedule(e *Event, t Time) {
 // fleet scale that is millions of allocations of pure churn. A Timer
 // is single-owner: only code holding the Timer can cancel it, which
 // sidesteps the stale-pointer hazard a general Event free-list would
-// have (a recycled Event cancelled through an old handle).
+// have (a recycled Event cancelled through an old handle). DoAt/DoAfter
+// close the remaining gap from the other side: events whose handle
+// never escapes are recycled through the simulator's free list.
 type Timer struct {
 	s *Simulator
 	e Event
@@ -196,9 +219,18 @@ type Timer struct {
 // callback is fixed for the timer's lifetime; arm it with Schedule or
 // Reset.
 func (s *Simulator) NewTimer(name string, fn func()) *Timer {
-	t := &Timer{s: s}
-	t.e = Event{fn: fn, name: name, index: -1}
+	t := &Timer{}
+	s.InitTimer(t, name, fn)
 	return t
+}
+
+// InitTimer initializes t in place as an unarmed timer — NewTimer
+// without the allocation, for callers that embed a Timer by value
+// inside a larger hot-path object (e.g. the temporal firewall's
+// per-activity handles) so handle and event are one allocation.
+func (s *Simulator) InitTimer(t *Timer, name string, fn func()) {
+	t.s = s
+	t.e = Event{fn: fn, name: name, index: -1}
 }
 
 // Pending reports whether the timer is armed and has not yet fired.
@@ -222,7 +254,7 @@ func (t *Timer) Schedule(at Time) {
 	t.s.seq++
 	e.seq = t.s.seq
 	e.when = at
-	heap.Push(&t.s.queue, e)
+	t.s.queue.push(e)
 }
 
 // Reset arms the timer to fire d from now (negative d is clamped to
@@ -248,14 +280,23 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Step delivers the single next event, if any, and reports whether one
 // was delivered.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+	for s.queue.len() > 0 {
+		e := s.queue.pop()
 		if e.cancelled {
+			if e.pooled {
+				s.release(e)
+			}
 			continue
 		}
 		s.now = e.when
 		s.fired++
-		e.fn()
+		fn := e.fn
+		if e.pooled {
+			// Recycle before running fn: the callback may immediately
+			// DoAt a follow-up, which then reuses this very Event.
+			s.release(e)
+		}
+		fn()
 		return true
 	}
 	return false
@@ -272,7 +313,7 @@ func (s *Simulator) Run() {
 // Events scheduled exactly at t are delivered.
 func (s *Simulator) RunUntil(t Time) {
 	s.stopped = false
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].when <= t {
+	for !s.stopped && s.queue.len() > 0 && s.queue.peek().when <= t {
 		if !s.Step() {
 			break
 		}

@@ -101,6 +101,12 @@ type NIC struct {
 
 	nextID uint64
 
+	// flows caches the "src>dst" flow label per destination: a NIC
+	// talks to a handful of peers and pays a Send per packet, so
+	// rebuilding the identical concatenation per call was one of the
+	// per-packet allocations the PR 8 -memprofile sweep removed.
+	flows map[Addr]string
+
 	TX, RX Counters
 	// Dropped counts packets discarded because no handler was attached.
 	Dropped uint64
@@ -136,7 +142,7 @@ func (n *NIC) QueuedTx() int { return n.txQueue }
 func (n *NIC) Send(pkt *Packet) sim.Time {
 	pkt.Src = n.addr
 	if pkt.Flow == "" {
-		pkt.Flow = string(pkt.Src) + ">" + string(pkt.Dst)
+		pkt.Flow = n.flowLabel(pkt.Dst)
 	}
 	n.nextID++
 	pkt.ID = n.nextID
@@ -155,11 +161,25 @@ func (n *NIC) Send(pkt *Packet) sim.Time {
 	n.TX.Packets++
 	n.TX.Bytes += uint64(pkt.Size)
 	out := n.out
-	n.sim.At(done, "nic.tx", func() {
+	n.sim.DoAt(done, "nic.tx", func() {
 		n.txQueue--
 		out.Accept(pkt)
 	})
 	return done
+}
+
+// flowLabel returns the cached "src>dst" label for a destination,
+// building it on first use.
+func (n *NIC) flowLabel(dst Addr) string {
+	if s, ok := n.flows[dst]; ok {
+		return s
+	}
+	if n.flows == nil {
+		n.flows = make(map[Addr]string)
+	}
+	s := string(n.addr) + ">" + string(dst)
+	n.flows[dst] = s
+	return s
 }
 
 // Accept implements Port for the receive side.
@@ -203,7 +223,7 @@ func (n *NIC) Thaw() {
 	gap := sim.Time(0)
 	for _, pkt := range log {
 		pkt := pkt
-		n.sim.After(gap, "nic.replay", func() { n.deliver(pkt) })
+		n.sim.DoAfter(gap, "nic.replay", func() { n.deliver(pkt) })
 		gap += n.replayGap
 	}
 }
@@ -256,7 +276,7 @@ func (w *Wire) Accept(pkt *Packet) {
 		w.Lost++
 		return
 	}
-	w.sim.After(w.delay, "wire", func() {
+	w.sim.DoAfter(w.delay, "wire", func() {
 		w.Delivered++
 		w.dst.Accept(pkt)
 	})
@@ -290,7 +310,7 @@ func (sw *Switch) Accept(pkt *Packet) {
 		sw.Unknown++
 		return
 	}
-	sw.sim.After(sw.latency, "switch", func() {
+	sw.sim.DoAfter(sw.latency, "switch", func() {
 		sw.Forwarded++
 		dst.Accept(pkt)
 	})

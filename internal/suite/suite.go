@@ -27,8 +27,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"emucheck"
@@ -94,48 +96,105 @@ func digest(res *scenario.Result) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// RunOne executes one scenario under the shared invariants. The
-// scenario runs twice — the second run exists purely to check the
-// replay-digest invariant — and the invariants are audited against the
-// first run's cluster.
-func RunOne(f *scenario.File, source string) RunReport {
+// execution is one deterministic run of a scenario: the parallel
+// runner's unit of work. Every scenario needs two (the second exists
+// purely to check the replay-digest invariant), and the two are as
+// independent as two different scenarios — each gets its own
+// simulator, cluster, and RNG stream — so the pool schedules them as
+// separate work items.
+type execution struct {
+	res *scenario.Result
+	c   *emucheck.Cluster
+	err error
+}
+
+// sem is the worker pool: a counting semaphore bounding how many
+// scenario executions run at once. A nil sem runs the caller inline
+// (the serial path shares all code with the parallel one).
+type sem chan struct{}
+
+func newSem(workers int) sem {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return make(sem, workers)
+}
+
+// exec runs one scenario execution under the pool bound.
+func (s sem) exec(f *scenario.File) execution {
+	if s != nil {
+		s <- struct{}{}
+		defer func() { <-s }()
+	}
+	var e execution
+	e.res, e.c, e.err = scenario.RunWithCluster(f)
+	return e
+}
+
+// assembleRun combines a scenario's two executions into its suite
+// verdict. Everything here is a pure function of the two executions
+// (which are themselves pure functions of the file), so the RunReport
+// is identical however the executions were scheduled — this is the
+// step that makes the parallel report byte-identical to the serial
+// one.
+func assembleRun(f *scenario.File, source string, first, replay execution) RunReport {
 	rr := RunReport{Name: f.Name, Source: source, Seed: f.Seed}
 	if d, err := time.ParseDuration(f.RunFor); err == nil {
 		rr.SimSeconds = d.Seconds()
 	}
-	res, c, err := scenario.RunWithCluster(f)
-	if err != nil {
-		rr.Error = err.Error()
+	if first.err != nil {
+		rr.Error = first.err.Error()
 		return rr
 	}
-	rr.Result = res
-	rr.Digest = digest(res)
+	rr.Result = first.res
+	rr.Digest = digest(first.res)
 
-	res2, _, err2 := scenario.RunWithCluster(f)
-	replay := InvariantCheck{Name: "replay-digest", Ok: false}
+	rd := InvariantCheck{Name: "replay-digest", Ok: false}
 	switch {
-	case err2 != nil:
-		replay.Detail = "replay errored: " + err2.Error()
-	case digest(res2) != rr.Digest:
-		replay.Detail = fmt.Sprintf("same-seed replay diverged: %s vs %s", rr.Digest, digest(res2))
+	case replay.err != nil:
+		rd.Detail = "replay errored: " + replay.err.Error()
+	case digest(replay.res) != rr.Digest:
+		rd.Detail = fmt.Sprintf("same-seed replay diverged: %s vs %s", rr.Digest, digest(replay.res))
 	default:
-		replay.Ok = true
-		replay.Detail = rr.Digest
+		rd.Ok = true
+		rd.Detail = rr.Digest
 	}
 	rr.Invariants = []InvariantCheck{
-		replay,
-		checkHardware(c),
-		checkChains(c),
-		checkBus(c),
-		checkLedgers(c),
+		rd,
+		checkHardware(first.c),
+		checkChains(first.c),
+		checkBus(first.c),
+		checkLedgers(first.c),
 	}
-	rr.Pass = res.Pass
+	rr.Pass = first.res.Pass
 	for _, inv := range rr.Invariants {
 		if !inv.Ok {
 			rr.Pass = false
 		}
 	}
 	return rr
+}
+
+// RunOne executes one scenario under the shared invariants. The
+// scenario runs twice — the second run exists purely to check the
+// replay-digest invariant — and the invariants are audited against the
+// first run's cluster.
+func RunOne(f *scenario.File, source string) RunReport {
+	return assembleRun(f, source, sem(nil).exec(f), sem(nil).exec(f))
+}
+
+// RunOneParallel is RunOne with the scenario's two executions run
+// concurrently on up to `workers` goroutines (0 means GOMAXPROCS).
+// The report is byte-identical to RunOne's.
+func RunOneParallel(f *scenario.File, source string, workers int) RunReport {
+	pool := newSem(workers)
+	var first, replay execution
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); first = pool.exec(f) }()
+	go func() { defer wg.Done(); replay = pool.exec(f) }()
+	wg.Wait()
+	return assembleRun(f, source, first, replay)
 }
 
 // checkHardware audits the pool ledger: free nodes within bounds, and
@@ -305,16 +364,49 @@ func coverageKeys(f *scenario.File) []string {
 	return keys
 }
 
-// RunFiles executes the given scenarios (sources names each one's
-// origin, parallel to files) and assembles the corpus report.
+// RunFiles executes the given scenarios serially (sources names each
+// one's origin, parallel to files) and assembles the corpus report.
 func RunFiles(files []*scenario.File, sources []string) *Report {
-	rep := &Report{Schema: Schema, Coverage: make(map[string]int)}
+	return RunFilesParallel(files, sources, 1)
+}
+
+// RunFilesParallel executes the corpus on a bounded worker pool of up
+// to `workers` concurrent scenario executions (0 means GOMAXPROCS).
+// Each scenario is an independent single-goroutine simulation, and so
+// is its replay-digest re-execution, so both fan out as separate work
+// items — a corpus of n scenarios is 2n pool tasks. Results are
+// assembled strictly in input order, and nothing in a RunReport
+// depends on scheduling, so the report — and its emusuite/v1 JSON and
+// JUnit renderings — is byte-identical to a serial run's. Speedup is
+// observable only on the wall clock (and in the suitebench table);
+// the report deliberately has nowhere to record it.
+func RunFilesParallel(files []*scenario.File, sources []string, workers int) *Report {
+	pool := newSem(workers)
+	runs := make([]RunReport, len(files))
+	var wg sync.WaitGroup
 	for i, f := range files {
 		src := "generated"
 		if i < len(sources) {
 			src = sources[i]
 		}
-		rr := RunOne(f, src)
+		wg.Add(1)
+		go func(i int, f *scenario.File, src string) {
+			defer wg.Done()
+			var first, replay execution
+			var pair sync.WaitGroup
+			pair.Add(2)
+			go func() { defer pair.Done(); first = pool.exec(f) }()
+			go func() { defer pair.Done(); replay = pool.exec(f) }()
+			pair.Wait()
+			// Assemble as soon as this scenario's own pair finishes; the
+			// indexed slot keeps input order whatever the completion order.
+			runs[i] = assembleRun(f, src, first, replay)
+		}(i, f, src)
+	}
+	wg.Wait()
+	rep := &Report{Schema: Schema, Coverage: make(map[string]int)}
+	for i, f := range files {
+		rr := runs[i]
 		rep.Runs = append(rep.Runs, rr)
 		if rr.Pass {
 			rep.Passed++
@@ -328,10 +420,17 @@ func RunFiles(files []*scenario.File, sources []string) *Report {
 	return rep
 }
 
-// RunMatrix generates and executes an n-scenario corpus keyed by seed.
+// RunMatrix generates and executes an n-scenario corpus keyed by seed,
+// serially.
 func RunMatrix(seed int64, n int) *Report {
+	return RunMatrixParallel(seed, n, 1)
+}
+
+// RunMatrixParallel is RunMatrix on a bounded worker pool (0 workers
+// means GOMAXPROCS); the report is byte-identical to RunMatrix's.
+func RunMatrixParallel(seed int64, n, workers int) *Report {
 	files := scengen.Matrix(seed, n)
-	rep := RunFiles(files, nil)
+	rep := RunFilesParallel(files, nil, workers)
 	rep.GenSeed = seed
 	return rep
 }

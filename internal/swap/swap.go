@@ -544,7 +544,7 @@ func (m *Manager) SwapOut(o Options, done func([]*OutReport, error)) error {
 			// scheduler must not crash a checkpointing tenant, and the
 			// park's lineage epoch must append after (never interleave
 			// with) an in-flight commit's.
-			m.S.After(500*sim.Millisecond, "swap.ckpt-wait", ckpt)
+			m.S.DoAfter(500*sim.Millisecond, "swap.ckpt-wait", ckpt)
 			return
 		}
 		err := m.Coord.Checkpoint(core.Options{
@@ -609,7 +609,7 @@ func (m *Manager) SwapOut(o Options, done func([]*OutReport, error)) error {
 // stream, since fair sharing is the pipe's job.
 func (m *Manager) streamOut(o Options, disk *node.Disk, bytes int64, done func(moved int64)) {
 	if bytes <= 0 {
-		m.S.After(0, "swap.stream0", func() { done(0) })
+		m.S.DoAfter(0, "swap.stream0", func() { done(0) })
 		return
 	}
 	remaining := 2
@@ -636,7 +636,7 @@ func (m *Manager) streamOut(o Options, disk *node.Disk, bytes int64, done func(m
 				fin()
 				return
 			}
-			m.S.After(floor-m.S.Now(), "swap.stream-pace", func() { read(cur + n) })
+			m.S.DoAfter(floor-m.S.Now(), "swap.stream-pace", func() { read(cur + n) })
 		}})
 	}
 	read(0)
@@ -644,7 +644,7 @@ func (m *Manager) streamOut(o Options, disk *node.Disk, bytes int64, done func(m
 		// The delta lands on the node-local snapshot disk: seek plus
 		// bandwidth on the disk's own medium, no control-LAN crossing.
 		m.stat("storage.local_bytes", bytes)
-		m.S.After(m.Backend.PutCost(bytes), "swap.local-stream", fin)
+		m.S.DoAfter(m.Backend.PutCost(bytes), "swap.local-stream", fin)
 		return
 	}
 	if m.tiered() {
@@ -768,7 +768,7 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 					done(reports, nil)
 				}
 			}
-			m.S.After(mergeDur, "swap.merge", nodeDone)
+			m.S.DoAfter(mergeDur, "swap.merge", nodeDone)
 			if spillBytes > 0 {
 				m.Server.StreamUpload(m.Tag, spillBytes, nodeDone)
 			}
@@ -780,7 +780,7 @@ func (m *Manager) afterFreeze(o Options, res *core.Result, reports []*OutReport,
 			// The residual delta flushes to the node-local snapshot
 			// disk, off the control LAN.
 			m.stat("storage.local_bytes", rep.ResidualBytes)
-			m.S.After(m.Backend.PutCost(rep.ResidualBytes), "swap.local-flush", afterFlush)
+			m.S.DoAfter(m.Backend.PutCost(rep.ResidualBytes), "swap.local-flush", afterFlush)
 		default:
 			if m.tiered() {
 				m.stat("storage.remote_bytes", rep.ResidualBytes)
@@ -860,7 +860,7 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport, error)) error {
 		}
 		stage2 := func() {
 			// Node setup + memory image download, then disk state.
-			m.S.After(NodeSetupTime, "swap.setup", func() {
+			m.S.DoAfter(NodeSetupTime, "swap.setup", func() {
 				memDone := func() {
 					rep.MemoryBytes = n.MemImageBytes
 					rep.DeltaBytes = diskBytes
@@ -879,7 +879,7 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport, error)) error {
 						// reads). No lazy mirror — prefetch overlap is what
 						// keeps the restore off the critical path.
 						plan.wait(func() {
-							m.S.After(plan.cost, "swap.stage-local", func() {
+							m.S.DoAfter(plan.cost, "swap.stage-local", func() {
 								finishNode(i)
 							})
 						})
@@ -920,7 +920,7 @@ func (m *Manager) SwapIn(o Options, done func([]*InReport, error)) error {
 		}
 		if !n.GoldenCached {
 			rep.GoldenFetched = true
-			m.S.After(GoldenFetchTime, "swap.frisbee", func() {
+			m.S.DoAfter(GoldenFetchTime, "swap.frisbee", func() {
 				n.GoldenCached = true
 				stage2()
 			})
@@ -1016,7 +1016,7 @@ func (m *Manager) CommitEpoch(done func(moved int64)) {
 		if len(blocks) == 0 && memPages == 0 && lin.Epochs() > 0 {
 			// Nothing dirtied since the last commit; the chain already
 			// replays to the current state.
-			m.S.After(0, "swap.commit0", fin)
+			m.S.DoAfter(0, "swap.commit0", fin)
 			continue
 		}
 		n.HV.K.Dirty.CutEpoch()
@@ -1029,7 +1029,7 @@ func (m *Manager) CommitEpoch(done func(moved int64)) {
 		m.stat("out.epoch_bytes", bytes)
 		switch {
 		case bytes <= 0:
-			m.S.After(0, "swap.commit0", fin)
+			m.S.DoAfter(0, "swap.commit0", fin)
 		case !m.tiered():
 			m.Server.StreamUpload(m.Tag, bytes, fin)
 		case m.localTier() && m.Backend.Fits(diskB):
@@ -1045,11 +1045,11 @@ func (m *Manager) CommitEpoch(done func(moved int64)) {
 					fin()
 				}
 			}
-			m.S.After(m.Backend.PutCost(diskB), "swap.epoch-local", leg)
+			m.S.DoAfter(m.Backend.PutCost(diskB), "swap.epoch-local", leg)
 			if memB > 0 {
 				m.Server.StreamUpload(m.Tag, memB, leg)
 			} else {
-				m.S.After(0, "swap.commit0", leg)
+				m.S.DoAfter(0, "swap.commit0", leg)
 			}
 		case m.localTier():
 			// The snapshot disk is known full upfront: the epoch is
@@ -1066,7 +1066,7 @@ func (m *Manager) CommitEpoch(done func(moved int64)) {
 			pc.remote = true
 			m.stat("storage.remote_bytes", diskB)
 			m.Server.StreamUploadBatch(m.Tag, []int64{diskB, memB}, func(int64) {
-				m.S.After(m.Backend.PutCost(diskB), "swap.epoch-rtt", fin)
+				m.S.DoAfter(m.Backend.PutCost(diskB), "swap.epoch-rtt", fin)
 			})
 		}
 		pend = append(pend, pc)
@@ -1185,7 +1185,7 @@ func (m *Manager) Recover(o Options, done func([]*InReport, error)) error {
 		}
 		reports[i] = rep
 		stage := func() {
-			m.S.After(NodeSetupTime, "swap.recover-setup", func() {
+			m.S.DoAfter(NodeSetupTime, "swap.recover-setup", func() {
 				m.Server.StreamDownload(m.Tag, memBytes, func() {
 					rep.MemoryBytes = memBytes
 					m.stat("in.mem_bytes", memBytes)
@@ -1199,7 +1199,7 @@ func (m *Manager) Recover(o Options, done func([]*InReport, error)) error {
 					}
 					if plan != nil {
 						plan.wait(func() {
-							m.S.After(plan.cost, "swap.recover-local", finishDisk)
+							m.S.DoAfter(plan.cost, "swap.recover-local", finishDisk)
 						})
 						return
 					}
@@ -1216,7 +1216,7 @@ func (m *Manager) Recover(o Options, done func([]*InReport, error)) error {
 		}
 		if !n.GoldenCached {
 			rep.GoldenFetched = true
-			m.S.After(GoldenFetchTime, "swap.recover-frisbee", func() {
+			m.S.DoAfter(GoldenFetchTime, "swap.recover-frisbee", func() {
 				n.GoldenCached = true
 				stage()
 			})

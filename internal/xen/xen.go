@@ -144,7 +144,7 @@ func (h *Hypervisor) rate(t SaveTarget) int64 {
 // residual background interference Fig. 5/6 observe.
 func (h *Hypervisor) copyOut(n int64, o SaveOptions, fn func()) {
 	if n <= 0 {
-		h.M.Sim.After(0, "xen.copy0", fn)
+		h.M.Sim.DoAfter(0, "xen.copy0", fn)
 		return
 	}
 	d := sim.Time(float64(n) / float64(h.rate(o.Target)) * float64(sim.Second))
@@ -154,7 +154,7 @@ func (h *Hypervisor) copyOut(n int64, o SaveOptions, fn func()) {
 		// Staged in dom0 memory; written back once, after resume.
 		h.stagedBytes += n
 	}
-	h.M.Sim.After(d, "xen.copy", fn)
+	h.M.Sim.DoAfter(d, "xen.copy", fn)
 }
 
 // Dom0Job models an operator command in the privileged domain: it steals
@@ -275,7 +275,7 @@ func (h *Hypervisor) preCopyRound(o SaveOptions, img *Image, round int, done fun
 		if wait > 100*sim.Millisecond {
 			wait = 100 * sim.Millisecond
 		}
-		h.M.Sim.After(wait, "xen.precopy-idle", func() {
+		h.M.Sim.DoAfter(wait, "xen.precopy-idle", func() {
 			h.preCopyRound(o, img, round, done)
 		})
 		return
@@ -291,7 +291,7 @@ func (h *Hypervisor) preCopyRound(o SaveOptions, img *Image, round int, done fun
 			// Not even one page fits before the deadline: put everything
 			// back and sleep straight through to the suspend.
 			h.K.Dirty.ForceDirty(pages)
-			h.M.Sim.After(copyDur, "xen.precopy-deadline", func() {
+			h.M.Sim.DoAfter(copyDur, "xen.precopy-deadline", func() {
 				h.preCopyRound(o, img, round, done)
 			})
 			return
@@ -311,7 +311,7 @@ func (h *Hypervisor) preCopyRound(o SaveOptions, img *Image, round int, done fun
 // drains devices, copies the residual dirty set and device state, and
 // hands the image to the caller with the guest still frozen.
 func (h *Hypervisor) suspendAndCopy(o SaveOptions, img *Image, done func(*Image)) {
-	h.M.Sim.After(XenBusLatency, "xenbus.suspend", func() {
+	h.M.Sim.DoAfter(XenBusLatency, "xenbus.suspend", func() {
 		if h.crashed {
 			return
 		}

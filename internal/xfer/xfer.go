@@ -77,7 +77,7 @@ func NewServer(s *sim.Simulator, rate int64) *Server {
 // done when this transfer's bytes have fully drained.
 func (sv *Server) transfer(tag string, n int64, up bool, done func()) {
 	if n <= 0 {
-		sv.s.After(0, "xfer.zero", done)
+		sv.s.DoAfter(0, "xfer.zero", done)
 		return
 	}
 	start := sv.s.Now()
@@ -99,7 +99,7 @@ func (sv *Server) transfer(tag string, n int64, up bool, done func()) {
 	if tag != "" {
 		sv.ByTag[tag] += n
 	}
-	sv.s.At(sv.busyUntil, "xfer.server", done)
+	sv.s.DoAt(sv.busyUntil, "xfer.server", done)
 }
 
 // Upload moves n bytes node->server.
@@ -200,7 +200,7 @@ func (sv *Server) batch(tag string, sizes []int64, up bool, done func(int64)) {
 		}
 	}
 	if total <= 0 {
-		sv.s.After(0, "xfer.batch0", fin)
+		sv.s.DoAfter(0, "xfer.batch0", fin)
 		return
 	}
 	sv.Batches++
@@ -215,7 +215,7 @@ func (sv *Server) ActiveStreams() int { return len(sv.streams) }
 
 func (sv *Server) stream(tag string, n int64, up bool, done func()) {
 	if n <= 0 {
-		sv.s.After(0, "xfer.zero", done)
+		sv.s.DoAfter(0, "xfer.zero", done)
 		return
 	}
 	if up {
@@ -359,7 +359,7 @@ func (c *Copier) copyOutFrom(cur, end int64, done func(int64)) {
 				return
 			}
 			next := floor - c.s.Now()
-			c.s.After(next, "xfer.pace", func() { c.copyOutFrom(cur+n, end, done) })
+			c.s.DoAfter(next, "xfer.pace", func() { c.copyOutFrom(cur+n, end, done) })
 		})
 	}})
 }
@@ -393,7 +393,7 @@ func (c *Copier) copyInFrom(cur, end int64, done func(int64)) {
 				return
 			}
 			next := floor - c.s.Now()
-			c.s.After(next, "xfer.pace", func() { c.copyInFrom(cur+n, end, done) })
+			c.s.DoAfter(next, "xfer.pace", func() { c.copyInFrom(cur+n, end, done) })
 		}})
 	})
 }
@@ -513,7 +513,7 @@ func (lm *LazyMirror) fillNext(idx int64, done func()) {
 	}
 	floor := lm.s.Now() + lm.bg.pace(lm.ChunkBytes)
 	lm.waiters[idx] = append(lm.waiters[idx], func() {
-		lm.s.After(floor-lm.s.Now(), "xfer.bgfill", func() { lm.fillNext(idx+1, done) })
+		lm.s.DoAfter(floor-lm.s.Now(), "xfer.bgfill", func() { lm.fillNext(idx+1, done) })
 	})
 	lm.fetch(idx)
 }

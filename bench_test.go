@@ -434,6 +434,54 @@ func BenchmarkSuiteParallel(b *testing.B) {
 	}
 }
 
+var (
+	fedOnce sync.Once
+	fedRes  *evalrun.FederationResult
+)
+
+// BenchmarkFederation regenerates the federated-sharding table: the
+// 10k-tenant fleet over 4 facilities, serial vs full-width. The
+// digest must be byte-identical at every worker count (the worker pool
+// only moves the wall clock), the fleet must drain, migrations must
+// flow, and warm-up must strictly cut the shared-pool restore traffic.
+// The >=2x speedup bar at 4 facility-workers holds only where 4 cores
+// exist, so — like BenchmarkSuiteParallel — it is gated on NumCPU; a
+// smaller box still checks identity and reports its speedup.
+func BenchmarkFederation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fedOnce.Do(func() { fedRes = evalrun.Federation(benchSeed, []int{10000}, []int{4}) })
+	}
+	var serial, par *evalrun.FederationRow
+	for i := range fedRes.Rows {
+		r := &fedRes.Rows[i]
+		if r.Workers == 1 {
+			serial = r
+		} else {
+			par = r
+		}
+	}
+	if serial == nil || par == nil {
+		b.Fatal("missing serial or parallel row")
+	}
+	b.ReportMetric(serial.WallMS, "wallms-serial")
+	b.ReportMetric(par.WallMS, "wallms-4workers")
+	b.ReportMetric(par.Speedup, "x-speedup-4workers")
+	if !par.Identical {
+		b.Fatalf("digest at 4 workers diverged from serial: %s vs %s", par.Digest, serial.Digest)
+	}
+	if serial.Migrations == 0 {
+		b.Fatal("sharded 10k fleet migrated nothing")
+	}
+	if len(fedRes.Warm) == 2 && fedRes.Warm[1].RemoteMB >= fedRes.Warm[0].RemoteMB {
+		b.Fatalf("warm-up did not cut remote restore traffic: %.1f MB warm vs %.1f MB cold",
+			fedRes.Warm[1].RemoteMB, fedRes.Warm[0].RemoteMB)
+	}
+	if runtime.NumCPU() >= 4 && par.Speedup < 2 {
+		b.Fatalf("federated run only %.2fx faster at 4 facility-workers on %d CPUs (want >=2x)",
+			par.Speedup, runtime.NumCPU())
+	}
+}
+
 // BenchmarkCheckpointLatency measures the raw cost of one incremental
 // distributed checkpoint on an idle 2-node experiment — an ablation for
 // the downtime the firewall conceals.

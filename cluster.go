@@ -538,6 +538,11 @@ func (c *Cluster) Now() sim.Time { return c.S.Now() }
 // Utilization reports the time-averaged fraction of the pool allocated.
 func (c *Cluster) Utilization() float64 { return c.Sched.Utilization() }
 
+// Demand reports the summed node demand of the cluster's live jobs —
+// the load signal federated admission uses to place tenants on the
+// least-loaded facility (internal/federation).
+func (c *Cluster) Demand() int { return c.Sched.Demand() }
+
 // Crash fail-stops a tenant: every node dies where it stands (a save
 // in flight aborts its epoch; the temporal firewalls engage and never
 // disengage on this incarnation), the tenant's hardware returns to the

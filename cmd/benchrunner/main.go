@@ -51,8 +51,12 @@ type snapshotEntry struct {
 }
 
 // appendSnapshot loads path (if it exists), appends one entry per
-// result in key order, and rewrites the file.
-func appendSnapshot(path, label string, seed int64, keys []string, results map[string]any) error {
+// result in key order, and rewrites the file. A (label, table) pair
+// already present in the trajectory is rejected — labels identify
+// revisions, so a silent duplicate would corrupt the trajectory's
+// meaning — unless replace is set, in which case the stale entries
+// are dropped and re-recorded.
+func appendSnapshot(path, label string, seed int64, keys []string, results map[string]any, replace bool) error {
 	snap := snapshotFile{Schema: snapshotSchema}
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &snap); err != nil {
@@ -64,6 +68,22 @@ func appendSnapshot(path, label string, seed int64, keys []string, results map[s
 	} else if !os.IsNotExist(err) {
 		return err
 	}
+	recording := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		recording[k] = true
+	}
+	kept := snap.Entries[:0]
+	for _, e := range snap.Entries {
+		if e.Label == label && recording[e.Table] {
+			if !replace {
+				return fmt.Errorf("snapshot %s already has an entry for label %q, table %q (use -snapshot-replace to overwrite)",
+					path, label, e.Table)
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	snap.Entries = kept
 	for _, k := range keys {
 		raw, err := json.Marshal(results[k])
 		if err != nil {
@@ -80,17 +100,18 @@ func appendSnapshot(path, label string, seed int64, keys []string, results map[s
 
 func main() {
 	var (
-		fig        = flag.Int("fig", 0, "figure number to regenerate (4-9)")
-		table      = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare | branch | recovery | storage | scale | suite | suitebench")
-		all        = flag.Bool("all", false, "regenerate everything")
-		seed       = flag.Int64("seed", 1, "simulation seed")
-		quick      = flag.Bool("quick", false, "reduced workload sizes")
-		fanout     = flag.Int("fanout", 4, "branch table fan-out")
-		asJSON     = flag.Bool("json", false, "emit results as JSON instead of tables")
-		snapshot   = flag.String("snapshot", "", "append results to this trajectory file (see BENCH_scale.json)")
-		label      = flag.String("label", "", "label for -snapshot entries (e.g. a PR or revision name)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
+		fig         = flag.Int("fig", 0, "figure number to regenerate (4-9)")
+		table       = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare | branch | recovery | storage | scale | suite | suitebench | federation")
+		all         = flag.Bool("all", false, "regenerate everything")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		quick       = flag.Bool("quick", false, "reduced workload sizes")
+		fanout      = flag.Int("fanout", 4, "branch table fan-out")
+		asJSON      = flag.Bool("json", false, "emit results as JSON instead of tables")
+		snapshot    = flag.String("snapshot", "", "append results to this trajectory file (see BENCH_scale.json)")
+		label       = flag.String("label", "", "label for -snapshot entries (e.g. a PR or revision name)")
+		snapReplace = flag.Bool("snapshot-replace", false, "overwrite existing -snapshot entries with the same label and table instead of rejecting them")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	)
 	flag.Parse()
 
@@ -193,6 +214,11 @@ func main() {
 	}
 	runT("suite", "Scenario corpus under shared suite invariants", func() renderer { return evalrun.SuiteTable(*seed, suiteCount) })
 	runT("suitebench", "Corpus throughput: serial vs parallel workers", func() renderer { return evalrun.SuiteBench(*seed, suiteCount, nil) })
+	fedSizes, fedFacs := []int{1000, 10000}, []int{1, 2, 4, 8}
+	if *quick {
+		fedSizes, fedFacs = []int{200}, []int{1, 2}
+	}
+	runT("federation", "Federated facility sharding: conservative-window parallel fleets", func() renderer { return evalrun.Federation(*seed, fedSizes, fedFacs) })
 
 	if !ran {
 		flag.Usage()
@@ -207,7 +233,7 @@ func main() {
 		fmt.Println(string(out))
 	}
 	if *snapshot != "" {
-		if err := appendSnapshot(*snapshot, *label, *seed, resultKeys, results); err != nil {
+		if err := appendSnapshot(*snapshot, *label, *seed, resultKeys, results, *snapReplace); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

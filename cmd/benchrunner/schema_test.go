@@ -38,6 +38,7 @@ var benchSchema = map[string]any{
 	"scale":      &evalrun.ScaleResult{},
 	"suite":      &evalrun.SuiteResult{},
 	"suitebench": &evalrun.SuiteBenchResult{},
+	"federation": &evalrun.FederationResult{},
 }
 
 // fieldPaths flattens a type into "path: kind" lines, honoring json

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readSnap(t *testing.T, path string) snapshotFile {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestSnapshotRejectsDuplicateLabel: recording the same (label, table)
+// twice must fail instead of silently accumulating duplicate trajectory
+// entries; a different label or a different table still appends.
+func TestSnapshotRejectsDuplicateLabel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	results := map[string]any{"scale": map[string]int{"v": 1}, "federation": map[string]int{"v": 2}}
+
+	if err := appendSnapshot(path, "PR 1", 1, []string{"scale"}, results, false); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	err := appendSnapshot(path, "PR 1", 1, []string{"scale"}, results, false)
+	if err == nil || !strings.Contains(err.Error(), "already has an entry") {
+		t.Fatalf("duplicate (label, table) not rejected: %v", err)
+	}
+	if got := readSnap(t, path).Entries; len(got) != 1 {
+		t.Fatalf("rejected append still modified the file: %d entries", len(got))
+	}
+
+	// Same label, different table: fine.
+	if err := appendSnapshot(path, "PR 1", 1, []string{"federation"}, results, false); err != nil {
+		t.Fatalf("same label, new table: %v", err)
+	}
+	// Same table, different label: fine.
+	if err := appendSnapshot(path, "PR 2", 1, []string{"scale"}, results, false); err != nil {
+		t.Fatalf("new label, same table: %v", err)
+	}
+	if got := readSnap(t, path).Entries; len(got) != 3 {
+		t.Fatalf("entries = %d, want 3", len(got))
+	}
+}
+
+// TestSnapshotReplace: -snapshot-replace drops the stale (label, table)
+// entries and re-records them, leaving everything else untouched.
+func TestSnapshotReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := appendSnapshot(path, "PR 1", 1, []string{"scale"},
+		map[string]any{"scale": map[string]int{"v": 1}}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendSnapshot(path, "PR 2", 1, []string{"scale"},
+		map[string]any{"scale": map[string]int{"v": 2}}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendSnapshot(path, "PR 1", 7, []string{"scale"},
+		map[string]any{"scale": map[string]int{"v": 3}}, true); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	snap := readSnap(t, path)
+	if len(snap.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(snap.Entries))
+	}
+	// The untouched PR 2 entry survives; the PR 1 entry carries the
+	// replacement's payload and seed.
+	byLabel := map[string]snapshotEntry{}
+	for _, e := range snap.Entries {
+		byLabel[e.Label] = e
+	}
+	payload := func(e snapshotEntry) int {
+		var m map[string]int
+		if err := json.Unmarshal(e.Results, &m); err != nil {
+			t.Fatalf("entry %q payload: %v", e.Label, err)
+		}
+		return m["v"]
+	}
+	if e := byLabel["PR 2"]; payload(e) != 2 {
+		t.Fatalf("PR 2 entry modified: %s", e.Results)
+	}
+	if e := byLabel["PR 1"]; e.Seed != 7 || payload(e) != 3 {
+		t.Fatalf("PR 1 entry not replaced: seed=%d %s", e.Seed, e.Results)
+	}
+}
+
+// TestSnapshotReplaceOnlyTouchesRecordedTables: replace scopes to the
+// tables being recorded, not the whole label.
+func TestSnapshotReplaceOnlyTouchesRecordedTables(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	results := map[string]any{"scale": 1, "federation": 2}
+	if err := appendSnapshot(path, "PR 1", 1, []string{"scale", "federation"}, results, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendSnapshot(path, "PR 1", 1, []string{"federation"},
+		map[string]any{"federation": 9}, true); err != nil {
+		t.Fatal(err)
+	}
+	snap := readSnap(t, path)
+	if len(snap.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(snap.Entries))
+	}
+	for _, e := range snap.Entries {
+		switch e.Table {
+		case "scale":
+			if string(e.Results) != "1" {
+				t.Fatalf("scale entry touched: %s", e.Results)
+			}
+		case "federation":
+			if string(e.Results) != "9" {
+				t.Fatalf("federation entry not replaced: %s", e.Results)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const fedScenario = `{
+  "name": "fed",
+  "seed": 7,
+  "run_for": "20m",
+  "federation": {
+    "facilities": 2,
+    "tenants": 96,
+    "workers": 1,
+    "migration": true,
+    "warmup": true
+  },
+  "assertions": [
+    {"type": "all_completed"},
+    {"type": "min_migrations", "value": 1},
+    {"type": "max_wan_mb", "value": 100000}
+  ]
+}`
+
+func parseFed(t *testing.T, data string) *File {
+	t.Helper()
+	f, err := Parse([]byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFederationScenarioRun(t *testing.T) {
+	f := parseFed(t, fedScenario)
+	res, c, err := RunWithCluster(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil {
+		t.Fatal("federation scenario handed back a cluster")
+	}
+	fr := res.Federation
+	if fr == nil {
+		t.Fatal("no federation report")
+	}
+	if fr.Completed != fr.Tenants {
+		t.Fatalf("completed %d of %d", fr.Completed, fr.Tenants)
+	}
+	if fr.Migrations == 0 {
+		t.Fatal("migration-enabled two-facility run migrated nothing")
+	}
+	if len(res.Checks) != 3 {
+		t.Fatalf("checks = %d, want 3", len(res.Checks))
+	}
+	if !res.Pass {
+		t.Fatalf("expected pass; render:\n%s", res.Render())
+	}
+	if !strings.Contains(res.Render(), "federation:") {
+		t.Fatalf("render missing federation line:\n%s", res.Render())
+	}
+}
+
+// TestFederationScenarioWorkerInvariant: the workers knob is pure
+// wall-clock — the digest (and the whole marshaled result, which is
+// what the suite's replay-digest invariant fingerprints) must not
+// move.
+func TestFederationScenarioWorkerInvariant(t *testing.T) {
+	f := parseFed(t, fedScenario)
+	base, err := Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := parseFed(t, fedScenario)
+	f2.Federation.Workers = 3
+	par, err := Run(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Federation.Digest != par.Federation.Digest {
+		t.Fatalf("workers changed the digest: %s vs %s",
+			base.Federation.Digest, par.Federation.Digest)
+	}
+}
+
+func TestFederationValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*File)
+		want string
+	}{
+		{"unsafe latency", func(f *File) { f.Federation.WANLatency = "10ms" }, "below lookahead"},
+		{"experiments", func(f *File) {
+			f.Experiments = []Experiment{{Name: "x", Workload: "idle", Nodes: []Node{{Name: "x0"}}}}
+		}, "no experiments"},
+		{"pool", func(f *File) { f.Pool = 4 }, "no pool"},
+		{"storage", func(f *File) { f.Storage = &Storage{Backend: "remote"} }, "no storage stanza"},
+		{"foreign assertion", func(f *File) {
+			f.Assertions = append(f.Assertions, Assertion{Type: "all_admitted"})
+		}, "does not apply to a federation scenario"},
+		{"migrations without sharding", func(f *File) {
+			f.Federation.Facilities = 1
+		}, "needs migration enabled over at least two facilities"},
+		{"no tenants", func(f *File) { f.Federation.Tenants = 0 }, "tenants must be positive"},
+	}
+	for _, tc := range cases {
+		f := parseFed(t, fedScenario)
+		tc.mut(f)
+		errs := Validate(f)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no error containing %q in %v", tc.name, tc.want, errs)
+		}
+	}
+}

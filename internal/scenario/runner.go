@@ -8,6 +8,7 @@ import (
 	"emucheck/internal/apps"
 	"emucheck/internal/core"
 	"emucheck/internal/fault"
+	"emucheck/internal/federation"
 	"emucheck/internal/guest"
 	"emucheck/internal/metrics"
 	"emucheck/internal/notify"
@@ -141,6 +142,11 @@ type Result struct {
 	// Storage is the chain-storage tier's accounting (storage stanza
 	// only).
 	Storage *StorageReport `json:"storage,omitempty"`
+	// Federation is the federated-fleet run's accounting (federation
+	// stanza only). Every field — including the digest — is a pure
+	// function of (file, seed), so replay digests stay byte-identical
+	// whatever the worker count.
+	Federation *federation.Result `json:"federation,omitempty"`
 	// Bus reports control-LAN delivery stats (always present when the
 	// scenario injected faults, so lost notifications are observable).
 	Bus *BusStats `json:"bus,omitempty"`
@@ -177,6 +183,10 @@ func RunWithCluster(f *File) (*Result, *emucheck.Cluster, error) {
 			lines[i] = e.Error()
 		}
 		return nil, nil, fmt.Errorf("scenario %q invalid:\n  %s", f.Name, strings.Join(lines, "\n  "))
+	}
+	if f.Federation != nil {
+		res := runFederationScenario(f)
+		return res, nil, nil
 	}
 	pol, _ := sched.ParsePolicy(f.Policy)
 	c := emucheck.NewCluster(f.Pool, f.Seed, pol)
@@ -427,6 +437,59 @@ func RunWithCluster(f *File) (*Result, *emucheck.Cluster, error) {
 		}
 	}
 	return res, c, nil
+}
+
+// runFederationScenario replays a federation scenario: the synthetic
+// fleet is built from the stanza and the file seed, run to the run_for
+// horizon (or until it drains) under conservative windows, and the
+// federation assertions are evaluated against the aggregate result.
+// There is no cluster to hand back — the facilities are the runner's
+// own worlds — so suite invariants audit the Result instead.
+func runFederationScenario(f *File) *Result {
+	fd := f.Federation
+	horizon, _ := parseDur(f.RunFor)
+	lookahead, _ := parseDur(fd.Lookahead)
+	wanLatency, _ := parseDur(fd.WANLatency)
+	fr := federation.Run(federation.Config{
+		Facilities: fd.Facilities,
+		Tenants:    fd.Tenants,
+		Seed:       f.Seed,
+		Workers:    fd.Workers,
+		Lookahead:  lookahead,
+		WANLatency: wanLatency,
+		WANRate:    int64(fd.WANMbps * 1e6 / 8),
+		CacheBytes: fd.CacheMB << 20,
+		Migration:  fd.Migration,
+		WarmUp:     fd.WarmUp,
+		Horizon:    horizon,
+	})
+	res := &Result{Name: f.Name, Ran: horizon.String(), SwapMode: "incremental", Federation: fr}
+	for _, a := range f.Assertions {
+		res.Checks = append(res.Checks, evalFederationAssertion(fr, a))
+	}
+	res.Pass = true
+	for _, ch := range res.Checks {
+		if !ch.Ok {
+			res.Pass = false
+		}
+	}
+	return res
+}
+
+// evalFederationAssertion checks one federation assertion.
+func evalFederationAssertion(fr *federation.Result, a Assertion) Check {
+	switch a.Type {
+	case "all_completed":
+		return mkCheck("all tenants completed", fr.Completed == fr.Tenants,
+			fmt.Sprintf("%d of %d", fr.Completed, fr.Tenants))
+	case "min_migrations":
+		return mkCheck(fmt.Sprintf("migrations >= %d", a.Value), int64(fr.Migrations) >= a.Value,
+			fmt.Sprintf("got %d", fr.Migrations))
+	case "max_wan_mb":
+		return mkCheck(fmt.Sprintf("WAN traffic <= %d MB", a.Value), fr.WANMB <= float64(a.Value),
+			fmt.Sprintf("got %.1f MB", fr.WANMB))
+	}
+	return mkCheck("unknown assertion "+a.Type, false, "")
 }
 
 func expIndex(f *File, name string) int {
@@ -821,6 +884,24 @@ func mkCheck(desc string, ok bool, detail string) Check {
 
 // Render prints the run as a human-readable report.
 func (r *Result) Render() string {
+	if fr := r.Federation; fr != nil {
+		s := fmt.Sprintf("scenario %s: federated fleet — %d tenants over %d facilities (workers %d), ran %s\n",
+			r.Name, fr.Tenants, fr.Facilities, fr.Workers, r.Ran)
+		s += fmt.Sprintf("federation: %d/%d completed, %d windows, %d migrations, %d WAN msgs (%.1f MB), %.1f MB warmed, %.1f MB remote, digest %s\n",
+			fr.Completed, fr.Tenants, fr.Windows, fr.Migrations, fr.WANMsgs, fr.WANMB, fr.WarmedMB, fr.RemoteMB, fr.Digest)
+		for _, ch := range r.Checks {
+			mark := "PASS"
+			if !ch.Ok {
+				mark = "FAIL"
+			}
+			s += fmt.Sprintf("%s  %s (%s)\n", mark, ch.Desc, ch.Detail)
+		}
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		return s + "result: " + verdict + "\n"
+	}
 	t := &metrics.Table{Header: []string{"experiment", "state", "ticks", "ckpts", "admissions", "preemptions", "queue wait (s)", "swap MB", "aborted", "recoveries"}}
 	for _, row := range r.Experiments {
 		t.AddRow(row.Name, row.State, row.Ticks, row.Checkpoints, row.Admissions, row.Preemptions,

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"emucheck/internal/emulab"
+	"emucheck/internal/federation"
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
 	"emucheck/internal/simnet"
@@ -70,9 +71,42 @@ type File struct {
 	// Faults is the seeded injection plan replayed against the run:
 	// node crashes, control-LAN message loss and delay, slow disks and
 	// slow saves. Same file + same seed = byte-identical faulty run.
-	Faults     []Fault     `json:"faults,omitempty"`
+	Faults []Fault `json:"faults,omitempty"`
+	// Federation turns the file into a federated-fleet scenario: one
+	// synthetic tenant fleet sharded over WAN-coupled facilities and run
+	// as a conservative-window parallel simulation (internal/federation).
+	// Federation scenarios are self-contained — they declare no
+	// experiments, events, faults, search, or storage stanzas, and only
+	// the federation assertion types apply.
+	Federation *Federation `json:"federation,omitempty"`
 	Events     []Event     `json:"events,omitempty"`
 	Assertions []Assertion `json:"assertions,omitempty"`
+}
+
+// Federation configures a federated-fleet run (see docs/scale.md,
+// "federated execution"). The digest is pinned per facility count;
+// workers only changes the wall clock.
+type Federation struct {
+	Facilities int `json:"facilities"`
+	Tenants    int `json:"tenants"`
+	// Workers is the facility-worker goroutine count (0 or 1 = serial;
+	// any value produces the byte-identical digest).
+	Workers int `json:"workers,omitempty"`
+	// Lookahead is the conservative window width (default 250ms).
+	Lookahead string `json:"lookahead,omitempty"`
+	// WANLatency is the declared minimum inter-facility latency; it must
+	// be at least the lookahead (that inequality is what makes the
+	// windows safe). Default: equal to the lookahead.
+	WANLatency string `json:"wan_latency,omitempty"`
+	// WANMbps is the inter-facility link rate (default 1000).
+	WANMbps float64 `json:"wan_mbps,omitempty"`
+	// CacheMB sizes each facility's delta cache (default 64).
+	CacheMB int64 `json:"cache_mb,omitempty"`
+	// Migration enables cross-facility migration of parked tenants;
+	// WarmUp additionally ships the chain ahead to pre-seed the
+	// destination cache.
+	Migration bool `json:"migration,omitempty"`
+	WarmUp    bool `json:"warmup,omitempty"`
 }
 
 // Fault is one planned injection against a named experiment.
@@ -254,6 +288,21 @@ var assertionTypes = map[string]bool{
 	// state crossing the control LAN stayed under value MB.
 	"min_cache_hit_ratio": true,
 	"max_remote_mb":       true,
+	// Federation assertions (need a federation stanza): every tenant
+	// drained, at least value cross-facility migrations happened, and
+	// WAN traffic stayed under value MB.
+	"all_completed":  true,
+	"min_migrations": true,
+	"max_wan_mb":     true,
+}
+
+// federationAssertions are the only assertion types a federation
+// scenario may use (there is no cluster, search, or storage tier to
+// assert against).
+var federationAssertions = map[string]bool{
+	"all_completed":  true,
+	"min_migrations": true,
+	"max_wan_mb":     true,
 }
 
 // swapModes understood by the runner.
@@ -323,11 +372,15 @@ func Validate(f *File) []error {
 	if f.Name == "" {
 		bad("scenario has no name")
 	}
-	if f.Pool <= 0 {
-		bad("pool must be positive, got %d", f.Pool)
-	}
 	if _, err := parseDur(f.RunFor); err != nil || f.RunFor == "" {
 		bad("run_for %q does not parse", f.RunFor)
+	}
+	if f.Federation != nil {
+		validateFederation(f, bad)
+		return errs
+	}
+	if f.Pool <= 0 {
+		bad("pool must be positive, got %d", f.Pool)
 	}
 	if _, err := sched.ParsePolicy(f.Policy); err != nil {
 		bad("%v", err)
@@ -587,4 +640,78 @@ func Validate(f *File) []error {
 		}
 	}
 	return errs
+}
+
+// validateFederation checks a federation scenario: the stanza itself,
+// the absence of every cluster-run stanza (the fleet is synthetic and
+// there is no pool, search, or storage tier), and that only federation
+// assertion types appear.
+func validateFederation(f *File, bad func(string, ...any)) {
+	fd := f.Federation
+	if fd.Facilities <= 0 {
+		bad("federation: facilities must be positive, got %d", fd.Facilities)
+	}
+	if fd.Tenants <= 0 {
+		bad("federation: tenants must be positive, got %d", fd.Tenants)
+	}
+	if fd.Workers < 0 {
+		bad("federation: workers must be non-negative, got %d", fd.Workers)
+	}
+	la, laErr := parseDur(fd.Lookahead)
+	if laErr != nil {
+		bad("federation: lookahead %q does not parse", fd.Lookahead)
+	}
+	if la == 0 {
+		la = federation.DefaultLookahead
+	}
+	wl, wlErr := parseDur(fd.WANLatency)
+	if wlErr != nil {
+		bad("federation: wan_latency %q does not parse", fd.WANLatency)
+	}
+	if laErr == nil && wlErr == nil && fd.WANLatency != "" && wl < la {
+		bad("federation: wan_latency %q below lookahead %v breaks the conservative window", fd.WANLatency, la)
+	}
+	if fd.WANMbps < 0 {
+		bad("federation: negative wan_mbps")
+	}
+	if fd.CacheMB < 0 {
+		bad("federation: negative cache_mb")
+	}
+	if f.Pool != 0 {
+		bad("federation scenarios take no pool (each facility sizes its own)")
+	}
+	if len(f.Experiments) > 0 {
+		bad("federation scenarios take no experiments (the fleet is synthetic)")
+	}
+	if len(f.Events) > 0 {
+		bad("federation scenarios take no events")
+	}
+	if len(f.Faults) > 0 {
+		bad("federation scenarios take no faults")
+	}
+	if f.Search != nil {
+		bad("federation scenarios take no search stanza")
+	}
+	if f.Storage != nil {
+		bad("federation scenarios take no storage stanza (each facility has its own cache; see cache_mb)")
+	}
+	for i, a := range f.Assertions {
+		if !federationAssertions[a.Type] {
+			bad("assertion %d: %q does not apply to a federation scenario", i, a.Type)
+			continue
+		}
+		switch a.Type {
+		case "min_migrations":
+			if a.Value <= 0 {
+				bad("assertion %d: min_migrations needs a positive value", i)
+			}
+			if fd.Facilities < 2 || !fd.Migration {
+				bad("assertion %d: min_migrations needs migration enabled over at least two facilities", i)
+			}
+		case "max_wan_mb":
+			if a.Value < 0 {
+				bad("assertion %d: max_wan_mb needs a non-negative value (MB)", i)
+			}
+		}
+	}
 }

@@ -1,11 +1,12 @@
 // Package scengen deterministically generates scenario files for the
 // suite runner: a seed and an index fully determine one scenario, so a
-// generated corpus is reproducible from two integers. Six scenario
+// generated corpus is reproducible from two integers. Seven scenario
 // shapes rotate by index — a time-shared multi-tenant mix, an
 // incremental-swap storage-tier run, a fault-injection-and-recovery
-// run, a gang-admitted branch search, and the two distributed
-// agreement workloads (quorum election, 2PC commit) — which guarantees
-// any window of six consecutive indices covers every shape. All other
+// run, a gang-admitted branch search, the two distributed agreement
+// workloads (quorum election, 2PC commit), and a federated-fleet
+// sharding run — which guarantees any window of seven consecutive
+// indices covers every shape. All other
 // axes (tenant count, policy, swap mode, storage backend and cache
 // size, fault mix, fan-out, oversubscription ratio) are drawn
 // arithmetically from sim.Mix64(seed, index, axis): no math/rand, no
@@ -35,12 +36,16 @@ const (
 	axPriority
 	axFaultNode
 	axCrashRound
+	axFacilities
+	axWarm
+	axWorkers
 )
 
 // Shapes in rotation order. Exported so the suite's coverage report
 // and the generator tests agree on the catalog.
 var Shapes = []string{
 	"timeshare", "incremental", "faults", "search", "quorum", "commit2pc",
+	"federation",
 }
 
 // pick draws a uniform value in [0, n) for one (seed, index, axis).
@@ -70,6 +75,8 @@ func Generate(seed int64, i int) *scenario.File {
 		genQuorum(f, seed, i)
 	case "commit2pc":
 		genCommit2PC(f, seed, i)
+	case "federation":
+		genFederation(f, seed, i)
 	}
 	return f
 }
@@ -263,6 +270,24 @@ func genQuorum(f *scenario.File, seed int64, i int) {
 		{Type: "state", Target: "q", Want: "running"},
 		{Type: "min_ticks", Target: "q", Value: 1},
 	}
+}
+
+// genFederation emits the federated-fleet shape: a small synthetic
+// fleet sharded over WAN-coupled facilities with migration on, so
+// every corpus exercises the conservative-window engine and its
+// replay-digest determinism. The workers axis deliberately varies the
+// goroutine count — the digest (and so the suite report) must not.
+func genFederation(f *scenario.File, seed int64, i int) {
+	f.Federation = &scenario.Federation{
+		Facilities: 2 + int(pick(seed, i, axFacilities, 2)), // 2..3
+		Tenants:    24 + 8*int(pick(seed, i, axTenants, 5)), // 24..56
+		Workers:    int(pick(seed, i, axWorkers, 3)),        // 0..2
+		CacheMB:    int64(16 << pick(seed, i, axCache, 2)),  // 16/32 MB
+		Migration:  true,
+		WarmUp:     pick(seed, i, axWarm, 2) == 1,
+	}
+	f.RunFor = "20m" // drained-stop usually exits long before this
+	f.Assertions = []scenario.Assertion{{Type: "all_completed"}}
 }
 
 // genCommit2PC emits the 2PC workload: coordinator and participants on

@@ -236,6 +236,7 @@ type Scheduler struct {
 	MinResidency sim.Time
 
 	free          int
+	demand        int             // summed Need of live (unretired) jobs
 	jobs          []*Job          // submit order
 	byName        map[string]*Job // latest submission per name; lookup only, never iterated
 	queue         jobQueue        // admission order (intrusive FIFO)
@@ -289,6 +290,13 @@ func New(s *sim.Simulator, capacity int, policy Policy) *Scheduler {
 
 // Free reports currently unallocated pool nodes.
 func (d *Scheduler) Free() int { return d.free }
+
+// Demand reports the summed hardware demand of every live (unretired)
+// job — queued, running, parked or crashed. It is the federation's
+// global-admission load signal: a pure function of the submission and
+// retirement history, independent of transient scheduling state, so
+// least-loaded placement across facilities stays deterministic.
+func (d *Scheduler) Demand() int { return d.demand }
 
 // Reserve charges n nodes allocated outside job control (experiments
 // admitted directly, bypassing the queue), so the scheduler's capacity
@@ -382,6 +390,7 @@ func (d *Scheduler) enroll(j *Job) {
 	j.autoResume = true
 	j.idx = len(d.jobs)
 	j.runIdx = -1
+	d.demand += j.Need
 	d.jobs = append(d.jobs, j)
 	d.byName[j.Name] = j
 	d.queue.pushBack(j)
@@ -556,6 +565,7 @@ func (d *Scheduler) Finish(name string) error {
 // retire moves a job to Done, keeping the all-done counter current.
 func (d *Scheduler) retire(j *Job) {
 	j.state = Done
+	d.demand -= j.Need
 	d.doneJobs++
 }
 

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Windows drives a set of independent Simulators ("worlds") through
+// conservative lookahead windows — the classic conservative parallel
+// discrete-event scheme, specialized to federated facilities whose
+// only coupling is WAN traffic with a declared minimum latency.
+//
+// The safety argument: a message sent by world A during the window
+// [T, T+L) cannot arrive at world B before T+L, because every
+// cross-world path carries at least L of latency (the Lookahead).
+// Each world can therefore advance to the window barrier T+L without
+// ever seeing an event from a peer's present, and the worlds may run
+// on separate goroutines with no locking at all — they share nothing
+// until the barrier.
+//
+// At the barrier the coordinator runs the single-threaded Exchange
+// hook. That is where cross-world messages collected during the
+// window are sorted into their canonical (when, world, seq) order and
+// injected into their destination worlds; every injected event lands
+// at or after T+L, which is exactly every world's clock, so causality
+// (At's scheduled-in-the-past panic) is preserved by construction.
+//
+// Because the windows partition sim-time identically at every worker
+// count and the barrier is single-threaded, a run at Workers=8 is
+// bit-identical to the serial reference at Workers=1 — same events,
+// same order, same ledgers. That is the property the federation
+// digest tests pin.
+type Windows struct {
+	// Worlds are the federated simulators. They must not share any
+	// mutable state touched during a window.
+	Worlds []*Simulator
+
+	// Lookahead is the window length L: the minimum latency of any
+	// cross-world interaction. Run panics if it is not positive.
+	Lookahead Time
+
+	// Workers is the goroutine-pool width for advancing worlds inside
+	// a window: 1 is the serial reference, 0 means GOMAXPROCS. The
+	// width never affects results, only wall-clock.
+	Workers int
+
+	// Exchange, if set, runs single-threaded at every barrier with all
+	// worlds stopped exactly at end. It injects cross-world messages
+	// (arrivals >= end) and may perform global decisions (migration,
+	// admission) that must see a consistent federation-wide snapshot.
+	Exchange func(end Time)
+
+	// Barriers counts completed windows, for diagnostics.
+	Barriers int64
+}
+
+// Run advances every world to until, window by window. Each window
+// runs the worlds to the common barrier time (concurrently when
+// Workers > 1), then fires Exchange. Worlds are expected to start at
+// a common clock; the first window begins at the maximum of their
+// current times so a straggler can never be run backwards.
+func (w *Windows) Run(until Time) {
+	if w.Lookahead <= 0 {
+		panic(fmt.Sprintf("sim: windows lookahead %v must be positive", w.Lookahead))
+	}
+	if len(w.Worlds) == 0 {
+		return
+	}
+	t := w.Worlds[0].Now()
+	for _, s := range w.Worlds[1:] {
+		if s.Now() > t {
+			t = s.Now()
+		}
+	}
+	for t < until {
+		end := t + w.Lookahead
+		if end > until || end < t { // clamp, and guard Never overflow
+			end = until
+		}
+		w.runWindow(end)
+		w.Barriers++
+		if w.Exchange != nil {
+			w.Exchange(end)
+		}
+		t = end
+	}
+}
+
+// runWindow advances every world to end. The serial path preserves
+// world order; the parallel path hands world indices to a goroutine
+// pool through an atomic cursor. Both paths are equivalent because
+// the worlds are disjoint — there is no cross-world event delivery
+// inside a window, by the lookahead contract.
+func (w *Windows) runWindow(end Time) {
+	workers := w.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(w.Worlds) {
+		workers = len(w.Worlds)
+	}
+	if workers <= 1 {
+		for _, s := range w.Worlds {
+			s.RunUntil(end)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(w.Worlds) {
+					return
+				}
+				w.Worlds[i].RunUntil(end)
+			}
+		}()
+	}
+	wg.Wait()
+}

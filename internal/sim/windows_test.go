@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+)
+
+// pingWorld is a minimal federated world for the window tests: it
+// ticks locally every tick interval and emits a cross-world message
+// to its neighbour every third tick. Messages collected during a
+// window are exchanged at the barrier with latency >= lookahead.
+type pingWorld struct {
+	s     *Simulator
+	idx   int
+	ticks int64
+	// recv logs (arrival, payload) pairs in delivery order.
+	recv []int64
+	out  []pingMsg
+}
+
+type pingMsg struct {
+	when    Time
+	seq     int64
+	dst     int
+	payload int64
+}
+
+func (p *pingWorld) tick(interval Time) {
+	p.ticks++
+	if p.ticks%3 == 0 {
+		p.out = append(p.out, pingMsg{
+			when: p.s.Now(), seq: p.ticks, dst: 1 - p.idx,
+			payload: int64(p.idx)*1000 + p.ticks,
+		})
+	}
+	p.s.DoAfter(interval, "ping.tick", func() { p.tick(interval) })
+}
+
+func (p *pingWorld) digest() uint64 {
+	h := fnv.New64a()
+	w := func(vs ...int64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			h.Write(b[:])
+		}
+	}
+	w(int64(p.s.Now()), int64(p.s.Fired()), p.ticks, int64(len(p.recv)))
+	for _, v := range p.recv {
+		w(v)
+	}
+	return h.Sum64()
+}
+
+// runPingFederation runs two coupled ping worlds for a horizon at the
+// given worker width and returns the combined digest.
+func runPingFederation(t *testing.T, workers int) (uint64, int64) {
+	t.Helper()
+	const lookahead = 50 * Millisecond
+	worlds := []*pingWorld{{idx: 0}, {idx: 1}}
+	var sims []*Simulator
+	for i, p := range worlds {
+		p.s = New(int64(i + 1))
+		iv := 7*Millisecond + Time(i)*3*Millisecond
+		p.s.DoAfter(iv, "ping.tick", func() { p.tick(iv) })
+		sims = append(sims, p.s)
+	}
+	win := &Windows{
+		Worlds:    sims,
+		Lookahead: lookahead,
+		Workers:   workers,
+		Exchange: func(end Time) {
+			// Canonical (when, world, seq) order before injection.
+			var all []pingMsg
+			var srcs []int
+			for i, p := range worlds {
+				for _, m := range p.out {
+					all = append(all, m)
+					srcs = append(srcs, i)
+				}
+				p.out = p.out[:0]
+			}
+			idx := make([]int, len(all))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				ma, mb := all[idx[a]], all[idx[b]]
+				if ma.when != mb.when {
+					return ma.when < mb.when
+				}
+				if srcs[idx[a]] != srcs[idx[b]] {
+					return srcs[idx[a]] < srcs[idx[b]]
+				}
+				return ma.seq < mb.seq
+			})
+			for _, i := range idx {
+				m := all[i]
+				dst := worlds[m.dst]
+				arrival := m.when + lookahead
+				if arrival < end {
+					t.Fatalf("message arrival %v before barrier %v", arrival, end)
+				}
+				payload := m.payload
+				dst.s.DoAt(arrival, "ping.recv", func() {
+					dst.recv = append(dst.recv, payload)
+				})
+			}
+		},
+	}
+	win.Run(2 * Second)
+
+	h := fnv.New64a()
+	var b [8]byte
+	for _, p := range worlds {
+		binary.LittleEndian.PutUint64(b[:], p.digest())
+		h.Write(b[:])
+	}
+	return h.Sum64(), win.Barriers
+}
+
+// TestWindowsParallelIdentical pins the core federation claim: the
+// worker width never changes the simulation, only the wall-clock.
+func TestWindowsParallelIdentical(t *testing.T) {
+	serial, barriers := runPingFederation(t, 1)
+	if barriers != 40 { // 2 s / 50 ms
+		t.Fatalf("barriers = %d, want 40", barriers)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		got, _ := runPingFederation(t, workers)
+		if got != serial {
+			t.Fatalf("workers=%d digest %016x != serial %016x", workers, got, serial)
+		}
+	}
+}
+
+// TestWindowsDeliversCrossWorld checks the coupling is real: both
+// worlds receive traffic, and arrivals respect the latency floor.
+func TestWindowsDeliversCrossWorld(t *testing.T) {
+	const lookahead = 50 * Millisecond
+	worlds := []*pingWorld{{idx: 0}, {idx: 1}}
+	var sims []*Simulator
+	for i, p := range worlds {
+		p.s = New(int64(i + 1))
+		iv := 7 * Millisecond
+		p.s.DoAfter(iv, "ping.tick", func() { p.tick(iv) })
+		sims = append(sims, p.s)
+	}
+	win := &Windows{Worlds: sims, Lookahead: lookahead, Workers: 1,
+		Exchange: func(end Time) {
+			for _, p := range worlds {
+				for _, m := range p.out {
+					dst := worlds[m.dst]
+					payload := m.payload
+					dst.s.DoAt(m.when+lookahead, "ping.recv", func() {
+						dst.recv = append(dst.recv, payload)
+					})
+				}
+				p.out = p.out[:0]
+			}
+		}}
+	win.Run(Second)
+	for i, p := range worlds {
+		if len(p.recv) == 0 {
+			t.Fatalf("world %d received no cross-world messages", i)
+		}
+		if p.s.Now() != Second {
+			t.Fatalf("world %d clock %v, want %v", i, p.s.Now(), Second)
+		}
+	}
+}
+
+// TestWindowsLookaheadValidation pins the misuse panic.
+func TestWindowsLookaheadValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run with zero lookahead did not panic")
+		}
+	}()
+	w := &Windows{Worlds: []*Simulator{New(1)}}
+	w.Run(Second)
+}
+
+// TestWindowsClampsFinalWindow checks the last partial window stops
+// exactly at the requested horizon.
+func TestWindowsClampsFinalWindow(t *testing.T) {
+	s := New(1)
+	w := &Windows{Worlds: []*Simulator{s}, Lookahead: 300 * Millisecond, Workers: 1}
+	w.Run(Second)
+	if s.Now() != Second {
+		t.Fatalf("clock %v, want %v", s.Now(), Second)
+	}
+	if w.Barriers != 4 { // 300+300+300+100
+		t.Fatalf("barriers = %d, want 4", w.Barriers)
+	}
+}
+
+func ExampleWindows() {
+	a, b := New(1), New(2)
+	a.DoAfter(10*Millisecond, "a", func() {})
+	b.DoAfter(20*Millisecond, "b", func() {})
+	w := &Windows{Worlds: []*Simulator{a, b}, Lookahead: 25 * Millisecond}
+	w.Run(100 * Millisecond)
+	fmt.Println(a.Now() == b.Now(), a.Fired(), b.Fired())
+	// Output: true 1 1
+}

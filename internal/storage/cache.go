@@ -66,6 +66,12 @@ type CacheStats struct {
 	// Rejected counts admissions refused because the pinned (shared)
 	// entries alone exceed what eviction could free.
 	Rejected int64
+	// Warmed counts segments pre-seeded through WarmUp ahead of an
+	// anticipated restore (cross-facility migration warm-up);
+	// WarmedBytes their sizes. Warm-up admissions that are rejected
+	// count under Rejected like any other Put.
+	Warmed      int64
+	WarmedBytes int64
 }
 
 // NewDeltaCache creates a cache of the given capacity. refs is the
@@ -148,6 +154,30 @@ func (c *DeltaCache) Put(a Addr, n int64) {
 	el := c.lru.PushFront(&cacheEntry{addr: a, bytes: n})
 	c.entries[a] = el
 	c.used += n
+}
+
+// WarmUp pre-seeds a segment ahead of an anticipated restore — the
+// destination side of a cross-facility migration streams the parked
+// tenant's chain into the local cache so the eventual restore hits
+// instead of re-fetching from the shared pool. It admits through the
+// same refcount-aware path as Put (pinned entries are never evicted
+// to make room; an infeasible admission is rejected and counted, not
+// forced) but books the bytes under the warm-up ledger rather than
+// the demand-fetch one, and reports whether the segment is resident.
+// A segment already resident is refreshed and still counts as warmed:
+// the migration paid to ship it.
+func (c *DeltaCache) WarmUp(a Addr, n int64) bool {
+	if n <= 0 {
+		return false
+	}
+	before := c.stats.Rejected
+	c.Put(a, n)
+	if c.stats.Rejected != before {
+		return false
+	}
+	c.stats.Warmed++
+	c.stats.WarmedBytes += n
+	return true
 }
 
 // evictFor frees room for n more bytes, oldest-first, skipping pinned

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"emucheck"
+	"emucheck/internal/federation"
 	"emucheck/internal/scenario"
 	"emucheck/internal/scengen"
 	"emucheck/internal/storage"
@@ -159,12 +160,18 @@ func assembleRun(f *scenario.File, source string, first, replay execution) RunRe
 		rd.Ok = true
 		rd.Detail = rr.Digest
 	}
-	rr.Invariants = []InvariantCheck{
-		rd,
-		checkHardware(first.c),
-		checkChains(first.c),
-		checkBus(first.c),
-		checkLedgers(first.c),
+	rr.Invariants = []InvariantCheck{rd}
+	if first.c != nil {
+		rr.Invariants = append(rr.Invariants,
+			checkHardware(first.c),
+			checkChains(first.c),
+			checkBus(first.c),
+			checkLedgers(first.c),
+		)
+	} else if first.res.Federation != nil {
+		// Federation scenarios run their own worlds and hand back no
+		// cluster; the conservation laws audit the aggregate result.
+		rr.Invariants = append(rr.Invariants, checkFederation(first.res.Federation))
 	}
 	rr.Pass = first.res.Pass
 	for _, inv := range rr.Invariants {
@@ -320,8 +327,52 @@ func checkLedgers(c *emucheck.Cluster) InvariantCheck {
 	return inv
 }
 
+// checkFederation audits a federated run's aggregate ledgers: no
+// counter negative, completions bounded by the fleet, windows actually
+// advanced, and a digest present (the per-sharding determinism pin).
+func checkFederation(fr *federation.Result) InvariantCheck {
+	inv := InvariantCheck{Name: "federation-ledgers"}
+	var bad []string
+	if fr.Completed < 0 || fr.Completed > fr.Tenants {
+		bad = append(bad, fmt.Sprintf("completed %d outside [0, %d]", fr.Completed, fr.Tenants))
+	}
+	if fr.Migrations < 0 || fr.WANMsgs < 0 || fr.Ticks < 0 {
+		bad = append(bad, fmt.Sprintf("counters negative (%d/%d/%d)", fr.Migrations, fr.WANMsgs, fr.Ticks))
+	}
+	if fr.WANMB < 0 || fr.WarmedMB < 0 || fr.LocalMB < 0 || fr.RemoteMB < 0 || fr.PoolMB < 0 {
+		bad = append(bad, "byte ledger negative")
+	}
+	if fr.Windows <= 0 {
+		bad = append(bad, fmt.Sprintf("no windows ran (%d)", fr.Windows))
+	}
+	if fr.Digest == "" {
+		bad = append(bad, "no digest")
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		inv.Detail = strings.Join(bad, "; ")
+		return inv
+	}
+	inv.Ok = true
+	inv.Detail = fmt.Sprintf("%d/%d completed over %d facilities, %d windows, digest %s",
+		fr.Completed, fr.Tenants, fr.Facilities, fr.Windows, fr.Digest)
+	return inv
+}
+
 // coverageKeys names the behavior axes one scenario exercises.
 func coverageKeys(f *scenario.File) []string {
+	if fd := f.Federation; fd != nil {
+		// Federation scenarios have no policy/swap/workload axes — the
+		// fleet, its sharding, and the migration plane are the axes.
+		keys := []string{"federation"}
+		if fd.Migration {
+			keys = append(keys, "federation:migration")
+		}
+		if fd.WarmUp {
+			keys = append(keys, "federation:warmup")
+		}
+		return keys
+	}
 	keys := []string{}
 	pol := f.Policy
 	if pol == "" {

@@ -93,10 +93,50 @@ func TestMatrixDeterministicAndCovers(t *testing.T) {
 	for _, axis := range []string{
 		"swap:incremental", "storage:cache", "faults", "gang-admission",
 		"branching", "workload:quorum", "workload:commit2pc", "epochs",
+		"federation", "federation:migration",
 	} {
 		if rep.Coverage[axis] == 0 {
 			t.Errorf("matrix coverage misses %s: %v", axis, rep.Coverage)
 		}
+	}
+}
+
+// TestFederationScenarioUnderSuite: a federation scenario has no
+// cluster to audit, so its suite verdict carries the replay-digest
+// invariant plus the federation ledger audit — and still passes.
+func TestFederationScenarioUnderSuite(t *testing.T) {
+	f := &scenario.File{
+		Name: "fed", Seed: 3, RunFor: "20m",
+		Federation: &scenario.Federation{
+			Facilities: 2, Tenants: 48, Migration: true, WarmUp: true,
+		},
+		Assertions: []scenario.Assertion{{Type: "all_completed"}},
+	}
+	rr := RunOne(f, "test")
+	if !rr.Pass {
+		t.Fatalf("federation suite run failed: %+v", rr)
+	}
+	names := map[string]bool{}
+	for _, inv := range rr.Invariants {
+		names[inv.Name] = true
+		if !inv.Ok {
+			t.Errorf("invariant %s failed: %s", inv.Name, inv.Detail)
+		}
+	}
+	if !names["replay-digest"] || !names["federation-ledgers"] {
+		t.Fatalf("missing federation invariants: %v", names)
+	}
+
+	// Non-vacuity: a corrupted ledger must be flagged.
+	fr := *rr.Result.Federation
+	fr.Completed = fr.Tenants + 1
+	if inv := checkFederation(&fr); inv.Ok {
+		t.Fatal("over-complete fleet not flagged")
+	}
+	fr = *rr.Result.Federation
+	fr.Windows = 0
+	if inv := checkFederation(&fr); inv.Ok {
+		t.Fatal("zero-window run not flagged")
 	}
 }
 

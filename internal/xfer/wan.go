@@ -1,0 +1,77 @@
+package xfer
+
+import (
+	"fmt"
+
+	"emucheck/internal/sim"
+)
+
+// WANLink models one directed wide-area path between two federated
+// facilities. Unlike the control-LAN Server, a WAN link is not bound
+// to a simulator: federated facilities advance on separate goroutines
+// inside conservative windows, and all cross-facility traffic is
+// priced single-threaded at the window barrier. Send is therefore
+// pure cost arithmetic over the link's own serialization state.
+//
+// The latency floor is the federation's correctness anchor: a link's
+// Latency must be at least the conservative lookahead window, so a
+// message sent during the window [T, T+L) can never arrive before the
+// barrier at T+L. The federation validates this at construction.
+type WANLink struct {
+	// Name labels the link in reports ("fac0->fac1").
+	Name string
+	// Latency is the propagation delay added to every message.
+	Latency sim.Time
+	// Rate is the link bandwidth in bytes/second.
+	Rate int64
+
+	busyUntil sim.Time
+
+	// Msgs and Bytes count traffic carried; Queued accumulates the
+	// serialization wait behind earlier bytes on the same link.
+	Msgs   int64
+	Bytes  int64
+	Queued sim.Time
+}
+
+// DefaultWANRate is 1 Gbps worth of bytes/second — an order above the
+// 100 Mbps control LAN, as inter-site links are provisioned fatter
+// than the intra-facility control network they federate.
+const DefaultWANRate int64 = 1_000_000_000 / 8
+
+// NewWANLink creates a directed link. Rate defaults to DefaultWANRate
+// if zero; a non-positive latency panics, since a latency-free WAN
+// link would let cross-facility traffic violate the lookahead window.
+func NewWANLink(name string, latency sim.Time, rate int64) *WANLink {
+	if latency <= 0 {
+		panic(fmt.Sprintf("xfer: WAN link %s latency %v must be positive", name, latency))
+	}
+	if rate <= 0 {
+		rate = DefaultWANRate
+	}
+	return &WANLink{Name: name, Latency: latency, Rate: rate}
+}
+
+// Send prices n bytes entering the link at time now and returns the
+// arrival time at the far facility: serialization behind earlier
+// traffic, transmission at Rate, then the propagation Latency. Calls
+// must be made in a deterministic order (the federation barrier's
+// (when, facility, seq) sort) because the link state is FIFO.
+func (l *WANLink) Send(now sim.Time, n int64) sim.Time {
+	if n < 0 {
+		n = 0
+	}
+	start := now
+	if l.busyUntil > start {
+		l.Queued += l.busyUntil - start
+		start = l.busyUntil
+	}
+	xmit := sim.Time(0)
+	if n > 0 {
+		xmit = sim.Time(n * int64(sim.Second) / l.Rate)
+	}
+	l.busyUntil = start + xmit
+	l.Msgs++
+	l.Bytes += n
+	return l.busyUntil + l.Latency
+}

@@ -1,0 +1,54 @@
+package xfer
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+func TestWANLinkLatencyFloor(t *testing.T) {
+	l := NewWANLink("a->b", 200*sim.Millisecond, 0)
+	if l.Rate != DefaultWANRate {
+		t.Fatalf("rate = %d, want default %d", l.Rate, DefaultWANRate)
+	}
+	// A zero-byte control message still pays full propagation delay.
+	if got := l.Send(sim.Second, 0); got != sim.Second+200*sim.Millisecond {
+		t.Fatalf("zero-byte arrival = %v", got)
+	}
+	// A payload pays transmission + propagation.
+	arr := l.Send(sim.Second, DefaultWANRate) // one second of bytes
+	want := sim.Second + sim.Second + 200*sim.Millisecond
+	if arr != want {
+		t.Fatalf("arrival = %v, want %v", arr, want)
+	}
+	if l.Msgs != 2 || l.Bytes != DefaultWANRate {
+		t.Fatalf("ledger msgs=%d bytes=%d", l.Msgs, l.Bytes)
+	}
+}
+
+func TestWANLinkSerializes(t *testing.T) {
+	l := NewWANLink("a->b", 100*sim.Millisecond, 1<<20) // 1 MB/s
+	// First message: 1 MB = 1 s of transmission.
+	first := l.Send(0, 1<<20)
+	if first != sim.Second+100*sim.Millisecond {
+		t.Fatalf("first arrival = %v", first)
+	}
+	// Second message sent at t=0.5s queues behind the first's bytes.
+	second := l.Send(500*sim.Millisecond, 1<<20)
+	want := 2*sim.Second + 100*sim.Millisecond
+	if second != want {
+		t.Fatalf("second arrival = %v, want %v", second, want)
+	}
+	if l.Queued != 500*sim.Millisecond {
+		t.Fatalf("queued = %v, want 500ms", l.Queued)
+	}
+}
+
+func TestWANLinkRejectsLatencyFreeLink(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-latency WAN link did not panic")
+		}
+	}()
+	NewWANLink("bad", 0, 0)
+}

@@ -6,7 +6,9 @@ import (
 	"emucheck/internal/core"
 	"emucheck/internal/emulab"
 	"emucheck/internal/fault"
+	"emucheck/internal/health"
 	"emucheck/internal/metrics"
+	"emucheck/internal/remediate"
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
 	"emucheck/internal/storage"
@@ -95,6 +97,13 @@ type Cluster struct {
 	tenants   []*Session
 	byName    map[string]*Session
 	nodeOwner map[string]string
+
+	// health and remed are the autonomous health loop (EnableHealth):
+	// the failure-detection monitor and the remediation controller its
+	// verdicts drive. Both nil until enabled — with health off, no probe
+	// events enter the simulation.
+	health *health.Monitor
+	remed  *remediate.Controller
 
 	// phaseWatch fans a tenant's epoch FSM transitions out to
 	// observers (fault injection's "crash during save" trigger).
@@ -279,6 +288,11 @@ func (c *Cluster) Submit(sc Scenario, priority int) (*Session, error) {
 		return nil, err
 	}
 	c.adopt(sess)
+	if c.health != nil && !c.health.Watching(name) {
+		if err := c.health.Watch(name); err != nil {
+			return nil, err
+		}
+	}
 	return sess, nil
 }
 
@@ -419,6 +433,11 @@ func (c *Cluster) resumeTenant(sess *Session, done func(error)) {
 			sess.lostWork += sess.pendingLost
 			sess.pendingLost = 0
 			sess.recoveredAt = c.S.Now()
+			if sess.crashedAt > 0 && sess.recoveredAt > sess.crashedAt {
+				if r := sess.recoveredAt - sess.crashedAt; r > sess.mttrMax {
+					sess.mttrMax = r
+				}
+			}
 			if sess.epochInterval > 0 {
 				// The crash stopped the committed-epoch pipeline; the
 				// recovered incarnation needs its restore point to keep
@@ -494,6 +513,9 @@ func (c *Cluster) Finish(name string) error {
 	// resubmission replaces it.
 	for _, ns := range sess.Scenario.Spec.Nodes {
 		delete(c.nodeOwner, ns.Name)
+	}
+	if c.health != nil {
+		c.health.Unwatch(name)
 	}
 	if sess.job == nil {
 		// Standalone sessions were charged via Reserve; balance the

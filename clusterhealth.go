@@ -1,0 +1,187 @@
+package emucheck
+
+import (
+	"fmt"
+
+	"emucheck/internal/health"
+	"emucheck/internal/remediate"
+	"emucheck/internal/sched"
+)
+
+// HealthOptions configures the cluster's autonomous health loop: the
+// failure-detection policy probes run under and the remediation
+// controller's retry/budget knobs. Zero values take the balanced
+// defaults of each package.
+type HealthOptions struct {
+	Policy    health.Policy
+	Remediate remediate.Options
+}
+
+// EnableHealth arms the autonomous health & remediation loop: every
+// scheduler-managed tenant (current and future) gets a per-node probe
+// loop off the sim clock, and detector verdicts drive the remediation
+// controller — cordon the suspect allocation, drain capacity, re-admit
+// from the last committed epoch (or the restart fallback), with seeded
+// backoff and a per-tenant budget that escalates to quarantine. With
+// health never enabled, no probe events enter the simulation and runs
+// are byte-identical to pre-health builds.
+func (c *Cluster) EnableHealth(o HealthOptions) error {
+	if c.health != nil {
+		return fmt.Errorf("emucheck: health already enabled")
+	}
+	c.health = health.New(c.S, c.Seed, o.Policy, c.probeTenant)
+	c.remed = remediate.New(c.S, c.Seed, o.Remediate, remediate.Hooks{
+		Cordon: func(target string) (int, error) {
+			sess := c.byName[target]
+			if sess == nil || sess.job == nil {
+				return 0, fmt.Errorf("emucheck: no scheduled tenant %q", target)
+			}
+			need := sess.job.Need
+			if err := c.Sched.Cordon(need); err != nil {
+				return 0, err
+			}
+			return need, nil
+		},
+		Uncordon: func(n int) error { return c.Sched.Uncordon(n) },
+		Drain: func(target string) (int, error) {
+			sess := c.byName[target]
+			if sess == nil || sess.job == nil {
+				return 0, fmt.Errorf("emucheck: no scheduled tenant %q", target)
+			}
+			// Draining only helps a job awaiting admission; once a prior
+			// attempt's recovery is mid swap-in there is nothing to make
+			// room for.
+			switch sess.job.State() {
+			case sched.Queued, sched.Crashed:
+				return c.Sched.DrainFor(target)
+			}
+			return 0, nil
+		},
+		Recover: func(target string) error {
+			sess := c.byName[target]
+			if sess == nil || sess.job == nil {
+				return fmt.Errorf("emucheck: no scheduled tenant %q", target)
+			}
+			// A previous attempt's recovery may still be queued or mid
+			// swap-in; re-issuing would be an error, not a retry. Report
+			// success and let the recheck loop watch it land.
+			if sess.job.State() != sched.Crashed {
+				return nil
+			}
+			if err := c.Recover(target); err != nil {
+				return err
+			}
+			sess.remediations++
+			return nil
+		},
+		Recovering: func(target string) bool {
+			sess := c.byName[target]
+			if sess == nil || sess.job == nil {
+				return false
+			}
+			switch sess.job.State() {
+			case sched.Queued, sched.Starting, sched.Resuming:
+				return true
+			}
+			return false
+		},
+		Restart: func(target string) error {
+			sess := c.byName[target]
+			if sess == nil || sess.job == nil {
+				return fmt.Errorf("emucheck: no scheduled tenant %q", target)
+			}
+			if sess.job.State() != sched.Crashed {
+				return nil
+			}
+			if err := c.Restart(target); err != nil {
+				return err
+			}
+			sess.remediations++
+			return nil
+		},
+		Quarantine: func(target string) {
+			sess := c.byName[target]
+			if sess == nil {
+				return
+			}
+			// Quarantine retires the tenant: it leaves the queue, its
+			// chains release, and its probe loop stops. The budget said
+			// this tenant cannot be kept in service unattended.
+			sess.quarantined = true
+			c.health.Unwatch(target)
+			if sess.job != nil {
+				switch sess.job.State() {
+				case sched.Queued, sched.Crashed, sched.Parked, sched.Running:
+					if err := c.Finish(target); err != nil {
+						sess.LastErr = err
+					}
+				}
+			}
+		},
+	})
+	c.health.OnVerdict = func(v health.Verdict) {
+		sess := c.byName[v.Target]
+		if v.Healthy {
+			c.remed.NoteHealthy(v.Target)
+			return
+		}
+		if sess != nil {
+			sess.detections++
+			sess.detectedAt = v.At
+			if sess.crashedAt > 0 && v.At >= sess.crashedAt {
+				if lat := v.At - sess.crashedAt; lat > sess.detectLatencyMax {
+					sess.detectLatencyMax = lat
+				}
+			}
+		}
+		c.remed.NoteUnhealthy(v.Target)
+	}
+	for _, sess := range c.tenants {
+		if sess.job != nil && sess.job.State() != sched.Done {
+			if err := c.health.Watch(sess.Scenario.Spec.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HealthEnabled reports whether the autonomous health loop is armed.
+func (c *Cluster) HealthEnabled() bool { return c.health != nil }
+
+// Health returns the failure-detection monitor (nil before
+// EnableHealth).
+func (c *Cluster) Health() *health.Monitor { return c.health }
+
+// Remediator returns the remediation controller (nil before
+// EnableHealth).
+func (c *Cluster) Remediator() *remediate.Controller { return c.remed }
+
+// probeTenant is the monitor's mechanism hook: inspect the tenant right
+// now. A running tenant answers per node — any crashed hypervisor fails
+// the probe with that node as evidence. A crashed tenant fails at
+// tenant level. Frozen tenants (queued, parked, mid-swap) and retired
+// or quarantined ones are unreachable behind the checkpoint boundary:
+// the probe skips, which is not evidence either way.
+func (c *Cluster) probeTenant(name string) health.ProbeResult {
+	sess := c.byName[name]
+	if sess == nil || sess.job == nil || sess.quarantined {
+		return health.ProbeResult{Status: health.StatusSkip}
+	}
+	switch sess.job.State() {
+	case sched.Running:
+		if sess.Exp == nil {
+			return health.ProbeResult{Status: health.StatusSkip}
+		}
+		for _, ns := range sess.Exp.Spec.Nodes {
+			if n := sess.Exp.Node(ns.Name); n != nil && n.HV.Crashed() {
+				return health.ProbeResult{Status: health.StatusFail, Node: ns.Name}
+			}
+		}
+		return health.ProbeResult{Status: health.StatusOK}
+	case sched.Crashed:
+		return health.ProbeResult{Status: health.StatusFail}
+	default:
+		return health.ProbeResult{Status: health.StatusSkip}
+	}
+}

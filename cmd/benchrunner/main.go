@@ -101,7 +101,7 @@ func appendSnapshot(path, label string, seed int64, keys []string, results map[s
 func main() {
 	var (
 		fig         = flag.Int("fig", 0, "figure number to regenerate (4-9)")
-		table       = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare | branch | recovery | storage | scale | suite | suitebench | federation")
+		table       = flag.String("table", "", "table to regenerate: swap | freeblock | sync | dom0 | ablation | timeshare | branch | recovery | remediate | storage | scale | suite | suitebench | federation")
 		all         = flag.Bool("all", false, "regenerate everything")
 		seed        = flag.Int64("seed", 1, "simulation seed")
 		quick       = flag.Bool("quick", false, "reduced workload sizes")
@@ -202,6 +202,7 @@ func main() {
 	runT("timeshare", "Multi-tenancy: incremental vs full-copy vs stateless swapping", func() renderer { return evalrun.Timeshare(*seed, ticksTS) })
 	runT("branch", "Branch fan-out: shared-lineage vs naive per-branch full copies", func() renderer { return evalrun.BranchTable(*seed, *fanout) })
 	runT("recovery", "Crash recovery: checkpoint epochs vs restart-from-scratch", func() renderer { return evalrun.Recovery(*seed, *quick) })
+	runT("remediate", "Unattended remediation: health-loop policies vs scripted recovery vs restart", func() renderer { return evalrun.Remediate(*seed, *quick) })
 	runT("storage", "Tiered chain storage: cached vs uncached restores at fan-out", func() renderer { return evalrun.StorageTable(*seed, *fanout) })
 	scaleSizes := []int{16, 128, 1000, 10000}
 	if *quick {

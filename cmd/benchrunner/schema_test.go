@@ -34,6 +34,7 @@ var benchSchema = map[string]any{
 	"timeshare":  &evalrun.TimeshareResult{},
 	"branch":     &evalrun.BranchResult{},
 	"recovery":   &evalrun.RecoveryResult{},
+	"remediate":  &evalrun.RemediateResult{},
 	"storage":    &evalrun.StorageResult{},
 	"scale":      &evalrun.ScaleResult{},
 	"suite":      &evalrun.SuiteResult{},

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"emucheck"
@@ -40,7 +41,7 @@ func scenario() emucheck.Scenario {
 	}
 }
 
-func checkpointDemo(seed int64) {
+func checkpointDemo(w io.Writer, seed int64) error {
 	sc := scenario()
 	var loop *apps.SleepLoop
 	sc.Setup = func(s *emucheck.Session) {
@@ -48,92 +49,110 @@ func checkpointDemo(seed int64) {
 		loop.Run(nil)
 	}
 	s := emucheck.NewSession(sc, seed)
-	fmt.Println("running a 10 ms sleep loop; checkpointing every 5 s ...")
+	fmt.Fprintln(w, "running a 10 ms sleep loop; checkpointing every 5 s ...")
 	s.PeriodicCheckpoints(5*sim.Second, 3)
 	s.RunFor(30 * sim.Second)
-	fmt.Printf("iterations: %d  mean: %.3f ms  worst: %.3f ms\n",
+	fmt.Fprintf(w, "iterations: %d  mean: %.3f ms  worst: %.3f ms\n",
 		loop.Times.Len(),
 		loop.Times.Mean()/float64(sim.Millisecond),
 		loop.Times.Max()/float64(sim.Millisecond))
 	for i, r := range s.Exp.Coord.History {
-		fmt.Printf("checkpoint %d: downtime %v concealed; suspend skew %v; %d bytes\n",
+		fmt.Fprintf(w, "checkpoint %d: downtime %v concealed; suspend skew %v; %d bytes\n",
 			i+1, r.MaxDowntime(), r.SuspendSkew, r.TotalBytes)
 	}
+	return nil
 }
 
-func swapDemo(seed int64) {
+func swapDemo(w io.Writer, seed int64) error {
 	s := emucheck.NewSession(scenario(), seed)
 	s.RunFor(2 * sim.Second)
 	v0 := s.VirtualNow("client")
-	fmt.Printf("virtual time before swap-out: %v\n", v0)
+	fmt.Fprintf(w, "virtual time before swap-out: %v\n", v0)
 	out, err := s.SwapOut()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("swapped out in %v (pre-copied %d MB, memory %d MB)\n",
+	fmt.Fprintf(w, "swapped out in %v (pre-copied %d MB, memory %d MB)\n",
 		out[0].Duration(), out[0].PreCopyBytes>>20, out[0].MemoryBytes>>20)
 	s.RunFor(sim.Hour) // parked: the hardware serves someone else
 	in, err := s.SwapIn(true)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("swapped in (lazy) in %v\n", in[0].Duration())
+	fmt.Fprintf(w, "swapped in (lazy) in %v\n", in[0].Duration())
 	s.RunFor(sim.Second)
-	fmt.Printf("virtual time after 1 s of post-swap running: %v\n", s.VirtualNow("client"))
-	fmt.Println("the hour away never happened, as far as the experiment knows")
+	fmt.Fprintf(w, "virtual time after 1 s of post-swap running: %v\n", s.VirtualNow("client"))
+	fmt.Fprintln(w, "the hour away never happened, as far as the experiment knows")
+	return nil
 }
 
-func timetravelDemo(seed int64) {
+func timetravelDemo(w io.Writer, seed int64) error {
 	s := emucheck.NewSession(scenario(), seed)
 	s.RunFor(2 * sim.Second)
 	r1, err := s.Checkpoint()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("checkpoint 1 at virtual %v (%d bytes)\n", s.VirtualNow("client"), r1.TotalBytes)
+	fmt.Fprintf(w, "checkpoint 1 at virtual %v (%d bytes)\n", s.VirtualNow("client"), r1.TotalBytes)
 	s.RunFor(3 * sim.Second)
 	if _, err := s.Checkpoint(); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("checkpoint 2 at virtual %v; tree has %d nodes\n", s.VirtualNow("client"), s.Tree.Len())
+	fmt.Fprintf(w, "checkpoint 2 at virtual %v; tree has %d nodes\n", s.VirtualNow("client"), s.Tree.Len())
 
 	replay, err := s.Rollback(1, emucheck.Perturbation{Kind: emucheck.SeedChange, Seed: seed + 1})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("rolled back to node 1; replaying with a perturbed seed ...\n")
+	fmt.Fprintf(w, "rolled back to node 1; replaying with a perturbed seed ...\n")
 	replay.RunFor(3 * sim.Second)
 	if _, err := replay.Checkpoint(); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("branch recorded; tree now has %d nodes, %d leaves\n",
+	fmt.Fprintf(w, "branch recorded; tree now has %d nodes, %d leaves\n",
 		replay.Tree.Len(), len(replay.Tree.Leaves()))
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "emucp:", err)
-	os.Exit(1)
+// cli is the whole command behind a testable seam: args excludes the
+// program name and the return value is the process exit code.
+func cli(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emucp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 42, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cmd := fs.Arg(0)
+	var err error
+	switch cmd {
+	case "checkpoint":
+		err = checkpointDemo(stdout, *seed)
+	case "swap":
+		err = swapDemo(stdout, *seed)
+	case "timetravel":
+		err = timetravelDemo(stdout, *seed)
+	case "demo", "":
+		demos := []func(io.Writer, int64) error{checkpointDemo, swapDemo, timetravelDemo}
+		for i, d := range demos {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			if err = d(stdout, *seed); err != nil {
+				break
+			}
+		}
+	default:
+		fmt.Fprintf(stderr, "emucp: unknown command %q (want checkpoint|swap|timetravel|demo)\n", cmd)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "emucp:", err)
+		return 1
+	}
+	return 0
 }
 
 func main() {
-	seed := flag.Int64("seed", 42, "simulation seed")
-	flag.Parse()
-	cmd := flag.Arg(0)
-	switch cmd {
-	case "checkpoint":
-		checkpointDemo(*seed)
-	case "swap":
-		swapDemo(*seed)
-	case "timetravel":
-		timetravelDemo(*seed)
-	case "demo", "":
-		checkpointDemo(*seed)
-		fmt.Println()
-		swapDemo(*seed)
-		fmt.Println()
-		timetravelDemo(*seed)
-	default:
-		fmt.Fprintf(os.Stderr, "emucp: unknown command %q (want checkpoint|swap|timetravel|demo)\n", cmd)
-		os.Exit(2)
-	}
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
 }

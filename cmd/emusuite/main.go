@@ -2,9 +2,9 @@
 // shared invariants: either a directory of scenario files or a
 // deterministic generated matrix (see internal/scengen). Every run is
 // checked for same-seed replay determinism, leaked pool hardware,
-// chain-store refcount drift, control-LAN delivery conservation, and
-// negative accounting ledgers — on top of the scenario's own
-// assertions.
+// chain-store refcount drift, control-LAN delivery conservation,
+// orphaned health-loop cordons, and negative accounting ledgers — on
+// top of the scenario's own assertions.
 //
 // Usage:
 //
@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,73 +37,85 @@ import (
 	"emucheck/internal/suite"
 )
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "emusuite:", err)
-	os.Exit(1)
-}
-
 // loadDir parses every scenario file under dir, sorted by path so the
 // corpus order (and therefore the report) is deterministic.
-func loadDir(dir string) ([]*scenario.File, []string) {
+func loadDir(dir string) ([]*scenario.File, []string, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
 	sort.Strings(paths)
 	if len(paths) == 0 {
-		fatal(fmt.Errorf("no scenario files under %s", dir))
+		return nil, nil, fmt.Errorf("no scenario files under %s", dir)
 	}
 	var files []*scenario.File
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
 		if err != nil {
-			fatal(err)
+			return nil, nil, err
 		}
 		f, err := scenario.Parse(data)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %v", p, err))
+			return nil, nil, fmt.Errorf("%s: %v", p, err)
 		}
 		files = append(files, f)
 	}
-	return files, paths
+	return files, paths, nil
 }
 
 // writeCorpus materializes the generated matrix as scenario files.
-func writeCorpus(dir string, seed int64, count int) {
+func writeCorpus(w io.Writer, dir string, seed int64, count int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	for _, f := range scengen.Matrix(seed, count) {
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		path := filepath.Join(dir, f.Name+".json")
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(path)
+		fmt.Fprintln(w, path)
 	}
+	return nil
 }
 
-func main() {
-	seed := flag.Int64("seed", 1, "generator seed for the scenario matrix")
-	count := flag.Int("count", 24, "generated matrix size")
-	dir := flag.String("dir", "", "run every *.json scenario under this directory instead of generating")
-	asJSON := flag.Bool("json", false, "emit the corpus report as JSON (schema emusuite/v1)")
-	junitPath := flag.String("junit", "", "write JUnit XML to this file")
-	genOut := flag.String("gen-out", "", "write the generated corpus as scenario files to this directory and exit")
-	parallel := flag.Int("parallel", 0, "max concurrent scenario executions (0 = GOMAXPROCS, 1 = serial); the report is byte-identical at any setting")
-	flag.Parse()
+// cli is the whole command behind a testable seam: args excludes the
+// program name, output goes to the given writers, and the return value
+// is the process exit code.
+func cli(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emusuite", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "generator seed for the scenario matrix")
+	count := fs.Int("count", 24, "generated matrix size")
+	dir := fs.String("dir", "", "run every *.json scenario under this directory instead of generating")
+	asJSON := fs.Bool("json", false, "emit the corpus report as JSON (schema emusuite/v1)")
+	junitPath := fs.String("junit", "", "write JUnit XML to this file")
+	genOut := fs.String("gen-out", "", "write the generated corpus as scenario files to this directory and exit")
+	parallel := fs.Int("parallel", 0, "max concurrent scenario executions (0 = GOMAXPROCS, 1 = serial); the report is byte-identical at any setting")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "emusuite:", err)
+		return 1
+	}
 
 	if *genOut != "" {
-		writeCorpus(*genOut, *seed, *count)
-		return
+		if err := writeCorpus(stdout, *genOut, *seed, *count); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	var rep *suite.Report
 	if *dir != "" {
-		files, paths := loadDir(*dir)
+		files, paths, err := loadDir(*dir)
+		if err != nil {
+			return fail(err)
+		}
 		rep = suite.RunFilesParallel(files, paths, *parallel)
 	} else {
 		rep = suite.RunMatrixParallel(*seed, *count, *parallel)
@@ -111,22 +124,27 @@ func main() {
 	if *junitPath != "" {
 		data, err := rep.JUnit("emusuite")
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := os.WriteFile(*junitPath, data, 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if *asJSON {
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Println(string(out))
+		fmt.Fprintln(stdout, string(out))
 	} else {
-		fmt.Print(rep.Render())
+		fmt.Fprint(stdout, rep.Render())
 	}
 	if rep.Failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
 }

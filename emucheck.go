@@ -116,6 +116,16 @@ type Session struct {
 	recoverPending bool
 	epochInterval  sim.Time // committed-epoch period (0: pipeline off)
 
+	// Health-loop bookkeeping (EnableHealth clusters): failure
+	// detections, worst detection latency and repair time, automatic
+	// remediations, and the quarantine flag.
+	detectedAt       sim.Time
+	detections       int
+	detectLatencyMax sim.Time
+	mttrMax          sim.Time
+	remediations     int
+	quarantined      bool
+
 	job     *sched.Job
 	done    bool // finished standalone session (job-managed ones track state in job)
 	perturb Perturbation
@@ -226,6 +236,33 @@ func (s *Session) LostWork() sim.Time { return s.lostWork }
 
 // CrashedAt reports when the session last crashed (zero: never).
 func (s *Session) CrashedAt() sim.Time { return s.crashedAt }
+
+// Detections reports how often the health loop flagged this session
+// unhealthy (zero without EnableHealth).
+func (s *Session) Detections() int { return s.detections }
+
+// DetectedAt reports when the detector last flagged the session
+// unhealthy (zero: never).
+func (s *Session) DetectedAt() sim.Time { return s.detectedAt }
+
+// MaxDetectLatency reports the worst crash-to-detection gap the health
+// loop recorded for this session — the failure-detection latency the
+// scenario's max_detect_ms assertion bounds.
+func (s *Session) MaxDetectLatency() sim.Time { return s.detectLatencyMax }
+
+// MaxMTTR reports the worst crash-to-restored gap across this
+// session's recoveries (mean time to repair, pessimized) — what the
+// scenario's max_mttr_ms assertion bounds.
+func (s *Session) MaxMTTR() sim.Time { return s.mttrMax }
+
+// Remediations reports how many automatic recoveries the remediation
+// controller initiated for this session (scripted Recover calls are
+// counted in Recoveries but not here).
+func (s *Session) Remediations() int { return s.remediations }
+
+// Quarantined reports whether the remediation controller exhausted the
+// session's budget and took it permanently out of service.
+func (s *Session) Quarantined() bool { return s.quarantined }
 
 // RecoveredAt reports when the session last finished a recovery
 // (zero: never).

@@ -1,0 +1,54 @@
+package emucheck
+
+import (
+	"testing"
+
+	"emucheck/internal/fault"
+	"emucheck/internal/sim"
+)
+
+// TestOverlappingSlowSaveWindowsNest: two slow_save windows on the same
+// node overlap. Each arrival compounds the degradation, an inner
+// window's end must NOT restore rates while the outer is still open,
+// and the last end restores the true originals — not a degraded
+// intermediate.
+func TestOverlappingSlowSaveWindowsNest(t *testing.T) {
+	c := NewCluster(2, 21, FIFO)
+	ticks := 0
+	if _, err := c.Submit(tenantScenario("e1", &ticks), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(10 * sim.Second) // admitted: nodes exist
+	n, err := c.faultNode("e1", "e1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origMem, origNet := n.HV.CopyRateMem, n.HV.CopyRateNet
+
+	p := &fault.Plan{Seed: 21, Injections: []fault.Injection{
+		{Kind: fault.SlowSave, At: 20 * sim.Second, Target: "e1", Node: "e1a", Factor: 4, Window: 20 * sim.Second},
+		{Kind: fault.SlowSave, At: 30 * sim.Second, Target: "e1", Node: "e1a", Factor: 4, Window: 20 * sim.Second},
+	}}
+	c.InjectFaults(p)
+
+	c.RunFor(15 * sim.Second) // t=25s: first window only
+	if got := n.HV.CopyRateMem; got != origMem/4 {
+		t.Fatalf("t=25s rate %d, want %d (one window)", got, origMem/4)
+	}
+	c.RunFor(10 * sim.Second) // t=35s: both windows
+	if got := n.HV.CopyRateMem; got != origMem/16 {
+		t.Fatalf("t=35s rate %d, want %d (nested windows compound)", got, origMem/16)
+	}
+	c.RunFor(10 * sim.Second) // t=45s: first ended, second still open
+	if got := n.HV.CopyRateMem; got == origMem || got == origMem/4 {
+		t.Fatalf("t=45s rate %d: inner window end restored rates while a window is still open", got)
+	}
+	c.RunFor(10 * sim.Second) // t=55s: both ended
+	if n.HV.CopyRateMem != origMem || n.HV.CopyRateNet != origNet {
+		t.Fatalf("rates %d/%d after all windows, want the captured originals %d/%d",
+			n.HV.CopyRateMem, n.HV.CopyRateNet, origMem, origNet)
+	}
+	if p.Slowed != 2 || len(p.Errors) != 0 {
+		t.Fatalf("slowed %d, errors %v", p.Slowed, p.Errors)
+	}
+}

@@ -1,0 +1,220 @@
+package emucheck
+
+import (
+	"encoding/json"
+	"testing"
+
+	"emucheck/internal/health"
+	"emucheck/internal/remediate"
+	"emucheck/internal/sim"
+)
+
+// healthOpts is the fast loop the integration tests run under: half-
+// second probes, detection after three, two clean probes to clear.
+func healthOpts() HealthOptions {
+	return HealthOptions{
+		Policy: health.Policy{
+			ProbePeriod: 500 * sim.Millisecond, FailThreshold: 3, RecoverThreshold: 2,
+		},
+		Remediate: remediate.Options{
+			Budget: 3, BackoffBase: 500 * sim.Millisecond,
+			RecheckPeriod: 30 * sim.Second, CordonProbation: 30 * sim.Second,
+		},
+	}
+}
+
+// TestUnattendedRemediationRecoversCrashedTenant closes the loop the
+// scripted fault tests leave open: a crash with NO scripted recover
+// event — the health loop must detect it, cordon the suspect
+// allocation, and re-admit the tenant from its last committed epoch on
+// its own.
+func TestUnattendedRemediationRecoversCrashedTenant(t *testing.T) {
+	c := NewCluster(4, 31, FIFO)
+	c.Incremental = true
+	c.SaveDeadline = 20 * sim.Second
+	ticks := 0
+	sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableHealth(healthOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableHealth(healthOpts()); err == nil {
+		t.Fatal("double EnableHealth accepted")
+	}
+	c.RunFor(12 * sim.Second)
+	if err := sess.StartEpochs(15 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(60 * sim.Second)
+	if sess.Exp.Swap.LastCommitAt() == 0 {
+		t.Fatal("epoch pipeline never committed")
+	}
+	preCrash := ticks
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	// No scripted recovery from here on: the loop is on its own.
+	c.RunFor(3 * sim.Minute)
+
+	if got := sess.State(); got != "running" {
+		t.Fatalf("state %q after unattended remediation, want running (LastErr %v)", got, sess.LastErr)
+	}
+	if sess.Recoveries() != 1 || sess.Remediations() < 1 {
+		t.Fatalf("recoveries=%d remediations=%d", sess.Recoveries(), sess.Remediations())
+	}
+	if sess.Detections() != 1 {
+		t.Fatalf("detections = %d, want 1", sess.Detections())
+	}
+	// Detection: three consecutive 500ms probes plus sub-period phase.
+	if lat := sess.MaxDetectLatency(); lat <= 0 || lat > 2500*sim.Millisecond {
+		t.Fatalf("detect latency %v, want (0, 2.5s]", lat)
+	}
+	if mttr := sess.MaxMTTR(); mttr <= sess.MaxDetectLatency() || mttr > 2*sim.Minute {
+		t.Fatalf("MTTR %v, want (detect latency, 2m]", mttr)
+	}
+	if ticks <= preCrash {
+		t.Fatal("tenant never resumed work after unattended recovery")
+	}
+	// The episode closed on the healthy verdict: no cordon outlives it,
+	// on either side of the ledger.
+	if c.Sched.CordonedNodes() != 0 || c.Remediator().CordonedNodes() != 0 {
+		t.Fatalf("orphaned cordon: sched=%d controller=%d",
+			c.Sched.CordonedNodes(), c.Remediator().CordonedNodes())
+	}
+	rc := c.Remediator()
+	if rc.CordonsIssued != 1 || rc.CordonsReleased != 1 {
+		t.Fatalf("cordon ledger: issued=%d released=%d", rc.CordonsIssued, rc.CordonsReleased)
+	}
+	if !c.Health().Watching("e1") {
+		t.Fatal("recovered tenant lost its probe loop")
+	}
+}
+
+// TestQuarantineAfterBudgetExhausted: with no committed epoch and the
+// restart fallback off, every recovery attempt fails; the budget runs
+// out and the controller retires the tenant instead of looping forever.
+func TestQuarantineAfterBudgetExhausted(t *testing.T) {
+	c := NewCluster(4, 32, FIFO)
+	c.Incremental = true
+	c.SaveDeadline = 20 * sim.Second
+	ticks := 0
+	sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := healthOpts()
+	o.Remediate.Budget = 2
+	o.Remediate.RecheckPeriod = 5 * sim.Second
+	if err := c.EnableHealth(o); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * sim.Second)
+	// Crash with no epoch ever committed: Recover refuses, no fallback.
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Minute)
+	if !sess.Quarantined() {
+		t.Fatalf("tenant not quarantined (state %s, attempts %d)", sess.State(), c.Remediator().Attempts("e1"))
+	}
+	if got := sess.State(); got != "done" {
+		t.Fatalf("quarantined tenant is %q, want done (retired)", got)
+	}
+	if c.Remediator().Quarantines != 1 {
+		t.Fatalf("quarantines = %d", c.Remediator().Quarantines)
+	}
+	if c.Sched.CordonedNodes() != 0 || c.Remediator().CordonedNodes() != 0 {
+		t.Fatalf("quarantine leaked a cordon: sched=%d controller=%d",
+			c.Sched.CordonedNodes(), c.Remediator().CordonedNodes())
+	}
+	if c.Health().Watching("e1") {
+		t.Fatal("quarantined tenant still probed")
+	}
+	// The freed pool still admits new work.
+	other := 0
+	if _, err := c.Submit(tenantScenario("e2", &other), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * sim.Second)
+	if got := c.Tenant("e2").State(); got != "running" {
+		t.Fatalf("successor tenant is %q, want running", got)
+	}
+}
+
+// TestFallbackRestartRemediatesEpochlessCrash: same epochless crash,
+// but with the restart fallback on the loop revives the tenant from
+// scratch instead of quarantining it.
+func TestFallbackRestartRemediatesEpochlessCrash(t *testing.T) {
+	c := NewCluster(4, 33, FIFO)
+	c.Incremental = true
+	c.SaveDeadline = 20 * sim.Second
+	ticks := 0
+	sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := healthOpts()
+	o.Remediate.FallbackRestart = true
+	if err := c.EnableHealth(o); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * sim.Second)
+	if err := c.Crash("e1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(3 * sim.Minute)
+	if got := sess.State(); got != "running" {
+		t.Fatalf("state %q after fallback restart, want running", got)
+	}
+	if sess.Remediations() < 1 || sess.Quarantined() {
+		t.Fatalf("remediations=%d quarantined=%v", sess.Remediations(), sess.Quarantined())
+	}
+	// A restart is not a stateful recovery: the genealogy stays clean.
+	if sess.Recoveries() != 0 {
+		t.Fatalf("recoveries = %d after restart fallback", sess.Recoveries())
+	}
+}
+
+// TestUnattendedLoopDeterministic: two same-seed runs of the whole
+// detect-cordon-drain-recover trajectory are byte-identical.
+func TestUnattendedLoopDeterministic(t *testing.T) {
+	run := func() string {
+		c := NewCluster(4, 77, FIFO)
+		c.Incremental = true
+		c.SaveDeadline = 20 * sim.Second
+		ticks := 0
+		sess, err := c.Submit(tenantScenario("e1", &ticks), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.EnableHealth(healthOpts()); err != nil {
+			t.Fatal(err)
+		}
+		c.S.At(12*sim.Second, "test.epochs", func() {
+			if err := sess.StartEpochs(15 * sim.Second); err != nil {
+				t.Error(err)
+			}
+		})
+		c.S.At(90*sim.Second, "test.crash", func() {
+			if err := c.Crash("e1"); err != nil {
+				t.Error(err)
+			}
+		})
+		c.RunFor(5 * sim.Minute)
+		digest := clusterDigest(c, []int{ticks})
+		stats, _ := json.Marshal(map[string]any{
+			"detections": sess.Detections(), "detectedAt": sess.DetectedAt(),
+			"detectLat": sess.MaxDetectLatency(), "mttr": sess.MaxMTTR(),
+			"remediations": sess.Remediations(), "probes": c.Health().Probes,
+			"fails": c.Health().Fails, "cordons": c.Remediator().CordonsIssued,
+			"drains": c.Sched.Drains, "lost": sess.LostWork(),
+		})
+		return digest + string(stats)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("unattended-loop runs diverged:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"emucheck/internal/notify"
+	"emucheck/internal/sim"
+)
+
+// TestOverlappingDelayWindowsAccumulate: a delivery falling inside two
+// delay windows pays both latencies — overlap compounds, it does not
+// shadow.
+func TestOverlappingDelayWindowsAccumulate(t *testing.T) {
+	s := sim.New(1)
+	bus := notify.NewBus(s)
+	bus.JitterMax = 0
+	base := bus.BaseLatency
+	p := &Plan{Injections: []Injection{
+		{Kind: Delay, At: 0, Target: "e1", Extra: 5 * sim.Millisecond, Window: sim.Minute},
+		{Kind: Delay, At: 0, Target: "e1", Extra: 7 * sim.Millisecond, Window: sim.Minute},
+	}}
+	p.Arm(s, bus, Hooks{})
+	var at sim.Time
+	bus.Subscribe(notify.TopicCheckpoint, func(*notify.Msg) { at = s.Now() })
+	bus.Publish(&notify.Msg{Topic: notify.TopicCheckpoint, Scope: "e1"})
+	s.Run()
+	if want := base + 12*sim.Millisecond; at != want {
+		t.Fatalf("delivered at %v, want %v (both windows applied)", at, want)
+	}
+	if p.Delayed != 2 {
+		t.Fatalf("Delayed = %d, want 2 (one per window)", p.Delayed)
+	}
+}
+
+// TestOverlappingDropBudgetsChain: when two drop windows overlap, a
+// delivery is charged to the first window with budget left; the second
+// window's budget takes over once the first exhausts.
+func TestOverlappingDropBudgetsChain(t *testing.T) {
+	s := sim.New(1)
+	bus := notify.NewBus(s)
+	p := &Plan{Injections: []Injection{
+		{Kind: Drop, At: 0, Target: "e1", Count: 1, Window: sim.Minute},
+		{Kind: Drop, At: 0, Target: "e1", Count: 1, Window: sim.Minute},
+	}}
+	p.Arm(s, bus, Hooks{})
+	delivered := 0
+	bus.Subscribe(notify.TopicCheckpoint, func(*notify.Msg) { delivered++ })
+	for i := 0; i < 3; i++ {
+		bus.Publish(&notify.Msg{Topic: notify.TopicCheckpoint, Scope: "e1"})
+	}
+	s.Run()
+	if delivered != 1 || p.Dropped != 2 {
+		t.Fatalf("delivered %d, dropped %d; want 1 delivered after both budgets drain", delivered, p.Dropped)
+	}
+	if p.Injections[0].remaining != 0 || p.Injections[1].remaining != 0 {
+		t.Fatalf("budgets not both spent: %d, %d",
+			p.Injections[0].remaining, p.Injections[1].remaining)
+	}
+}
+
+// TestDropBudgetExhaustsMidWindow: a count-bounded drop that runs out
+// of budget mid-window lets the rest of the window's deliveries
+// through — exhaustion is permanent, not per-delivery.
+func TestDropBudgetExhaustsMidWindow(t *testing.T) {
+	s := sim.New(1)
+	bus := notify.NewBus(s)
+	p := &Plan{Injections: []Injection{{
+		Kind: Drop, At: 0, Target: "e1", Count: 3, Window: sim.Hour,
+	}}}
+	p.Arm(s, bus, Hooks{})
+	delivered := 0
+	bus.Subscribe(notify.TopicCheckpoint, func(*notify.Msg) { delivered++ })
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			bus.Publish(&notify.Msg{Topic: notify.TopicCheckpoint, Scope: "e1"})
+		}
+		s.Run()
+	}
+	publish(5)
+	if delivered != 2 || p.Dropped != 3 {
+		t.Fatalf("after 5: delivered %d dropped %d, want 2/3", delivered, p.Dropped)
+	}
+	// Still deep inside the window: the spent budget must not refill.
+	s.RunFor(10 * sim.Minute)
+	publish(4)
+	if delivered != 6 || p.Dropped != 3 {
+		t.Fatalf("after 9: delivered %d dropped %d, want 6/3", delivered, p.Dropped)
+	}
+}
+
+// TestFaultOnCrashedTenantCarriesOn: a crash injection aimed at a
+// tenant an earlier injection already killed is rejected by the host,
+// recorded, and the rest of the plan still runs.
+func TestFaultOnCrashedTenantCarriesOn(t *testing.T) {
+	s := sim.New(1)
+	bus := notify.NewBus(s)
+	p := &Plan{Injections: []Injection{
+		{Kind: Crash, At: 5 * sim.Second, Target: "e1"},
+		{Kind: Crash, At: 10 * sim.Second, Target: "e1"},
+		{Kind: SlowDisk, At: 15 * sim.Second, Target: "e1", Node: "e1a"},
+	}}
+	down := map[string]bool{}
+	slowed := false
+	p.Arm(s, bus, Hooks{
+		Crash: func(target, node string) error {
+			if down[target] {
+				return fmt.Errorf("tenant %s already crashed", target)
+			}
+			down[target] = true
+			return nil
+		},
+		SlowDisk: func(string, string, float64, sim.Time) error { slowed = true; return nil },
+	})
+	s.Run()
+	if p.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1 (second crash hit a corpse)", p.Crashes)
+	}
+	if len(p.Errors) != 1 {
+		t.Fatalf("Errors = %v, want exactly the rejected re-crash", p.Errors)
+	}
+	if !slowed || p.Slowed != 1 {
+		t.Fatal("plan stopped after the rejected injection; later faults must still fire")
+	}
+}

@@ -1,0 +1,199 @@
+package health
+
+import (
+	"fmt"
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+// script drives a monitor against a scripted per-target status that
+// tests flip at chosen instants.
+type script struct {
+	status map[string]ProbeStatus
+}
+
+func (sc *script) probe(name string) ProbeResult {
+	st, ok := sc.status[name]
+	if !ok {
+		st = StatusOK
+	}
+	return ProbeResult{Status: st, Node: name + "-n0"}
+}
+
+func TestDetectsAfterFailThreshold(t *testing.T) {
+	s := sim.New(1)
+	sc := &script{status: map[string]ProbeStatus{"e1": StatusOK}}
+	pol := Policy{ProbePeriod: sim.Second, FailThreshold: 3, RecoverThreshold: 2}
+	var verdicts []Verdict
+	m := New(s, 42, pol, sc.probe)
+	m.OnVerdict = func(v Verdict) { verdicts = append(verdicts, v) }
+	if err := m.Watch("e1"); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * sim.Second)
+	if len(verdicts) != 0 {
+		t.Fatalf("healthy target produced verdicts: %v", verdicts)
+	}
+	failAt := s.Now()
+	sc.status["e1"] = StatusFail
+	s.RunFor(10 * sim.Second)
+	if len(verdicts) != 1 || verdicts[0].Healthy {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+	lat := verdicts[0].At - failAt
+	// Three consecutive failed probes at 1s period: detection within
+	// (2, 4] seconds of the failure depending on probe phase.
+	if lat <= 2*sim.Second || lat > 4*sim.Second {
+		t.Fatalf("detection latency %v, want (2s, 4s]", lat)
+	}
+	if !m.Unhealthy("e1") || m.Detections != 1 {
+		t.Fatalf("unhealthy=%v detections=%d", m.Unhealthy("e1"), m.Detections)
+	}
+}
+
+func TestHysteresisSuppressesFlapping(t *testing.T) {
+	s := sim.New(1)
+	sc := &script{status: map[string]ProbeStatus{"e1": StatusOK}}
+	pol := Policy{ProbePeriod: sim.Second, FailThreshold: 3, RecoverThreshold: 2}
+	var verdicts []Verdict
+	m := New(s, 7, pol, sc.probe)
+	m.OnVerdict = func(v Verdict) { verdicts = append(verdicts, v) }
+	if err := m.Watch("e1"); err != nil {
+		t.Fatal(err)
+	}
+	// Flap below the fail threshold: two bad probes, then good again,
+	// repeatedly. The failStreak resets each time — no verdict.
+	for i := 0; i < 4; i++ {
+		sc.status["e1"] = StatusFail
+		s.RunFor(2 * sim.Second)
+		sc.status["e1"] = StatusOK
+		s.RunFor(3 * sim.Second)
+	}
+	if len(verdicts) != 0 {
+		t.Fatalf("sub-threshold flapping produced verdicts: %v", verdicts)
+	}
+	// A real failure crosses the threshold...
+	sc.status["e1"] = StatusFail
+	s.RunFor(5 * sim.Second)
+	if len(verdicts) != 1 || verdicts[0].Healthy {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+	// ...and one good probe is not enough to clear it (RecoverThreshold
+	// 2): the healthy verdict needs two consecutive successes.
+	sc.status["e1"] = StatusOK
+	s.RunFor(sim.Second + 100*sim.Millisecond)
+	if len(verdicts) != 1 {
+		t.Fatalf("cleared after a single good probe: %v", verdicts)
+	}
+	s.RunFor(5 * sim.Second)
+	if len(verdicts) != 2 || !verdicts[1].Healthy {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+	if m.Unhealthy("e1") {
+		t.Fatal("still unhealthy after recovery")
+	}
+}
+
+func TestSkipFreezesStreaks(t *testing.T) {
+	s := sim.New(1)
+	sc := &script{status: map[string]ProbeStatus{"e1": StatusFail}}
+	pol := Policy{ProbePeriod: sim.Second, FailThreshold: 3, RecoverThreshold: 2}
+	var verdicts []Verdict
+	m := New(s, 7, pol, sc.probe)
+	m.OnVerdict = func(v Verdict) { verdicts = append(verdicts, v) }
+	if err := m.Watch("e1"); err != nil {
+		t.Fatal(err)
+	}
+	// Two failures (probes land at phase, phase+1s with phase < 1s),
+	// then the tenant freezes (parked): the streak must neither grow
+	// nor reset while skipped.
+	s.RunFor(2 * sim.Second)
+	sc.status["e1"] = StatusSkip
+	s.RunFor(10 * sim.Second)
+	if len(verdicts) != 0 {
+		t.Fatalf("skip probes advanced the fail streak: %v", verdicts)
+	}
+	// One more failure after the thaw crosses the threshold.
+	sc.status["e1"] = StatusFail
+	s.RunFor(2 * sim.Second)
+	if len(verdicts) != 1 || verdicts[0].Healthy {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+}
+
+func TestUnwatchStopsProbing(t *testing.T) {
+	s := sim.New(1)
+	sc := &script{status: map[string]ProbeStatus{"e1": StatusOK}}
+	m := New(s, 7, Policy{}, sc.probe)
+	if err := m.Watch("e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Watch("e1"); err == nil {
+		t.Fatal("double watch accepted")
+	}
+	s.RunFor(5 * sim.Second)
+	probes, _, _ := m.TargetStats("e1")
+	if probes == 0 {
+		t.Fatal("no probes delivered")
+	}
+	m.Unwatch("e1")
+	if m.Watching("e1") {
+		t.Fatal("still watching after unwatch")
+	}
+	s.RunFor(10 * sim.Second)
+	after, _, _ := m.TargetStats("e1")
+	if after != probes {
+		t.Fatalf("probes kept landing after unwatch: %d -> %d", probes, after)
+	}
+}
+
+func TestSameSeedDetectionInstantIdentical(t *testing.T) {
+	run := func(seed int64) string {
+		s := sim.New(3)
+		sc := &script{status: map[string]ProbeStatus{}}
+		pol := Policy{ProbePeriod: 500 * sim.Millisecond, FailThreshold: 2, RecoverThreshold: 2}
+		var trace string
+		m := New(s, seed, pol, sc.probe)
+		m.OnVerdict = func(v Verdict) {
+			trace += fmt.Sprintf("%s h=%v at=%d node=%s;", v.Target, v.Healthy, v.At, v.Node)
+		}
+		for i := 0; i < 5; i++ {
+			if err := m.Watch(fmt.Sprintf("e%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.After(3*sim.Second, "fail", func() { sc.status["e2"] = StatusFail })
+		s.After(9*sim.Second, "heal", func() { sc.status["e2"] = StatusOK })
+		s.RunFor(20 * sim.Second)
+		return trace
+	}
+	a, b := run(11), run(11)
+	if a == "" || a != b {
+		t.Fatalf("same-seed traces diverged:\n%s\n%s", a, b)
+	}
+	if run(12) == a {
+		t.Log("different seeds collided (phase stagger); unusual but not fatal")
+	}
+}
+
+func TestParsePolicyPresets(t *testing.T) {
+	for _, name := range []string{"fast", "balanced", "conservative", ""} {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.ProbePeriod <= 0 || p.FailThreshold <= 0 || p.RecoverThreshold <= 0 {
+			t.Fatalf("%q: zero-valued preset %+v", name, p)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// fast must detect no later than conservative under equal failure.
+	fast, _ := ParsePolicy("fast")
+	cons, _ := ParsePolicy("conservative")
+	if fast.ProbePeriod*sim.Time(fast.FailThreshold) >= cons.ProbePeriod*sim.Time(cons.FailThreshold) {
+		t.Fatal("fast preset is not faster than conservative")
+	}
+}

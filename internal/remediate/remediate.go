@@ -1,0 +1,326 @@
+// Package remediate implements the actuator side of the autonomous
+// health loop (ROADMAP item 2): a controller that consumes
+// failure-detector verdicts and brings crashed tenants back without an
+// operator in the loop. One unhealthy verdict opens a remediation
+// episode: the tenant's suspect hardware is cordoned out of admission,
+// capacity is proactively drained for the re-admission, and the tenant
+// is re-admitted from its last committed checkpoint epoch through the
+// hosting layer's recover path — with seeded exponential backoff
+// between attempts and a per-tenant budget that escalates to quarantine
+// when exhausted. The episode closes when the detector confirms the
+// tenant healthy again (hysteresis), which releases the cordon.
+//
+// Like internal/fault, the controller knows *when* and *what*; the
+// hosting Cluster supplies the *how* as Hooks. All timing is sim-clock
+// DoAfter with Mix64-derived jitter — same seed, same remediation
+// trajectory, byte for byte.
+package remediate
+
+import (
+	"fmt"
+
+	"emucheck/internal/sim"
+)
+
+// Options tunes the controller.
+type Options struct {
+	// Budget is how many recovery attempts a tenant gets before the
+	// controller gives up and quarantines it. Cumulative over the run:
+	// a crash-looping tenant exhausts it even if each loop briefly
+	// reaches healthy.
+	Budget int
+	// BackoffBase seeds the attempt delay: attempt k waits
+	// BackoffBase·2^(k-1) plus a seeded jitter in [0, BackoffBase).
+	BackoffBase sim.Time
+	// RecheckPeriod bounds how long the controller waits after
+	// initiating a recovery for the detector to confirm health; if the
+	// episode is still open after it, the attempt is treated as failed
+	// and the next (budgeted, backed-off) attempt is scheduled.
+	RecheckPeriod sim.Time
+	// CordonProbation bounds how long an episode holds its cordon: the
+	// suspect hardware rejoins the pool after this window even if the
+	// episode is still open. Without it, a tenant whose allocation is
+	// the whole pool could never be re-admitted — its own cordon would
+	// starve its recovery.
+	CordonProbation sim.Time
+	// FallbackRestart re-instantiates the tenant from scratch when the
+	// stateful recover path fails (e.g. no committed epoch exists yet).
+	FallbackRestart bool
+}
+
+// withDefaults fills unset knobs.
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 500 * sim.Millisecond
+	}
+	if o.RecheckPeriod <= 0 {
+		o.RecheckPeriod = 30 * sim.Second
+	}
+	if o.CordonProbation <= 0 {
+		o.CordonProbation = 30 * sim.Second
+	}
+	return o
+}
+
+// Hooks are the mechanism callbacks the hosting layer supplies. Cordon
+// and Recover are required; the rest degrade gracefully when nil.
+type Hooks struct {
+	// Cordon withdraws the target's node allocation from admission and
+	// reports how many nodes it cordoned.
+	Cordon func(target string) (int, error)
+	// Uncordon returns n previously cordoned nodes to the pool.
+	Uncordon func(n int) error
+	// Drain proactively parks running victims so the target's
+	// re-admission does not wait for queue-head preemption; reports how
+	// many victims it drained.
+	Drain func(target string) (int, error)
+	// Recover re-queues the crashed target for restoration from its
+	// last committed checkpoint epoch.
+	Recover func(target string) error
+	// Recovering reports whether a previously initiated recovery is
+	// still in flight (re-queued or mid swap-in). While it is, the
+	// recheck loop re-arms without consuming budget — a slow restore is
+	// not a failed attempt.
+	Recovering func(target string) bool
+	// Restart re-instantiates the target from scratch (the
+	// FallbackRestart path when no epoch ever committed).
+	Restart func(target string) error
+	// Quarantine marks the target permanently out of service after the
+	// budget is exhausted.
+	Quarantine func(target string)
+}
+
+// episode is the per-tenant remediation state.
+type episode struct {
+	name        string
+	idx         int
+	attempts    int // budget consumed so far (cumulative)
+	cordoned    int // nodes this episode holds cordoned
+	gen         int // episode generation, guards stale probation timers
+	active      bool
+	quarantined bool
+}
+
+// Controller turns detector verdicts into cordon/drain/recover actions.
+type Controller struct {
+	S     *sim.Simulator
+	Seed  int64
+	Opt   Options
+	Hooks Hooks
+
+	byName map[string]*episode
+	order  []*episode
+
+	// Remediations counts recovery initiations that reached the
+	// scheduler; Retries counts attempts re-scheduled after a failed or
+	// unconfirmed one; Quarantines counts budget exhaustions.
+	Remediations int
+	Retries      int
+	Quarantines  int
+	// CordonsIssued/CordonsReleased track the cordon ledger;
+	// DrainedVictims sums Drain results.
+	CordonsIssued   int
+	CordonsReleased int
+	DrainedVictims  int
+	// Errors records hook failures (mirroring fault.Plan.Errors): they
+	// are remediation events, not crashes of the controller.
+	Errors []string
+}
+
+// axBackoff tags the backoff-jitter Mix64 draws.
+const axBackoff = 0xB0
+
+// New creates a controller. Option zero-values get defaults.
+func New(s *sim.Simulator, seed int64, opt Options, hooks Hooks) *Controller {
+	return &Controller{
+		S: s, Seed: seed, Opt: opt.withDefaults(), Hooks: hooks,
+		byName: make(map[string]*episode),
+	}
+}
+
+func (c *Controller) episodeFor(name string) *episode {
+	e := c.byName[name]
+	if e == nil {
+		e = &episode{name: name, idx: len(c.order)}
+		c.order = append(c.order, e)
+		c.byName[name] = e
+	}
+	return e
+}
+
+// CordonedNodes sums the nodes all open episodes hold cordoned — the
+// controller side of the suite's no-orphaned-cordon invariant: it must
+// always equal the scheduler's cordon line.
+func (c *Controller) CordonedNodes() int {
+	n := 0
+	for _, e := range c.order {
+		n += e.cordoned
+	}
+	return n
+}
+
+// Quarantined reports whether the target exhausted its budget.
+func (c *Controller) Quarantined(name string) bool {
+	e := c.byName[name]
+	return e != nil && e.quarantined
+}
+
+// Attempts reports the budget a target has consumed.
+func (c *Controller) Attempts(name string) int {
+	if e := c.byName[name]; e != nil {
+		return e.attempts
+	}
+	return 0
+}
+
+// NoteUnhealthy opens a remediation episode for the target (detector
+// flip to unhealthy). Verdicts for quarantined targets or already-open
+// episodes are ignored — the internal retry loop owns an open episode.
+func (c *Controller) NoteUnhealthy(target string) {
+	e := c.episodeFor(target)
+	if e.quarantined || e.active {
+		return
+	}
+	e.active = true
+	e.gen++
+	if c.Hooks.Cordon != nil {
+		n, err := c.Hooks.Cordon(target)
+		if err != nil {
+			c.Errors = append(c.Errors, fmt.Sprintf("cordon %s: %v", target, err))
+		} else {
+			e.cordoned = n
+			c.CordonsIssued++
+			// The cordon is bounded by probation: suspect hardware rejoins
+			// the pool after the window even if the episode is still open,
+			// so a tenant whose allocation is the whole pool cannot starve
+			// its own recovery.
+			gen := e.gen
+			c.S.DoAfter(c.Opt.CordonProbation, "remediate.probation", func() {
+				if e.gen == gen && e.cordoned > 0 {
+					c.releaseCordon(e)
+				}
+			})
+		}
+	}
+	c.scheduleAttempt(e)
+}
+
+// NoteHealthy closes the target's episode (detector flip back to
+// healthy after hysteresis): the cordon lifts and the suspect hardware
+// rejoins the pool.
+func (c *Controller) NoteHealthy(target string) {
+	e := c.byName[target]
+	if e == nil || !e.active {
+		return
+	}
+	c.closeEpisode(e)
+}
+
+func (c *Controller) closeEpisode(e *episode) {
+	if e.cordoned > 0 {
+		c.releaseCordon(e)
+	}
+	e.active = false
+}
+
+func (c *Controller) releaseCordon(e *episode) {
+	if c.Hooks.Uncordon != nil {
+		if err := c.Hooks.Uncordon(e.cordoned); err != nil {
+			c.Errors = append(c.Errors, fmt.Sprintf("uncordon %s: %v", e.name, err))
+		} else {
+			c.CordonsReleased++
+		}
+	}
+	e.cordoned = 0
+}
+
+// scheduleAttempt consumes one unit of budget and schedules the next
+// recovery attempt after seeded exponential backoff — or quarantines
+// when the budget is gone.
+func (c *Controller) scheduleAttempt(e *episode) {
+	if e.attempts >= c.Opt.Budget {
+		c.quarantine(e)
+		return
+	}
+	e.attempts++
+	c.S.DoAfter(c.backoff(e), "remediate.attempt", func() { c.attempt(e) })
+}
+
+// backoff computes the delay before attempt e.attempts: exponential in
+// the attempt number with a Mix64 jitter so retries across a fleet
+// de-synchronize deterministically.
+func (c *Controller) backoff(e *episode) sim.Time {
+	shift := e.attempts - 1
+	if shift > 6 {
+		shift = 6
+	}
+	base := c.Opt.BackoffBase << uint(shift)
+	jitter := sim.Time(sim.Mix64(c.Seed, int64(e.idx), int64(e.attempts), axBackoff) % uint64(c.Opt.BackoffBase))
+	return base + jitter
+}
+
+// attempt executes one recovery: proactively drain capacity, then
+// re-admit through the stateful recover path (or the restart fallback).
+// Success arms a recheck — if the detector has not confirmed health by
+// then, the attempt is treated as failed and the loop continues.
+func (c *Controller) attempt(e *episode) {
+	if e.quarantined || !e.active {
+		return // episode closed (healthy) or escalated while backed off
+	}
+	if c.Hooks.Drain != nil {
+		n, err := c.Hooks.Drain(e.name)
+		if err != nil {
+			c.Errors = append(c.Errors, fmt.Sprintf("drain %s: %v", e.name, err))
+		}
+		c.DrainedVictims += n
+	}
+	err := fmt.Errorf("remediate: no recover hook")
+	if c.Hooks.Recover != nil {
+		err = c.Hooks.Recover(e.name)
+	}
+	if err != nil && c.Opt.FallbackRestart && c.Hooks.Restart != nil {
+		if rerr := c.Hooks.Restart(e.name); rerr != nil {
+			c.Errors = append(c.Errors, fmt.Sprintf("restart %s: %v", e.name, rerr))
+		} else {
+			err = nil
+		}
+	}
+	if err != nil {
+		c.Errors = append(c.Errors, fmt.Sprintf("recover %s: %v", e.name, err))
+		c.Retries++
+		c.scheduleAttempt(e)
+		return
+	}
+	c.Remediations++
+	c.S.DoAfter(c.Opt.RecheckPeriod, "remediate.recheck", func() { c.recheck(e) })
+}
+
+// recheck runs when a recovery initiated RecheckPeriod ago has not been
+// confirmed healthy. A restore still in flight just re-arms the timer;
+// anything else is a failed attempt and re-enters the budgeted loop.
+func (c *Controller) recheck(e *episode) {
+	if !e.active || e.quarantined {
+		return
+	}
+	if c.Hooks.Recovering != nil && c.Hooks.Recovering(e.name) {
+		c.S.DoAfter(c.Opt.RecheckPeriod, "remediate.recheck", func() { c.recheck(e) })
+		return
+	}
+	c.Retries++
+	c.scheduleAttempt(e)
+}
+
+// quarantine gives up on the target: the budget is spent, the cordon
+// lifts (holding suspect hardware forever would leak pool capacity),
+// and the hosting layer marks the tenant out of service.
+func (c *Controller) quarantine(e *episode) {
+	e.quarantined = true
+	c.Quarantines++
+	c.closeEpisode(e)
+	if c.Hooks.Quarantine != nil {
+		c.Hooks.Quarantine(e.name)
+	}
+}

@@ -1,0 +1,205 @@
+package remediate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+// rig wires a controller to scripted hooks that log every action with
+// its simulated instant.
+type rig struct {
+	s          *sim.Simulator
+	c          *Controller
+	log        []string
+	recoverErr error
+	cordoned   int
+}
+
+func newRig(t *testing.T, seed int64, opt Options) *rig {
+	t.Helper()
+	r := &rig{s: sim.New(1)}
+	r.c = New(r.s, seed, opt, Hooks{
+		Cordon: func(target string) (int, error) {
+			r.cordoned += 2
+			r.log = append(r.log, fmt.Sprintf("%d cordon %s", r.s.Now(), target))
+			return 2, nil
+		},
+		Uncordon: func(n int) error {
+			r.cordoned -= n
+			r.log = append(r.log, fmt.Sprintf("%d uncordon %d", r.s.Now(), n))
+			return nil
+		},
+		Drain: func(target string) (int, error) {
+			r.log = append(r.log, fmt.Sprintf("%d drain %s", r.s.Now(), target))
+			return 1, nil
+		},
+		Recover: func(target string) error {
+			r.log = append(r.log, fmt.Sprintf("%d recover %s", r.s.Now(), target))
+			return r.recoverErr
+		},
+		Restart: func(target string) error {
+			r.log = append(r.log, fmt.Sprintf("%d restart %s", r.s.Now(), target))
+			return nil
+		},
+		Quarantine: func(target string) {
+			r.log = append(r.log, fmt.Sprintf("%d quarantine %s", r.s.Now(), target))
+		},
+	})
+	return r
+}
+
+func TestEpisodeCordonsDrainsRecoversThenReleases(t *testing.T) {
+	r := newRig(t, 5, Options{})
+	r.c.NoteUnhealthy("e1")
+	if r.cordoned != 2 || r.c.CordonedNodes() != 2 {
+		t.Fatalf("cordon ledger: hooks=%d controller=%d", r.cordoned, r.c.CordonedNodes())
+	}
+	// A second verdict for an open episode must not double-cordon.
+	r.c.NoteUnhealthy("e1")
+	if r.cordoned != 2 || r.c.CordonsIssued != 1 {
+		t.Fatalf("double cordon: %d issued %d", r.cordoned, r.c.CordonsIssued)
+	}
+	r.s.RunFor(5 * sim.Second)
+	if r.c.Remediations != 1 {
+		t.Fatalf("remediations = %d, log %v", r.c.Remediations, r.log)
+	}
+	// The detector confirms health: cordon lifts, ledger zeroes.
+	r.c.NoteHealthy("e1")
+	if r.cordoned != 0 || r.c.CordonedNodes() != 0 || r.c.CordonsReleased != 1 {
+		t.Fatalf("cordon not released: hooks=%d ledger=%d", r.cordoned, r.c.CordonedNodes())
+	}
+	// Order of actions: cordon, then drain, then recover.
+	want := []string{"cordon e1", "drain e1", "recover e1", "uncordon 2"}
+	if len(r.log) != len(want) {
+		t.Fatalf("log %v", r.log)
+	}
+	for i, w := range want {
+		_, rest, _ := strings.Cut(r.log[i], " ")
+		if rest != w {
+			t.Fatalf("log[%d] = %q, want %q (full %v)", i, r.log[i], w, r.log)
+		}
+	}
+	// No recheck-driven retry after the episode closed.
+	r.s.RunFor(sim.Minute)
+	if r.c.Retries != 0 {
+		t.Fatalf("retries after closed episode: %d", r.c.Retries)
+	}
+}
+
+func TestBudgetExhaustionQuarantines(t *testing.T) {
+	r := newRig(t, 5, Options{Budget: 2, RecheckPeriod: 2 * sim.Second})
+	r.recoverErr = fmt.Errorf("file server unreachable")
+	r.c.NoteUnhealthy("e1")
+	r.s.RunFor(sim.Minute)
+	if !r.c.Quarantined("e1") || r.c.Quarantines != 1 {
+		t.Fatalf("not quarantined; log %v", r.log)
+	}
+	if r.c.Attempts("e1") != 2 {
+		t.Fatalf("attempts = %d, want budget 2", r.c.Attempts("e1"))
+	}
+	// Quarantine released the cordon: suspect hardware must not leak.
+	if r.cordoned != 0 || r.c.CordonedNodes() != 0 {
+		t.Fatalf("cordon leaked through quarantine: %d", r.cordoned)
+	}
+	// Further verdicts for a quarantined tenant are ignored.
+	n := len(r.log)
+	r.c.NoteUnhealthy("e1")
+	r.s.RunFor(sim.Minute)
+	if len(r.log) != n {
+		t.Fatalf("quarantined tenant re-remediated: %v", r.log[n:])
+	}
+}
+
+func TestRecheckRetriesUnconfirmedRecovery(t *testing.T) {
+	// Recover "succeeds" but the detector never confirms health (the
+	// tenant crash-loops): the recheck must fire follow-up attempts
+	// until the budget quarantines it.
+	r := newRig(t, 5, Options{Budget: 3, RecheckPeriod: 2 * sim.Second})
+	r.c.NoteUnhealthy("e1")
+	r.s.RunFor(2 * sim.Minute)
+	if r.c.Remediations != 3 || r.c.Retries < 2 {
+		t.Fatalf("remediations=%d retries=%d, want 3 attempts driven by recheck",
+			r.c.Remediations, r.c.Retries)
+	}
+	if !r.c.Quarantined("e1") {
+		t.Fatal("crash-looping tenant not quarantined")
+	}
+}
+
+func TestRecheckSparesBudgetWhileRecoveryInFlight(t *testing.T) {
+	// A slow restore is not a failed attempt: while the Recovering hook
+	// reports the swap-in still in flight, rechecks re-arm without
+	// consuming budget; once it lands (and the detector confirms), the
+	// episode closes with only the one attempt spent.
+	r := newRig(t, 5, Options{Budget: 2, RecheckPeriod: 2 * sim.Second})
+	inFlight := true
+	r.c.Hooks.Recovering = func(string) bool { return inFlight }
+	r.c.NoteUnhealthy("e1")
+	// Far longer than Budget×Recheck: without the hook this quarantines.
+	r.s.RunFor(sim.Minute)
+	if r.c.Quarantined("e1") {
+		t.Fatalf("in-flight recovery burned the budget: %v", r.log)
+	}
+	if r.c.Attempts("e1") != 1 || r.c.Retries != 0 {
+		t.Fatalf("attempts=%d retries=%d during one long restore", r.c.Attempts("e1"), r.c.Retries)
+	}
+	inFlight = false
+	r.c.NoteHealthy("e1")
+	r.s.RunFor(sim.Minute)
+	if r.c.Retries != 0 || r.c.Quarantines != 0 {
+		t.Fatalf("closed episode kept rechecking: retries=%d", r.c.Retries)
+	}
+}
+
+func TestFallbackRestartWhenNoEpoch(t *testing.T) {
+	r := newRig(t, 5, Options{FallbackRestart: true})
+	r.recoverErr = fmt.Errorf("no committed epoch")
+	r.c.NoteUnhealthy("e1")
+	r.s.RunFor(5 * sim.Second)
+	if r.c.Remediations != 1 {
+		t.Fatalf("fallback restart did not count as remediation: %v", r.log)
+	}
+	found := false
+	for _, l := range r.log {
+		if _, rest, _ := strings.Cut(l, " "); rest == "restart e1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no restart in log %v", r.log)
+	}
+}
+
+func TestBackoffGrowsAndIsSeedDeterministic(t *testing.T) {
+	attemptTimes := func(seed int64) []sim.Time {
+		s := sim.New(1)
+		var times []sim.Time
+		c := New(s, seed, Options{Budget: 4, RecheckPeriod: sim.Second, BackoffBase: sim.Second}, Hooks{
+			Cordon:  func(string) (int, error) { return 1, nil },
+			Recover: func(string) error { times = append(times, s.Now()); return fmt.Errorf("down") },
+		})
+		c.NoteUnhealthy("e1")
+		s.RunFor(5 * sim.Minute)
+		return times
+	}
+	a := attemptTimes(9)
+	if len(a) != 4 {
+		t.Fatalf("attempts = %v", a)
+	}
+	// Gaps between consecutive attempts grow (exponential backoff, and
+	// jitter < base cannot mask the doubling).
+	for i := 2; i < len(a); i++ {
+		if a[i]-a[i-1] <= a[i-1]-a[i-2] {
+			t.Fatalf("backoff not growing: %v", a)
+		}
+	}
+	b := attemptTimes(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed attempt times diverged: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunRemediateScenario replays the committed remediate example: the
+// crash has no scripted recovery event, so the tenant only comes back
+// if the health loop detects it, cordons, drains the neighbor, and
+// re-admits it from its last committed epoch on its own.
+func TestRunRemediateScenario(t *testing.T) {
+	res, err := Run(load(t, "remediate.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("remediate scenario failed:\n%s", res.Render())
+	}
+	row := res.Experiments[0]
+	if row.Detections < 1 || row.Remediations < 1 || row.Recoveries != 1 {
+		t.Fatalf("detections=%d remediations=%d recoveries=%d",
+			row.Detections, row.Remediations, row.Recoveries)
+	}
+	if row.Quarantined {
+		t.Fatal("remediated tenant ended quarantined")
+	}
+	if row.DetectMs <= 0 || row.MTTRMs <= row.DetectMs {
+		t.Fatalf("detect=%.0fms mttr=%.0fms", row.DetectMs, row.MTTRMs)
+	}
+	h := res.Health
+	if h == nil {
+		t.Fatal("no health report despite health stanza")
+	}
+	if h.OpenCordons != 0 {
+		t.Fatalf("orphaned cordons at quiescence: %d", h.OpenCordons)
+	}
+	if h.CordonsIssued != h.CordonsReleased || h.CordonsIssued < 1 {
+		t.Fatalf("cordon ledger: issued=%d released=%d", h.CordonsIssued, h.CordonsReleased)
+	}
+	if h.Probes == 0 || h.Detections < 1 {
+		t.Fatalf("health ledger: probes=%d detections=%d", h.Probes, h.Detections)
+	}
+	if len(h.Errors) > 0 {
+		t.Fatalf("remediation hook errors: %v", h.Errors)
+	}
+}
+
+// TestRunRemediateScenarioDeterministic: the whole unattended
+// detect-cordon-drain-recover trajectory is a pure function of (file,
+// seed).
+func TestRunRemediateScenarioDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := Run(load(t, "remediate.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same file+seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestValidateCatchesHealthProblems exercises the health stanza's
+// validation surface.
+func TestValidateCatchesHealthProblems(t *testing.T) {
+	mk := func(mut func(*File)) []error {
+		f := load(t, "remediate.json")
+		mut(f)
+		return Validate(f)
+	}
+	cases := []struct {
+		name string
+		mut  func(*File)
+		want string
+	}{
+		{"unknown policy", func(f *File) { f.Health.Policy = "paranoid" }, "unknown policy"},
+		{"negative probe_ms", func(f *File) { f.Health.ProbeMs = -1 }, "negative probe_ms"},
+		{"negative budget", func(f *File) { f.Health.Budget = -2 }, "negative threshold, hysteresis, or budget"},
+		{"max_detect_ms needs health", func(f *File) { f.Health = nil }, "needs a health stanza"},
+		{"max_detect_ms needs value", func(f *File) { f.Assertions[2].Value = 0 }, "positive value"},
+		{"remediated needs target", func(f *File) { f.Assertions[0].Target = "" }, "remediated needs a target"},
+	}
+	for _, tc := range cases {
+		errs := mk(tc.mut)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: wanted error containing %q, got %v", tc.name, tc.want, errs)
+		}
+	}
+}
+
+// TestValidateRejectsFederationHealth: the two stanzas are mutually
+// exclusive — there is no probed cluster inside a federation run.
+func TestValidateRejectsFederationHealth(t *testing.T) {
+	f := load(t, "federation.json")
+	f.Health = &Health{}
+	errs := Validate(f)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "no health stanza") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("federation+health accepted: %v", errs)
+	}
+}

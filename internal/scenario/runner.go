@@ -10,8 +10,10 @@ import (
 	"emucheck/internal/fault"
 	"emucheck/internal/federation"
 	"emucheck/internal/guest"
+	"emucheck/internal/health"
 	"emucheck/internal/metrics"
 	"emucheck/internal/notify"
+	"emucheck/internal/remediate"
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
 	"emucheck/internal/simnet"
@@ -55,6 +57,15 @@ type ExpRow struct {
 	// crash; LostWorkMs is the work those recoveries discarded.
 	Recoveries int     `json:"recoveries,omitempty"`
 	LostWorkMs float64 `json:"lost_work_ms,omitempty"`
+	// Health-loop accounting (health stanza only): unhealthy verdicts
+	// against this experiment, worst detection latency and
+	// crash-to-back-in-service time, unattended remediations initiated,
+	// and whether the budget escalated to quarantine.
+	Detections   int     `json:"detections,omitempty"`
+	DetectMs     float64 `json:"detect_ms,omitempty"`
+	MTTRMs       float64 `json:"mttr_ms,omitempty"`
+	Remediations int     `json:"remediations,omitempty"`
+	Quarantined  bool    `json:"quarantined,omitempty"`
 	// LastError surfaces the experiment's most recent control-plane
 	// failure (aborted epoch, failed park, ...).
 	LastError string `json:"last_error,omitempty"`
@@ -122,6 +133,32 @@ type StorageReport struct {
 	SpillMB  float64 `json:"spill_mb,omitempty"`
 }
 
+// HealthReport is the autonomous health loop's run-wide ledger
+// (present when the scenario declared a health stanza).
+type HealthReport struct {
+	// Policy is the detection preset the run used.
+	Policy string `json:"policy"`
+	// Probes and Fails count delivered probe outcomes (skips excluded);
+	// Detections counts unhealthy flips across all targets.
+	Probes     int `json:"probes"`
+	Fails      int `json:"fails"`
+	Detections int `json:"detections"`
+	// Remediations counts recoveries the controller initiated; Retries
+	// counts backed-off re-attempts; Quarantines counts budget
+	// exhaustions.
+	Remediations int `json:"remediations"`
+	Retries      int `json:"retries,omitempty"`
+	Quarantines  int `json:"quarantines,omitempty"`
+	// The cordon ledger and drain tally; OpenCordons must be zero at
+	// quiescence (the suite's no-orphaned-cordon invariant).
+	CordonsIssued   int `json:"cordons_issued"`
+	CordonsReleased int `json:"cordons_released"`
+	OpenCordons     int `json:"open_cordons"`
+	DrainedVictims  int `json:"drained_victims,omitempty"`
+	// Errors records remediation hook failures.
+	Errors []string `json:"errors,omitempty"`
+}
+
 // Result is a completed scenario run.
 type Result struct {
 	Name        string  `json:"name"`
@@ -147,6 +184,9 @@ type Result struct {
 	// function of (file, seed), so replay digests stay byte-identical
 	// whatever the worker count.
 	Federation *federation.Result `json:"federation,omitempty"`
+	// Health is the autonomous health loop's ledger (health stanza
+	// only).
+	Health *HealthReport `json:"health,omitempty"`
 	// Bus reports control-LAN delivery stats (always present when the
 	// scenario injected faults, so lost notifications are observable).
 	Bus *BusStats `json:"bus,omitempty"`
@@ -205,6 +245,28 @@ func RunWithCluster(f *File) (*Result, *emucheck.Cluster, error) {
 		c.SaveDeadline = sd
 	} else if len(f.Faults) > 0 {
 		c.SaveDeadline = 30 * sim.Second
+	}
+	// Arm the health loop before the first submission so every tenant is
+	// watched from admission; the probe-phase stagger is then a pure
+	// function of (file, seed) and replays are byte-identical.
+	if h := f.Health; h != nil {
+		pol, _ := health.ParsePolicy(h.Policy)
+		if h.ProbeMs > 0 {
+			pol.ProbePeriod = sim.Time(h.ProbeMs * float64(sim.Millisecond))
+		}
+		if h.Threshold > 0 {
+			pol.FailThreshold = h.Threshold
+		}
+		if h.Hysteresis > 0 {
+			pol.RecoverThreshold = h.Hysteresis
+		}
+		opt := remediate.Options{Budget: h.Budget, FallbackRestart: h.FallbackRestart}
+		if h.BackoffMs > 0 {
+			opt.BackoffBase = sim.Time(h.BackoffMs * float64(sim.Millisecond))
+		}
+		if err := c.EnableHealth(emucheck.HealthOptions{Policy: pol, Remediate: opt}); err != nil {
+			return nil, nil, fmt.Errorf("scenario %q: %v", f.Name, err)
+		}
 	}
 
 	stats := make([]*ExpStats, len(f.Experiments))
@@ -363,11 +425,33 @@ func RunWithCluster(f *File) (*Result, *emucheck.Cluster, error) {
 			row.EpochsAborted = t.EpochsAborted()
 			row.Recoveries = t.Recoveries()
 			row.LostWorkMs = t.LostWork().Millis()
+			if f.Health != nil {
+				row.Detections = t.Detections()
+				row.DetectMs = t.MaxDetectLatency().Millis()
+				row.MTTRMs = t.MaxMTTR().Millis()
+				row.Remediations = t.Remediations()
+				row.Quarantined = t.Quarantined()
+			}
 			if t.LastErr != nil {
 				row.LastError = t.LastErr.Error()
 			}
 		}
 		res.Experiments = append(res.Experiments, row)
+	}
+	if h := f.Health; h != nil {
+		mon, rc := c.Health(), c.Remediator()
+		pname := h.Policy
+		if pname == "" {
+			pname = "balanced"
+		}
+		res.Health = &HealthReport{
+			Policy: pname,
+			Probes: mon.Probes, Fails: mon.Fails, Detections: mon.Detections,
+			Remediations: rc.Remediations, Retries: rc.Retries, Quarantines: rc.Quarantines,
+			CordonsIssued: rc.CordonsIssued, CordonsReleased: rc.CordonsReleased,
+			OpenCordons: c.Sched.CordonedNodes(), DrainedVictims: rc.DrainedVictims,
+			Errors: rc.Errors,
+		}
 	}
 	if plan != nil {
 		res.Faults = &FaultSummary{
@@ -833,6 +917,39 @@ func evalAssertion(c *emucheck.Cluster, f *File, stats []*ExpStats, res *Result,
 		}
 		got := sess.LostWork().Millis()
 		return mkCheck(desc, got <= float64(a.Value), fmt.Sprintf("got %.0f ms", got))
+	case "max_detect_ms":
+		desc := fmt.Sprintf("%s detected <= %d ms after crash", a.Target, a.Value)
+		if sess == nil {
+			return mkCheck(desc, false, "never submitted")
+		}
+		if sess.Detections() == 0 {
+			return mkCheck(desc, false, "never detected")
+		}
+		got := sess.MaxDetectLatency().Millis()
+		return mkCheck(desc, got <= float64(a.Value), fmt.Sprintf("got %.0f ms", got))
+	case "max_mttr_ms":
+		desc := fmt.Sprintf("%s back in service <= %d ms after crash", a.Target, a.Value)
+		if sess == nil {
+			return mkCheck(desc, false, "never submitted")
+		}
+		if sess.MaxMTTR() == 0 {
+			return mkCheck(desc, false,
+				fmt.Sprintf("never recovered (state %s)", sess.State()))
+		}
+		got := sess.MaxMTTR().Millis()
+		return mkCheck(desc, got <= float64(a.Value), fmt.Sprintf("got %.0f ms", got))
+	case "remediated":
+		want := a.Value
+		if want <= 0 {
+			want = 1
+		}
+		desc := fmt.Sprintf("%s remediated >= %d times unattended", a.Target, want)
+		if sess == nil {
+			return mkCheck(desc, false, "never submitted")
+		}
+		return mkCheck(desc, int64(sess.Remediations()) >= want && !sess.Quarantined(),
+			fmt.Sprintf("got %d (state %s, quarantined %v)",
+				sess.Remediations(), sess.State(), sess.Quarantined()))
 	case "epochs_aborted":
 		got := 0
 		desc := fmt.Sprintf("epochs aborted >= %d", a.Value)
@@ -932,6 +1049,15 @@ func (r *Result) Render() string {
 				st.CacheMB, st.CacheHits, st.CacheMisses, st.HitRatio*100, st.CacheEvictions, st.CacheEvictedMB)
 		}
 		s += "\n"
+	}
+	if h := r.Health; h != nil {
+		s += fmt.Sprintf("health: %s policy — %d probes (%d failed), %d detections; %d remediations, %d retries, %d quarantines; cordons %d issued / %d released (%d open), %d victims drained",
+			h.Policy, h.Probes, h.Fails, h.Detections, h.Remediations, h.Retries,
+			h.Quarantines, h.CordonsIssued, h.CordonsReleased, h.OpenCordons, h.DrainedVictims)
+		s += "\n"
+		for _, e := range h.Errors {
+			s += "health error: " + e + "\n"
+		}
 	}
 	if fs := r.Faults; fs != nil {
 		s += fmt.Sprintf("faults: %d planned — %d crashes, %d notifications dropped, %d delayed, %d slowdowns",

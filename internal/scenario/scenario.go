@@ -35,6 +35,7 @@ import (
 
 	"emucheck/internal/emulab"
 	"emucheck/internal/federation"
+	"emucheck/internal/health"
 	"emucheck/internal/sched"
 	"emucheck/internal/sim"
 	"emucheck/internal/simnet"
@@ -72,6 +73,12 @@ type File struct {
 	// node crashes, control-LAN message loss and delay, slow disks and
 	// slow saves. Same file + same seed = byte-identical faulty run.
 	Faults []Fault `json:"faults,omitempty"`
+	// Health arms the autonomous health & remediation loop for the run:
+	// per-tenant probes with hysteresis drive unattended cordon, drain,
+	// and re-admission from the last committed epoch. Absent, no probe
+	// events enter the simulation and runs replay byte-identically to
+	// health-less builds.
+	Health *Health `json:"health,omitempty"`
 	// Federation turns the file into a federated-fleet scenario: one
 	// synthetic tenant fleet sharded over WAN-coupled facilities and run
 	// as a conservative-window parallel simulation (internal/federation).
@@ -107,6 +114,31 @@ type Federation struct {
 	// destination cache.
 	Migration bool `json:"migration,omitempty"`
 	WarmUp    bool `json:"warmup,omitempty"`
+}
+
+// Health configures the autonomous health & remediation loop. The
+// policy preset sets the detection knobs; probe_ms / threshold /
+// hysteresis override individual knobs of the preset.
+type Health struct {
+	// Policy names a detection preset: fast, balanced (default), or
+	// conservative.
+	Policy string `json:"policy,omitempty"`
+	// ProbeMs overrides the preset's probe period, in milliseconds.
+	ProbeMs float64 `json:"probe_ms,omitempty"`
+	// Threshold overrides how many consecutive failed probes flag a
+	// tenant unhealthy.
+	Threshold int `json:"threshold,omitempty"`
+	// Hysteresis overrides how many consecutive clean probes confirm it
+	// healthy again.
+	Hysteresis int `json:"hysteresis,omitempty"`
+	// Budget is the recovery attempts a tenant gets before the
+	// controller quarantines it (default 3).
+	Budget int `json:"budget,omitempty"`
+	// BackoffMs seeds the exponential retry backoff (default 500 ms).
+	BackoffMs float64 `json:"backoff_ms,omitempty"`
+	// FallbackRestart re-instantiates from scratch when the stateful
+	// recover path fails (e.g. no epoch ever committed).
+	FallbackRestart bool `json:"fallback_restart,omitempty"`
 }
 
 // Fault is one planned injection against a named experiment.
@@ -288,6 +320,13 @@ var assertionTypes = map[string]bool{
 	// state crossing the control LAN stayed under value MB.
 	"min_cache_hit_ratio": true,
 	"max_remote_mb":       true,
+	// Health-loop assertions (need a health stanza): the loop detected
+	// the failure within value ms, brought the tenant back in service
+	// within value ms of the crash, and initiated at least value
+	// (default 1) unattended remediations.
+	"max_detect_ms": true,
+	"max_mttr_ms":   true,
+	"remediated":    true,
 	// Federation assertions (need a federation stanza): every tenant
 	// drained, at least value cross-facility migrations happened, and
 	// WAN traffic stayed under value MB.
@@ -402,6 +441,17 @@ func Validate(f *File) []error {
 	}
 	if _, err := parseDur(f.SaveDeadline); err != nil {
 		bad("save_deadline %q does not parse", f.SaveDeadline)
+	}
+	if h := f.Health; h != nil {
+		if _, err := health.ParsePolicy(h.Policy); err != nil {
+			bad("%v", err)
+		}
+		if h.ProbeMs < 0 || h.BackoffMs < 0 {
+			bad("health: negative probe_ms or backoff_ms")
+		}
+		if h.Threshold < 0 || h.Hysteresis < 0 || h.Budget < 0 {
+			bad("health: negative threshold, hysteresis, or budget")
+		}
 	}
 	if len(f.Experiments) == 0 {
 		bad("no experiments")
@@ -595,6 +645,20 @@ func Validate(f *File) []error {
 			if a.Target == "" || a.Value <= 0 {
 				bad("assertion %d: max_lost_work_ms needs target and a positive value (ms)", i)
 			}
+		case "max_detect_ms", "max_mttr_ms":
+			if f.Health == nil {
+				bad("assertion %d: %s needs a health stanza", i, a.Type)
+			}
+			if a.Target == "" || a.Value <= 0 {
+				bad("assertion %d: %s needs target and a positive value (ms)", i, a.Type)
+			}
+		case "remediated":
+			if f.Health == nil {
+				bad("assertion %d: remediated needs a health stanza", i)
+			}
+			if a.Target == "" {
+				bad("assertion %d: remediated needs a target", i)
+			}
 		case "epochs_aborted":
 			if a.Value <= 0 {
 				bad("assertion %d: epochs_aborted needs a positive value", i)
@@ -694,6 +758,9 @@ func validateFederation(f *File, bad func(string, ...any)) {
 	}
 	if f.Storage != nil {
 		bad("federation scenarios take no storage stanza (each facility has its own cache; see cache_mb)")
+	}
+	if f.Health != nil {
+		bad("federation scenarios take no health stanza (facilities run synthetic tenants, not probed experiments)")
 	}
 	for i, a := range f.Assertions {
 		if !federationAssertions[a.Type] {

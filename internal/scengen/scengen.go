@@ -1,11 +1,12 @@
 // Package scengen deterministically generates scenario files for the
 // suite runner: a seed and an index fully determine one scenario, so a
-// generated corpus is reproducible from two integers. Seven scenario
+// generated corpus is reproducible from two integers. Eight scenario
 // shapes rotate by index — a time-shared multi-tenant mix, an
 // incremental-swap storage-tier run, a fault-injection-and-recovery
 // run, a gang-admitted branch search, the two distributed agreement
-// workloads (quorum election, 2PC commit), and a federated-fleet
-// sharding run — which guarantees any window of seven consecutive
+// workloads (quorum election, 2PC commit), a federated-fleet
+// sharding run, and an unattended health-loop remediation run — which
+// guarantees any window of eight consecutive
 // indices covers every shape. All other
 // axes (tenant count, policy, swap mode, storage backend and cache
 // size, fault mix, fan-out, oversubscription ratio) are drawn
@@ -39,13 +40,15 @@ const (
 	axFacilities
 	axWarm
 	axWorkers
+	axHealthPolicy
+	axCrashAt
 )
 
 // Shapes in rotation order. Exported so the suite's coverage report
 // and the generator tests agree on the catalog.
 var Shapes = []string{
 	"timeshare", "incremental", "faults", "search", "quorum", "commit2pc",
-	"federation",
+	"federation", "remediate",
 }
 
 // pick draws a uniform value in [0, n) for one (seed, index, axis).
@@ -77,6 +80,8 @@ func Generate(seed int64, i int) *scenario.File {
 		genCommit2PC(f, seed, i)
 	case "federation":
 		genFederation(f, seed, i)
+	case "remediate":
+		genRemediate(f, seed, i)
 	}
 	return f
 }
@@ -288,6 +293,46 @@ func genFederation(f *scenario.File, seed int64, i int) {
 	}
 	f.RunFor = "20m" // drained-stop usually exits long before this
 	f.Assertions = []scenario.Assertion{{Type: "all_completed"}}
+}
+
+// genRemediate emits the unattended health-loop run: an epoch-protected
+// victim crashes with NO scripted recovery event — the health stanza's
+// probes must detect it, the controller cordons and drains neighbors,
+// and the victim is re-admitted from its last committed epoch on its
+// own. The policy axis rotates the detection preset (fast through
+// conservative) and the tenant axis varies how much neighbor capacity
+// the drain path has to make room from.
+func genRemediate(f *scenario.File, seed int64, i int) {
+	f.Swap = "incremental"
+	f.SaveDeadline = "20s"
+	f.Policy = policies[pick(seed, i, axPolicy, 3)]
+	hp := []string{"fast", "balanced", "conservative"}[pick(seed, i, axHealthPolicy, 3)]
+	f.Health = &scenario.Health{Policy: hp}
+	victim := scenario.Experiment{
+		Name: "r0", Workload: "sleeploop", Epochs: "15s",
+		Nodes: []scenario.Node{node("r0", 0), node("r0", 1)},
+		Links: []scenario.Link{{A: "r0-n0", B: "r0-n1"}},
+	}
+	f.Experiments = []scenario.Experiment{victim}
+	neighbors := 1 + int(pick(seed, i, axTenants, 2)) // 1..2
+	for t := 0; t < neighbors; t++ {
+		name := fmt.Sprintf("r%d", t+1)
+		f.Experiments = append(f.Experiments, scenario.Experiment{
+			Name: name, Workload: "diskchurn", Nodes: []scenario.Node{node(name, 0)},
+		})
+	}
+	f.Pool = 2 + neighbors
+	f.RunFor = "6m"
+	crashAt := 80 + int(pick(seed, i, axCrashAt, 4))*10 // 80..110s: epochs committed
+	f.Faults = []scenario.Fault{
+		{Kind: "crash", At: fmt.Sprintf("%ds", crashAt), Target: "r0"},
+	}
+	f.Assertions = []scenario.Assertion{
+		{Type: "remediated", Target: "r0"},
+		{Type: "recovered", Target: "r0"},
+		{Type: "max_detect_ms", Target: "r0", Value: 8000},
+		{Type: "state", Target: "r0", Want: "running"},
+	}
 }
 
 // genCommit2PC emits the 2PC workload: coordinator and participants on

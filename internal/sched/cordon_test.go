@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"testing"
+
+	"emucheck/internal/sim"
+)
+
+func TestCordonBlocksAdmission(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	if err := d.Cordon(2); err != nil {
+		t.Fatal(err)
+	}
+	a := fakeJob(s, "a", 2, 0, sim.Second, sim.Second, sim.Second)
+	b := fakeJob(s, "b", 2, 0, sim.Second, sim.Second, sim.Second)
+	for _, j := range []*Job{a, b} {
+		if err := d.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunFor(5 * sim.Second)
+	// Only two schedulable nodes: a runs, b waits behind the cordon.
+	if a.State() != Running || b.State() != Queued {
+		t.Fatalf("states: a=%v b=%v", a.State(), b.State())
+	}
+	if d.CordonedNodes() != 2 {
+		t.Fatalf("cordoned = %d", d.CordonedNodes())
+	}
+	if err := d.Uncordon(2); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(5 * sim.Second)
+	if b.State() != Running {
+		t.Fatalf("b = %v after uncordon", b.State())
+	}
+	if d.CordonedNodes() != 0 {
+		t.Fatalf("cordoned = %d after uncordon", d.CordonedNodes())
+	}
+}
+
+func TestCordonBoundsAndErrors(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	if err := d.Cordon(0); err == nil {
+		t.Fatal("zero cordon accepted")
+	}
+	if err := d.Cordon(5); err == nil {
+		t.Fatal("cordon beyond capacity accepted")
+	}
+	if err := d.Cordon(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Cordon(2); err == nil {
+		t.Fatal("cumulative cordon beyond capacity accepted")
+	}
+	if err := d.Uncordon(4); err == nil {
+		t.Fatal("uncordon beyond cordoned accepted")
+	}
+	if err := d.Uncordon(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCordonShortfallDrivesPreemption(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	d.MinResidency = 5 * sim.Second
+	a := fakeJob(s, "a", 2, 0, sim.Second, sim.Second, sim.Second)
+	b := fakeJob(s, "b", 2, 0, sim.Second, sim.Second, sim.Second)
+	for _, j := range []*Job{a, b} {
+		if err := d.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunFor(2 * sim.Second)
+	if a.State() != Running || b.State() != Running {
+		t.Fatalf("states: a=%v b=%v", a.State(), b.State())
+	}
+	// b finishes; its nodes come back but are immediately cordoned
+	// (suspect hardware). A new arrival must now preempt a even though
+	// free capacity nominally covers it.
+	if err := d.Finish("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Cordon(2); err != nil {
+		t.Fatal(err)
+	}
+	c := fakeJob(s, "c", 2, 0, sim.Second, sim.Second, sim.Second)
+	if err := d.Submit(c); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(20 * sim.Second)
+	// With only two schedulable nodes, a and c round-robin: admitting c
+	// required parking a even though free nominally covered it.
+	if a.Preemptions() < 1 {
+		t.Fatalf("a preemptions = %d (cordoned nodes were handed out)", a.Preemptions())
+	}
+	if c.Admissions() < 1 {
+		t.Fatalf("c admissions = %d", c.Admissions())
+	}
+}
+
+func TestReserveRespectsCordon(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	if err := d.Cordon(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reserve(2); err == nil {
+		t.Fatal("reserve handed out cordoned nodes")
+	}
+	if err := d.Reserve(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainForFreesCapacityForCrashedJob(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	d.MinResidency = sim.Second
+	a := fakeJob(s, "a", 2, 0, sim.Second, sim.Second, sim.Second)
+	b := fakeJob(s, "b", 2, 0, sim.Second, sim.Second, sim.Second)
+	for _, j := range []*Job{a, b} {
+		if err := d.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunFor(5 * sim.Second)
+	// b crashes; its hardware returns but is cordoned away, so a is the
+	// only capacity left. DrainFor(b) parks a to make room.
+	if err := d.Fail("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Cordon(2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.DrainFor("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("drained %d victims, want 1", n)
+	}
+	if d.Drains != 1 {
+		t.Fatalf("Drains = %d", d.Drains)
+	}
+	if err := d.Recover("b"); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(20 * sim.Second)
+	if b.State() != Running {
+		t.Fatalf("b = %v after drain+recover", b.State())
+	}
+	// a was drained, not retired: it re-queued and is back too once the
+	// cordon lifts.
+	if err := d.Uncordon(2); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(20 * sim.Second)
+	if a.State() != Running {
+		t.Fatalf("a = %v after uncordon", a.State())
+	}
+}
+
+func TestDrainForNoopWhenCapacitySuffices(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, 4, FIFO)
+	a := fakeJob(s, "a", 2, 0, sim.Second, sim.Second, sim.Second)
+	if err := d.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * sim.Second)
+	if err := d.Fail("a"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.DrainFor("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || d.Drains != 0 {
+		t.Fatalf("drained %d (Drains %d) with free capacity", n, d.Drains)
+	}
+	if _, err := d.DrainFor("ghost"); err == nil {
+		t.Fatal("drain for unknown job accepted")
+	}
+}

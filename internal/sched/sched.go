@@ -236,6 +236,7 @@ type Scheduler struct {
 	MinResidency sim.Time
 
 	free          int
+	cordoned      int             // nodes withdrawn from admission (suspect hardware)
 	demand        int             // summed Need of live (unretired) jobs
 	jobs          []*Job          // submit order
 	byName        map[string]*Job // latest submission per name; lookup only, never iterated
@@ -253,9 +254,13 @@ type Scheduler struct {
 	Failures   int
 	Recoveries int
 
-	// Admissions and Preemptions count scheduler decisions.
+	// Admissions and Preemptions count scheduler decisions; Drains
+	// counts involuntary parks initiated through DrainFor (remediation
+	// clearing room for a recovering tenant rather than the admission
+	// path preempting for the queue head).
 	Admissions  int
 	Preemptions int
+	Drains      int
 	// PreemptedBytes sums the ParkCost estimates of every involuntary
 	// park — the transfer bill of the scheduler's victim choices, which
 	// incremental swapping makes proportional to dirtied state.
@@ -291,6 +296,49 @@ func New(s *sim.Simulator, capacity int, policy Policy) *Scheduler {
 // Free reports currently unallocated pool nodes.
 func (d *Scheduler) Free() int { return d.free }
 
+// CordonedNodes reports how many pool nodes are currently withdrawn
+// from admission.
+func (d *Scheduler) CordonedNodes() int { return d.cordoned }
+
+// avail reports the nodes admission may actually hand out: free pool
+// capacity minus the cordon line. Cordoned nodes are free (nothing runs
+// on suspect hardware) but unschedulable, so oversubscription can push
+// this below zero transiently — callers treat that as zero headroom.
+func (d *Scheduler) avail() int {
+	a := d.free - d.cordoned
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Cordon withdraws n nodes from admission — suspect hardware leaving
+// the schedulable pool after a failure, pending probation. Cordoned
+// nodes still count as capacity (utilization is unchanged); they are
+// simply never handed to the queue until Uncordon returns them.
+func (d *Scheduler) Cordon(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("sched: cordon of %d nodes", n)
+	}
+	if d.cordoned+n > d.Capacity {
+		return fmt.Errorf("sched: cordon of %d nodes exceeds capacity (cordoned %d of %d)",
+			n, d.cordoned, d.Capacity)
+	}
+	d.cordoned += n
+	return nil
+}
+
+// Uncordon returns previously cordoned nodes to the schedulable pool
+// and lets the queue use them.
+func (d *Scheduler) Uncordon(n int) error {
+	if n <= 0 || n > d.cordoned {
+		return fmt.Errorf("sched: uncordon of %d nodes, %d cordoned", n, d.cordoned)
+	}
+	d.cordoned -= n
+	d.kick()
+	return nil
+}
+
 // Demand reports the summed hardware demand of every live (unretired)
 // job — queued, running, parked or crashed. It is the federation's
 // global-admission load signal: a pure function of the submission and
@@ -302,8 +350,8 @@ func (d *Scheduler) Demand() int { return d.demand }
 // admitted directly, bypassing the queue), so the scheduler's capacity
 // ledger matches the testbed's.
 func (d *Scheduler) Reserve(n int) error {
-	if n < 0 || n > d.free {
-		return fmt.Errorf("sched: cannot reserve %d nodes, %d free", n, d.free)
+	if n < 0 || n > d.avail() {
+		return fmt.Errorf("sched: cannot reserve %d nodes, %d free", n, d.avail())
 	}
 	d.setFree(d.free - n)
 	return nil
@@ -540,6 +588,51 @@ func (d *Scheduler) Recover(name string) error {
 	return nil
 }
 
+// DrainFor parks (through the normal swap-out path) enough running
+// victims, chosen in policy order, that the named queued or crashed job
+// could be admitted once their parks complete. It is the remediation
+// controller's proactive path: instead of waiting for the job to reach
+// the queue head and preempt, the drain starts freeing capacity the
+// moment a failure is detected. Drained jobs re-queue and resume like
+// any preempted tenant. Returns how many victims were drained; zero
+// when capacity already suffices, parks are in flight, or residency
+// protection leaves no mature victim set that covers the shortfall.
+func (d *Scheduler) DrainFor(name string) (int, error) {
+	j := d.Job(name)
+	if j == nil {
+		return 0, fmt.Errorf("sched: no job %q", name)
+	}
+	if j.state != Queued && j.state != Crashed {
+		return 0, fmt.Errorf("sched: job %q is %v, not awaiting admission", name, j.state)
+	}
+	shortfall := j.Need - d.avail()
+	if shortfall <= 0 || d.parksInFlight > 0 {
+		return 0, nil
+	}
+	pool, nextEligible := d.victims(j)
+	var chosen []*Job
+	freed := 0
+	for freed < shortfall && pool.Len() > 0 {
+		v := pool.pop()
+		chosen = append(chosen, v)
+		freed += v.Need
+	}
+	if freed < shortfall {
+		if nextEligible < sim.Never {
+			d.wakeAt(nextEligible)
+		}
+		return 0, nil
+	}
+	for _, v := range chosen {
+		d.Drains++
+		cost := v.parkCost()
+		v.lastParkCost = cost
+		d.PreemptedBytes += cost
+		d.park(v)
+	}
+	return len(chosen), nil
+}
+
 // Finish retires a job, releasing its hardware if it holds any.
 func (d *Scheduler) Finish(name string) error {
 	j := d.Job(name)
@@ -621,7 +714,7 @@ func (d *Scheduler) kick() {
 				need += q.Need
 			}
 		}
-		if d.free >= need {
+		if d.avail() >= need {
 			if members > 1 {
 				d.GangAdmissions++
 			}
@@ -681,7 +774,7 @@ func (d *Scheduler) admit(j *Job) {
 }
 
 func (d *Scheduler) tryPreempt(head *Job, need int) {
-	shortfall := need - d.free
+	shortfall := need - d.avail()
 	pool, nextEligible := d.victims(head)
 	// Pop victims in policy order until the shortfall is covered:
 	// O(k log n) against the legacy sorted-scan's O(n²).

@@ -16,7 +16,11 @@
 //     delivered, dropped by injection, or still in flight, and
 //     per-topic ledgers sum to the bus totals;
 //   - ledgers: scheduler, storage, and per-tenant accounting never go
-//     negative, and utilization stays in [0, 1].
+//     negative, and utilization stays in [0, 1];
+//   - no-orphaned-cordon: the scheduler's cordon line always equals the
+//     cordons the remediation controller's open episodes hold, and the
+//     controller's issue/release ledger accounts for the difference —
+//     capacity withdrawn by the health loop is never leaked.
 //
 // The runner reports per-scenario verdicts as a JSON corpus report
 // (schema emusuite/v1, free of wall-clock fields so same-seed reports
@@ -167,6 +171,7 @@ func assembleRun(f *scenario.File, source string, first, replay execution) RunRe
 			checkChains(first.c),
 			checkBus(first.c),
 			checkLedgers(first.c),
+			checkCordons(first.c),
 		)
 	} else if first.res.Federation != nil {
 		// Federation scenarios run their own worlds and hand back no
@@ -327,6 +332,35 @@ func checkLedgers(c *emucheck.Cluster) InvariantCheck {
 	return inv
 }
 
+// checkCordons audits the health loop's cordon conservation law: the
+// capacity the scheduler holds out of admission must exactly equal the
+// cordons the remediation controller's open episodes hold, and the
+// controller's own issue/release ledger must account for that balance.
+// A mismatch means a remediation episode leaked pool capacity (or
+// double-released it). Trivially satisfied when the run never armed
+// the health loop.
+func checkCordons(c *emucheck.Cluster) InvariantCheck {
+	inv := InvariantCheck{Name: "no-orphaned-cordon"}
+	if !c.HealthEnabled() {
+		inv.Ok = true
+		inv.Detail = "health loop not armed"
+		return inv
+	}
+	rc := c.Remediator()
+	schedHeld, ctrlHeld := c.Sched.CordonedNodes(), rc.CordonedNodes()
+	if schedHeld != ctrlHeld {
+		inv.Detail = fmt.Sprintf("scheduler holds %d cordoned nodes, controller episodes hold %d", schedHeld, ctrlHeld)
+		return inv
+	}
+	if rc.CordonsReleased > rc.CordonsIssued {
+		inv.Detail = fmt.Sprintf("cordon ledger: %d released exceeds %d issued", rc.CordonsReleased, rc.CordonsIssued)
+		return inv
+	}
+	inv.Ok = true
+	inv.Detail = fmt.Sprintf("%d held (%d issued, %d released)", schedHeld, rc.CordonsIssued, rc.CordonsReleased)
+	return inv
+}
+
 // checkFederation audits a federated run's aggregate ledgers: no
 // counter negative, completions bounded by the fleet, windows actually
 // advanced, and a digest present (the per-sharding determinism pin).
@@ -396,6 +430,13 @@ func coverageKeys(f *scenario.File) []string {
 	}
 	if len(f.Faults) > 0 {
 		keys = append(keys, "faults")
+	}
+	if h := f.Health; h != nil {
+		pol := h.Policy
+		if pol == "" {
+			pol = "balanced"
+		}
+		keys = append(keys, "health", "health:"+pol)
 	}
 	if f.Search != nil {
 		keys = append(keys, "branching", "gang-admission")
